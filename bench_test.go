@@ -1,0 +1,179 @@
+package btr
+
+// One benchmark per reproduced experiment (see EXPERIMENTS.md): each runs
+// the full experiment pipeline — offline planning, deterministic
+// simulation, fault injection, measurement — in quick mode, and reports
+// the headline quantity via b.ReportMetric so `go test -bench=.` doubles
+// as a results regeneration pass.
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"btr/internal/exp"
+)
+
+// runExperiment executes experiment id once in quick mode.
+func runExperiment(b *testing.B, id string) exp.Result {
+	b.Helper()
+	for _, e := range exp.All() {
+		if e.ID == id {
+			return e.Run(uint64(1), true)
+		}
+	}
+	b.Fatalf("unknown experiment %s", id)
+	return exp.Result{}
+}
+
+// cellMillis parses a "12.345ms"-style cell into milliseconds.
+func cellMillis(cell string) (float64, bool) {
+	s := strings.TrimSuffix(cell, "ms")
+	if s == cell {
+		if s2 := strings.TrimSuffix(cell, "s"); s2 != cell {
+			v, err := strconv.ParseFloat(s2, 64)
+			return v * 1000, err == nil
+		}
+		return 0, false
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	return v, err == nil
+}
+
+func BenchmarkE1Recovery(b *testing.B) {
+	var worst float64
+	for i := 0; i < b.N; i++ {
+		res := runExperiment(b, "E1")
+		worst = 0
+		for _, row := range res.Tables[0].Rows {
+			if v, ok := cellMillis(row[3]); ok && v > worst {
+				worst = v
+			}
+		}
+	}
+	b.ReportMetric(worst, "worst-recovery-ms")
+}
+
+func BenchmarkE2ReplicaCost(b *testing.B) {
+	var btrUtil float64
+	for i := 0; i < b.N; i++ {
+		res := runExperiment(b, "E2")
+		for _, row := range res.Tables[0].Rows {
+			if row[0] == "1" && row[1] == "BTR" {
+				if v, err := strconv.ParseFloat(row[3], 64); err == nil {
+					btrUtil = v
+				}
+			}
+		}
+	}
+	b.ReportMetric(btrUtil, "btr-peak-util")
+}
+
+func BenchmarkE3ClockFrequency(b *testing.B) {
+	var bftSpeed float64
+	for i := 0; i < b.N; i++ {
+		res := runExperiment(b, "E3")
+		for _, row := range res.Tables[0].Rows {
+			if row[1] == "BFT(3f+1)" {
+				if v, err := strconv.ParseFloat(row[2], 64); err == nil {
+					bftSpeed = v
+				}
+			}
+		}
+	}
+	b.ReportMetric(bftSpeed, "bft-min-speed")
+}
+
+func BenchmarkE4Staggered(b *testing.B) {
+	var total float64
+	for i := 0; i < b.N; i++ {
+		res := runExperiment(b, "E4")
+		rows := res.Tables[0].Rows
+		if v, ok := cellMillis(rows[len(rows)-1][1]); ok {
+			total = v
+		}
+	}
+	b.ReportMetric(total, "kmax-bad-output-ms")
+}
+
+func BenchmarkE5MixedCriticality(b *testing.B) {
+	var shed float64
+	for i := 0; i < b.N; i++ {
+		res := runExperiment(b, "E5")
+		rows := res.Tables[0].Rows
+		last := rows[len(rows)-1]
+		shed = float64(len(strings.Fields(last[2])))
+	}
+	b.ReportMetric(shed, "sinks-shed-at-fmax")
+}
+
+func BenchmarkE6EvidenceDoS(b *testing.B) {
+	var conv float64
+	for i := 0; i < b.N; i++ {
+		res := runExperiment(b, "E6")
+		for _, row := range res.Tables[0].Rows {
+			// Reserved share, highest flood rate row.
+			if row[1] == "0.20" {
+				if v, ok := cellMillis(row[2]); ok {
+					conv = v
+				}
+			}
+		}
+	}
+	b.ReportMetric(conv, "flooded-convergence-ms")
+}
+
+func BenchmarkE7Planner(b *testing.B) {
+	var plans float64
+	for i := 0; i < b.N; i++ {
+		res := runExperiment(b, "E7")
+		rows := res.Tables[0].Rows
+		if v, err := strconv.ParseFloat(rows[len(rows)-1][3], 64); err == nil {
+			plans = v
+		}
+	}
+	b.ReportMetric(plans, "plans-at-largest-config")
+}
+
+func BenchmarkE8ModeChange(b *testing.B) {
+	var total float64
+	for i := 0; i < b.N; i++ {
+		res := runExperiment(b, "E8")
+		for _, row := range res.Tables[0].Rows {
+			if v, ok := cellMillis(row[4]); ok && v > total {
+				total = v
+			}
+		}
+	}
+	b.ReportMetric(total, "worst-total-recovery-ms")
+}
+
+func BenchmarkE9FiveSecondRule(b *testing.B) {
+	var violations float64
+	for i := 0; i < b.N; i++ {
+		res := runExperiment(b, "E9")
+		for _, row := range res.Tables[1].Rows {
+			if row[0] == "envelope violations" {
+				if v, err := strconv.ParseFloat(row[1], 64); err == nil {
+					violations = v
+				}
+			}
+		}
+	}
+	b.ReportMetric(violations, "envelope-violations")
+}
+
+func BenchmarkE10Baselines(b *testing.B) {
+	var btrMax float64
+	for i := 0; i < b.N; i++ {
+		res := runExperiment(b, "E10")
+		for _, row := range res.Tables[0].Rows {
+			if strings.HasPrefix(row[0], "BTR") {
+				if v, ok := cellMillis(row[3]); ok {
+					btrMax = v
+				}
+			}
+		}
+	}
+	b.ReportMetric(btrMax, "btr-max-recovery-ms")
+}

@@ -1,0 +1,36 @@
+// Command btrbench regenerates every experiment table from the paper
+// reproduction (E1–E10; see EXPERIMENTS.md). Usage:
+//
+//	btrbench [-seed N] [-quick] [-only E6]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"btr/internal/exp"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 1, "simulation seed (results are deterministic per seed)")
+	quick := flag.Bool("quick", false, "smaller sweeps (for smoke runs)")
+	only := flag.String("only", "", "run a single experiment (e.g. E6)")
+	flag.Parse()
+
+	if *only != "" {
+		for _, e := range exp.All() {
+			if e.ID == *only {
+				res := e.Run(*seed, *quick)
+				fmt.Printf("---- %s: %s ----\n", res.ID, res.Claim)
+				for _, t := range res.Tables {
+					fmt.Println(t.String())
+				}
+				return
+			}
+		}
+		fmt.Fprintf(os.Stderr, "btrbench: unknown experiment %q\n", *only)
+		os.Exit(2)
+	}
+	exp.RunAll(os.Stdout, *seed, *quick)
+}

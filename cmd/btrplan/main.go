@@ -1,0 +1,115 @@
+// Command btrplan runs the offline planner on a chosen workload/topology
+// and prints the strategy: one plan per fault pattern, shed sets, derived
+// timing bounds, and transition costs. Usage:
+//
+//	btrplan [-workload avionics|chain|forkjoin|controlloop] [-nodes 6]
+//	        [-topo mesh|ring|line|star|dualbus] [-f 1] [-r 500ms]
+//	        [-speed 1.0] [-verbose]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"btr/internal/flow"
+	"btr/internal/network"
+	"btr/internal/plan"
+	"btr/internal/sim"
+)
+
+func main() {
+	workload := flag.String("workload", "avionics", "workload: avionics|chain|forkjoin|controlloop")
+	nodes := flag.Int("nodes", 6, "number of nodes")
+	topoKind := flag.String("topo", "mesh", "topology: mesh|ring|line|star|dualbus")
+	f := flag.Int("f", 1, "fault bound")
+	r := flag.Duration("r", 500*time.Millisecond, "requested recovery bound")
+	speed := flag.Float64("speed", 1.0, "CPU speed factor")
+	verbose := flag.Bool("verbose", false, "print per-mode schedules")
+	flag.Parse()
+
+	period := 25 * sim.Millisecond
+	var g *flow.Graph
+	switch *workload {
+	case "avionics":
+		g = flow.Avionics(period)
+	case "chain":
+		g = flow.Chain(3, period, sim.Millisecond, 64, flow.CritA)
+	case "forkjoin":
+		g = flow.ForkJoin(3, period, sim.Millisecond, 64, flow.CritB)
+	case "controlloop":
+		g = flow.ControlLoop(50*sim.Millisecond, flow.CritA)
+	default:
+		fmt.Fprintf(os.Stderr, "btrplan: unknown workload %q\n", *workload)
+		os.Exit(2)
+	}
+
+	bw := int64(20_000_000)
+	prop := 50 * sim.Microsecond
+	var topo *network.Topology
+	switch *topoKind {
+	case "mesh":
+		topo = network.FullMesh(*nodes, bw, prop)
+	case "ring":
+		topo = network.Ring(*nodes, bw, prop)
+	case "line":
+		topo = network.Line(*nodes, bw, prop)
+	case "star":
+		topo = network.Star(*nodes, bw, prop)
+	case "dualbus":
+		topo = network.DualBus(*nodes, bw, prop)
+	default:
+		fmt.Fprintf(os.Stderr, "btrplan: unknown topology %q\n", *topoKind)
+		os.Exit(2)
+	}
+
+	opts := plan.DefaultOptions(*f, sim.Time(r.Microseconds()))
+	opts.Sched.Speed = *speed
+	start := time.Now()
+	s, err := plan.Build(g, topo, opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "btrplan: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("planned %q on %d-node %s in %v\n\n", g.Name, *nodes, *topoKind, time.Since(start))
+	fmt.Print(s.Summary())
+
+	fmt.Println("\ntransitions (worst-case per successor mode):")
+	keys := make([]string, 0, len(s.Trans))
+	for k := range s.Trans {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if len(keys[i]) != len(keys[j]) {
+			return len(keys[i]) < len(keys[j])
+		}
+		return keys[i] < keys[j]
+	})
+	for _, k := range keys {
+		tr := s.Trans[k]
+		fmt.Printf("  -> {%s}: from {%s}, %d replicas move, %dB state, bound %v\n",
+			tr.To, tr.From, len(tr.Moved), tr.StateBytes, tr.Bound)
+	}
+
+	if *verbose {
+		fmt.Println("\nper-mode schedules:")
+		for _, k := range append([]string{""}, keys...) {
+			p := s.Plans[k]
+			fmt.Printf("  mode %v:\n", p.Faults)
+			var ns []network.NodeID
+			for n := range p.Table.Slots {
+				ns = append(ns, n)
+			}
+			sort.Slice(ns, func(i, j int) bool { return ns[i] < ns[j] })
+			for _, n := range ns {
+				fmt.Printf("    node %d:", n)
+				for _, slot := range p.Table.Slots[n] {
+					fmt.Printf(" %s[%v,%v)", slot.Task, slot.Start, slot.End)
+				}
+				fmt.Println()
+			}
+		}
+	}
+}

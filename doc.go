@@ -1,0 +1,20 @@
+// Package btr reproduces "Fault Tolerance and the Five-Second Rule"
+// (Chen, Xiao, Haeberlen, Phan — HotOS XV, 2015): bounded-time recovery
+// (BTR) for cyber-physical systems, together with every substrate the
+// design depends on — a deterministic discrete-event simulator, a
+// finite-bandwidth network with statically allocated link shares, an
+// ed25519 signature layer, periodic mixed-criticality dataflow workloads,
+// table-driven scheduling, the offline strategy planner, the online
+// detector / evidence distributor / mode switcher, physical plant models,
+// and the baseline protocols BTR is compared against.
+//
+// Start with README.md, the runnable examples under examples/, or the
+// experiment harness:
+//
+//	go run ./cmd/btrbench        # regenerate every experiment table
+//	go run ./examples/quickstart # smallest complete deployment
+//
+// The library surface lives under internal/ (this is a research
+// reproduction, not a stable API); cmd/ and examples/ show every intended
+// usage pattern.
+package btr

@@ -1,0 +1,65 @@
+// Quickstart: the smallest complete BTR deployment.
+//
+// A three-stage dataflow pipeline (sensor -> worker -> actuator) runs on a
+// six-node mesh with fault bound f=1. We crash one node mid-run and watch
+// the system detect it, distribute evidence, and reconfigure — while the
+// actuator output never misses a beat, because every task runs f+1
+// replicas and consumers take the first audited-correct input.
+//
+// Run: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"btr/internal/adversary"
+	"btr/internal/core"
+	"btr/internal/flow"
+	"btr/internal/network"
+	"btr/internal/plan"
+	"btr/internal/sim"
+)
+
+func main() {
+	// 1. Describe the workload: a periodic dataflow graph (§2.1).
+	period := 25 * sim.Millisecond
+	workload := flow.Chain(3, period, sim.Millisecond, 64, flow.CritA)
+
+	// 2. Describe the platform: nodes and links with finite bandwidth.
+	topo := network.FullMesh(6, 20_000_000 /* B/s */, 50*sim.Microsecond)
+
+	// 3. Assemble: this runs the offline planner (strategy = one plan per
+	//    fault pattern) and wires up the per-node runtimes.
+	sys, err := core.NewSystem(core.Config{
+		Seed:     42,
+		Workload: workload,
+		Topology: topo,
+		PlanOpts: plan.DefaultOptions(1 /* f */, 500*sim.Millisecond /* R */),
+		Horizon:  40, // periods to simulate
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("strategy has %d plans; provable recovery bound R = %v\n",
+		len(sys.Strategy.Plans), sys.Strategy.RNeeded)
+
+	// 4. Compromise a node: crash whichever node hosts worker replica 0.
+	victim := sys.Strategy.Plans[""].Assign["c1#0"]
+	adversary.Crash(victim, 5*period).Install(sys)
+	fmt.Printf("scheduled crash of node %d at %v\n\n", victim, 5*period)
+
+	// 5. Run and inspect the report.
+	rep := sys.Run()
+	fmt.Printf("actuations: %d, wrong: %d, missed: %d\n",
+		rep.Actuations, rep.WrongValues, rep.MissedPeriods)
+	fmt.Printf("evidence raised: %v\n", rep.EvidenceByKind)
+	fmt.Printf("mode switches: %d (all correct nodes converge on plan {%d})\n",
+		len(rep.SwitchTimes), victim)
+	fmt.Printf("measured recovery: %v (bound %v)\n", rep.MaxRecovery(), rep.RNeeded)
+
+	if rep.WrongValues == 0 && rep.MissedPeriods == 0 {
+		fmt.Println("\n✓ the crash never disturbed the actuator: detection-based")
+		fmt.Println("  replication (f+1) reconfigured around the fault in bounded time")
+	}
+}

@@ -1,0 +1,135 @@
+package adversary
+
+import (
+	"testing"
+
+	"btr/internal/core"
+	"btr/internal/evidence"
+	"btr/internal/flow"
+	"btr/internal/network"
+	"btr/internal/plan"
+	"btr/internal/plant"
+	"btr/internal/runtime"
+	"btr/internal/sim"
+)
+
+// TestKitchenSink throws everything at the avionics suite at once: a
+// bogus-evidence flood, a crash, and a corruption, with f=2 on 8 nodes —
+// the full pipeline (plan / schedule / detect / distribute / attribute /
+// switch / shed) under combined attack. Flight control must keep its
+// recovery within R.
+func TestKitchenSink(t *testing.T) {
+	g := flow.Avionics(25 * sim.Millisecond)
+	s, err := core.NewSystem(core.Config{
+		Seed:     31,
+		Workload: g,
+		Topology: network.FullMesh(8, 20_000_000, 50*sim.Microsecond),
+		PlanOpts: plan.DefaultOptions(2, sim.Second),
+		Horizon:  70,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := g.Period
+	FloodBogus(7, 6, 2*p).Install(s)
+	Crash(0, 10*p).Install(s)
+	CorruptEverything(1, 35*p).Install(s)
+	rep := s.Run()
+
+	// The flood convicts node 7 (first "fault"); the crash and corruption
+	// follow. That's 3 > f=2 — beyond budget, so the *guarantee* is void,
+	// but the system must stay sane and flight control must survive: with
+	// PlanFor's subset fallback the elevator keeps running.
+	if rep.EvidenceByKind[evidence.KindBogus] == 0 {
+		t.Error("flood not convicted")
+	}
+	if len(rep.SwitchTimes) == 0 {
+		t.Error("no mode changes under combined attack")
+	}
+	// Elevator: bounded badness around each fault; since faults exceed f
+	// we only demand total bad time stays under 3R (one R per fault).
+	bad := rep.TotalBadTime("elevator")
+	if bad > 3*rep.RNeeded {
+		t.Errorf("elevator bad time %v exceeds 3R = %v", bad, 3*rep.RNeeded)
+	}
+}
+
+// TestPlantClosedLoopUnderOmission runs the water tank with the actuator
+// replica silenced (omission) rather than corrupted: the second replica's
+// command keeps the valve working, the plant never notices.
+func TestPlantClosedLoopUnderOmission(t *testing.T) {
+	period := 50 * sim.Millisecond
+	horizon := uint64(150)
+	tank := plant.NewWaterTank()
+	loop := plant.NewLoop(tank, period, horizon)
+	g := flow.ControlLoop(period, flow.CritA)
+	s, err := core.NewSystem(core.Config{
+		Seed: 32, Workload: g,
+		Topology: network.FullMesh(6, 20_000_000, 50*sim.Microsecond),
+		PlanOpts: plan.DefaultOptions(1, sim.Second),
+		Compute:  loop.Compute, Source: loop.Source, Oracle: loop.Oracle,
+		Horizon: horizon,
+		OnActuation: func(node network.NodeID, sink flow.TaskID, p uint64, v []byte, at sim.Time) {
+			loop.Apply(p, v)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loop.Install(s.Kernel)
+	victim := s.Strategy.Plans[""].Assign["actuator#0"]
+	s.InjectAt(30*period, func(rt *runtime.System) {
+		rt.SetBehavior(victim, &runtime.Behavior{SkipActuation: true,
+			OnOutput: func(rec evidence.Record, consumer flow.TaskID) (evidence.Record, sim.Time, bool) {
+				if rec.Logical == "actuator" {
+					return rec, 0, false
+				}
+				return rec, 0, true
+			}})
+	})
+	rep := s.Run()
+	if loop.Violations != 0 {
+		t.Errorf("envelope violated under actuator omission: %d", loop.Violations)
+	}
+	if rep.MissedPeriods != 0 {
+		t.Errorf("missed %d periods despite replica redundancy", rep.MissedPeriods)
+	}
+	// Pressure regulated at the setpoint throughout.
+	if tank.Pressure > tank.Setpoint+1 || tank.Pressure < tank.Setpoint-1 {
+		t.Errorf("pressure drifted to %v", tank.Pressure)
+	}
+}
+
+// TestPendulumClosedLoopWithCrash exercises the tight-deadline plant with
+// a controller-node crash: control continuity through the surviving
+// replica, recovery and stability.
+func TestPendulumClosedLoopWithCrash(t *testing.T) {
+	period := 20 * sim.Millisecond
+	horizon := uint64(300)
+	pend := plant.NewInvertedPendulum()
+	loop := plant.NewLoop(pend, period, horizon)
+	g := flow.ControlLoop(period, flow.CritA)
+	s, err := core.NewSystem(core.Config{
+		Seed: 33, Workload: g,
+		Topology: network.FullMesh(6, 20_000_000, 50*sim.Microsecond),
+		PlanOpts: plan.DefaultOptions(1, sim.Second),
+		Compute:  loop.Compute, Source: loop.Source, Oracle: loop.Oracle,
+		Horizon: horizon,
+		OnActuation: func(node network.NodeID, sink flow.TaskID, p uint64, v []byte, at sim.Time) {
+			loop.Apply(p, v)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loop.Install(s.Kernel)
+	victim := s.Strategy.Plans[""].Assign["controller#0"]
+	Crash(victim, 50*period).Install(s)
+	rep := s.Run()
+	if loop.Violations != 0 {
+		t.Errorf("pendulum left envelope after controller crash: %d violations", loop.Violations)
+	}
+	if rep.MaxRecovery() > rep.RNeeded {
+		t.Errorf("recovery %v exceeds bound %v", rep.MaxRecovery(), rep.RNeeded)
+	}
+}

@@ -1,0 +1,151 @@
+package clock
+
+import (
+	"testing"
+	"testing/quick"
+
+	"btr/internal/sim"
+)
+
+func TestDriftClockAdvances(t *testing.T) {
+	c := NewDriftClock(100e-6, 0) // +100 ppm
+	if got := c.Read(0); got != 0 {
+		t.Errorf("Read(0) = %v", got)
+	}
+	// After 1 true second, local time is 1s + 100us.
+	if got := c.Read(sim.Second); got != sim.Second+100*sim.Microsecond {
+		t.Errorf("Read(1s) = %v", got)
+	}
+}
+
+func TestDriftClockNegativeDrift(t *testing.T) {
+	c := NewDriftClock(-50e-6, 10*sim.Millisecond)
+	got := c.Read(sim.Second)
+	want := sim.Second + 10*sim.Millisecond - 50*sim.Microsecond
+	if got != want {
+		t.Errorf("Read = %v, want %v", got, want)
+	}
+}
+
+func TestAdjustTo(t *testing.T) {
+	c := NewDriftClock(100e-6, 5*sim.Millisecond)
+	c.AdjustTo(sim.Second, sim.Second) // snap to true time
+	if got := c.Read(sim.Second); got != sim.Second {
+		t.Errorf("after adjust, Read = %v", got)
+	}
+	// Drift resumes from the new anchor.
+	if got := c.Read(2 * sim.Second); got != 2*sim.Second+100*sim.Microsecond {
+		t.Errorf("post-adjust drift wrong: %v", got)
+	}
+}
+
+func TestEnsembleConvergesWithoutFaults(t *testing.T) {
+	rng := sim.NewRNG(1)
+	e := NewEnsemble(rng, 4, 1, 50e-6, 5*sim.Millisecond)
+	interval := 100 * sim.Millisecond
+	// Initial skew can be up to 10ms; after a few rounds it must sit
+	// within the steady-state bound.
+	e.Run(0, interval, 5)
+	now := 5 * interval
+	bound := SkewBound(50e-6, interval)
+	// Run further rounds and check skew before each.
+	for r := 0; r < 20; r++ {
+		now += interval
+		if s := e.Skew(now); s > bound {
+			t.Fatalf("round %d: skew %v exceeds bound %v", r, s, bound)
+		}
+		e.SyncRound(now)
+	}
+}
+
+func TestEnsembleToleratesByzantineClock(t *testing.T) {
+	rng := sim.NewRNG(2)
+	e := NewEnsemble(rng, 4, 1, 50e-6, 2*sim.Millisecond)
+	// Node 0 reports a wildly wrong clock, alternating extremes.
+	flip := false
+	e.Byzantine[0] = func(now sim.Time) sim.Time {
+		flip = !flip
+		if flip {
+			return now + sim.Minute
+		}
+		return now - sim.Minute
+	}
+	interval := 100 * sim.Millisecond
+	e.Run(0, interval, 5) // settle
+	now := 5 * interval
+	bound := SkewBound(50e-6, interval)
+	for r := 0; r < 30; r++ {
+		now += interval
+		if s := e.Skew(now); s > bound {
+			t.Fatalf("round %d: Byzantine clock pushed skew to %v (bound %v)", r, s, bound)
+		}
+		e.SyncRound(now)
+	}
+}
+
+func TestEnsembleRequiresQuorum(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("n=3, f=1 should panic (needs 3f+1)")
+		}
+	}()
+	NewEnsemble(sim.NewRNG(1), 3, 1, 50e-6, 0)
+}
+
+func TestEnsemblePropertyBoundedSkew(t *testing.T) {
+	// For random ensembles with one Byzantine clock, steady-state skew
+	// stays within the analytic bound.
+	f := func(seed uint64) bool {
+		rng := sim.NewRNG(seed)
+		n := 4 + int(seed%5) // 4..8 nodes, f=1
+		e := NewEnsemble(rng, n, 1, 100e-6, 3*sim.Millisecond)
+		e.Byzantine[int(seed%uint64(n))] = func(now sim.Time) sim.Time {
+			return now + sim.Time(rng.Int63n(int64(sim.Minute))) - 30*sim.Second
+		}
+		interval := 50 * sim.Millisecond
+		e.Run(0, interval, 5) // settle
+		now := 5 * interval
+		bound := SkewBound(100e-6, interval)
+		for r := 0; r < 10; r++ {
+			now += interval
+			if e.Skew(now) > bound {
+				return false
+			}
+			e.SyncRound(now)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSkewBoundAndMargin(t *testing.T) {
+	b := SkewBound(50e-6, 100*sim.Millisecond)
+	if b <= 0 || b > sim.Millisecond {
+		t.Errorf("SkewBound = %v, expected small positive", b)
+	}
+	m := WatchdogMarginFor(50e-6, 100*sim.Millisecond, sim.Millisecond)
+	if m <= sim.Millisecond {
+		t.Errorf("margin %v should exceed the jitter alone", m)
+	}
+	// The default planner margin (2ms) dominates typical crystal drift
+	// synced every 100ms with 1ms network jitter — document the check
+	// that makes the runtime's perfect-clock assumption safe.
+	if m > 2*sim.Millisecond {
+		t.Errorf("margin %v exceeds the planner default of 2ms", m)
+	}
+}
+
+func TestWithoutSyncSkewGrows(t *testing.T) {
+	rng := sim.NewRNG(3)
+	e := NewEnsemble(rng, 4, 1, 100e-6, 0)
+	small := e.Skew(sim.Second)
+	big := e.Skew(10 * sim.Minute)
+	if big <= small {
+		t.Errorf("skew did not grow without sync: %v then %v", small, big)
+	}
+	if big <= 10*sim.Millisecond {
+		t.Errorf("after 10min at 100ppm, skew %v implausibly small", big)
+	}
+}

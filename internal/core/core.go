@@ -1,0 +1,319 @@
+// Package core assembles a complete BTR deployment — workload, topology,
+// offline strategy, per-node runtimes, and the correctness monitor — and
+// turns simulation runs into Reports.
+//
+// The monitor operationalizes Definition 3.1: the system's outputs (first
+// actuation command per logical sink per period) are compared against an
+// oracle ("the outputs of a system in which all nodes are correct") and
+// checked against their deadlines; the resulting per-sink correctness
+// timelines yield measured recovery intervals that experiments compare
+// with the strategy's provable bound R.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"btr/internal/evidence"
+	"btr/internal/flow"
+	"btr/internal/metrics"
+	"btr/internal/network"
+	"btr/internal/plan"
+	"btr/internal/runtime"
+	"btr/internal/sig"
+	"btr/internal/sim"
+)
+
+// Oracle returns the expected (correct) output value for a sink at a
+// period.
+type Oracle func(sink flow.TaskID, period uint64) []byte
+
+// Config describes one deployment.
+type Config struct {
+	Seed     uint64
+	Workload *flow.Graph
+	Topology *network.Topology
+	PlanOpts plan.Options
+	Net      network.Config
+
+	// Optional semantic overrides (plants install their own).
+	Compute runtime.TaskFunc
+	Source  runtime.SourceFunc
+	Oracle  Oracle
+
+	// Horizon is the number of periods to simulate.
+	Horizon uint64
+
+	// EvidenceRateLimit forwards to the runtime (0 = default).
+	EvidenceRateLimit int
+
+	// OnActuation, if set, observes every actuation command (a physical
+	// plant subscribes here; it should apply first-command-per-period
+	// semantics itself, as plant.Loop.Apply does).
+	OnActuation runtime.ActuationFunc
+}
+
+// System is an assembled deployment ready to run.
+type System struct {
+	Cfg      Config
+	Kernel   *sim.Kernel
+	Net      *network.Network
+	Registry *sig.Registry
+	Strategy *plan.Strategy
+	Runtime  *runtime.System
+
+	oracle Oracle
+	report *Report
+}
+
+// Report aggregates everything a run measured.
+type Report struct {
+	Horizon    sim.Time
+	Period     sim.Time
+	PerSink    map[flow.TaskID]*metrics.Timeline
+	SinkCrit   map[flow.TaskID]flow.Criticality
+	FaultTimes []sim.Time
+
+	Actuations    int
+	WrongValues   int
+	MissedPeriods int
+
+	EvidenceByKind  map[evidence.Kind]int
+	FirstEvidenceAt sim.Time
+	SwitchTimes     []sim.Time
+	NetStats        network.Stats
+	RNeeded         sim.Time
+}
+
+// NewSystem validates the config, runs the offline planner, and wires the
+// runtime. It does not start the clock; install faults, then call Run.
+func NewSystem(cfg Config) (*System, error) {
+	if cfg.Horizon == 0 {
+		cfg.Horizon = 40
+	}
+	if cfg.Net.EvidenceShare == 0 && cfg.Net.LossProb == 0 {
+		cfg.Net = network.DefaultConfig()
+	}
+	strategy, err := plan.Build(cfg.Workload, cfg.Topology, cfg.PlanOpts)
+	if err != nil {
+		return nil, fmt.Errorf("core: planning failed: %w", err)
+	}
+	k := sim.NewKernel(cfg.Seed)
+	nw := network.New(k, cfg.Topology, cfg.Net)
+	reg := sig.NewRegistry(cfg.Seed, cfg.Topology.N)
+
+	s := &System{
+		Cfg: cfg, Kernel: k, Net: nw, Registry: reg, Strategy: strategy,
+	}
+	source := cfg.Source
+	if source == nil {
+		source = evidence.SourceValue
+	}
+	s.oracle = cfg.Oracle
+	if s.oracle == nil {
+		s.oracle = HashOracle(cfg.Workload, source)
+	}
+	rep := &Report{
+		Horizon:         sim.Time(cfg.Horizon) * cfg.Workload.Period,
+		Period:          cfg.Workload.Period,
+		PerSink:         map[flow.TaskID]*metrics.Timeline{},
+		SinkCrit:        map[flow.TaskID]flow.Criticality{},
+		EvidenceByKind:  map[evidence.Kind]int{},
+		FirstEvidenceAt: sim.Never,
+		RNeeded:         strategy.RNeeded,
+	}
+	for _, sk := range cfg.Workload.Sinks() {
+		rep.PerSink[sk] = metrics.NewTimeline(0, true)
+		rep.SinkCrit[sk] = cfg.Workload.Tasks[sk].Crit
+	}
+	s.report = rep
+
+	first := map[string]bool{} // first actuation per (sink, period)
+	got := map[string][]byte{}
+	s.Runtime = runtime.New(runtime.Config{
+		Kernel: k, Net: nw, Registry: reg, Strategy: strategy,
+		Compute: cfg.Compute, Source: source,
+		EvidenceRateLimit: cfg.EvidenceRateLimit,
+		OnActuation: func(node network.NodeID, sink flow.TaskID, period uint64, value []byte, at sim.Time) {
+			rep.Actuations++
+			if cfg.OnActuation != nil {
+				cfg.OnActuation(node, sink, period, value, at)
+			}
+			key := fmt.Sprintf("%s|%d", sink, period)
+			if first[key] {
+				return // the plant acts on the first command only
+			}
+			first[key] = true
+			got[key] = append([]byte(nil), value...)
+		},
+		OnEvidence: func(node network.NodeID, ev evidence.Evidence, at sim.Time) {
+			rep.EvidenceByKind[ev.Kind]++
+			if at < rep.FirstEvidenceAt {
+				rep.FirstEvidenceAt = at
+			}
+		},
+		OnSwitch: func(node network.NodeID, from, to string, at sim.Time) {
+			rep.SwitchTimes = append(rep.SwitchTimes, at)
+		},
+	})
+
+	// Schedule the per-period deadline checks for every sink.
+	period := cfg.Workload.Period
+	for p := uint64(0); p < cfg.Horizon; p++ {
+		p := p
+		for _, sk := range cfg.Workload.Sinks() {
+			sk := sk
+			deadline := sim.Time(p)*period + cfg.Workload.Tasks[sk].Deadline
+			k.At(deadline, func() {
+				key := fmt.Sprintf("%s|%d", sk, p)
+				v, present := got[key]
+				ok := present && string(v) == string(s.oracle(sk, p))
+				if !present {
+					rep.MissedPeriods++
+				} else if !ok {
+					rep.WrongValues++
+				}
+				rep.PerSink[sk].Set(deadline, ok)
+			})
+		}
+	}
+	return s, nil
+}
+
+// InjectAt schedules a fault injection and records its time for recovery
+// attribution. The callback receives the runtime to install behaviors or
+// crashes.
+func (s *System) InjectAt(t sim.Time, f func(*runtime.System)) {
+	s.report.FaultTimes = append(s.report.FaultTimes, t)
+	s.Kernel.At(t, func() { f(s.Runtime) })
+}
+
+// Run starts the runtime and simulates the configured horizon, returning
+// the report.
+func (s *System) Run() *Report {
+	s.Runtime.Start()
+	s.Kernel.Run(s.report.Horizon)
+	s.report.NetStats = s.Net.Stats
+	return s.report
+}
+
+// HashOracle builds the default oracle by recursively evaluating the base
+// dataflow graph on the (deterministic) environment samples.
+func HashOracle(g *flow.Graph, source runtime.SourceFunc) Oracle {
+	type key struct {
+		task   flow.TaskID
+		period uint64
+	}
+	memo := map[key][]byte{}
+	var eval func(task flow.TaskID, p uint64) []byte
+	eval = func(task flow.TaskID, p uint64) []byte {
+		k := key{task, p}
+		if v, ok := memo[k]; ok {
+			return v
+		}
+		t := g.Tasks[task]
+		var v []byte
+		if t.Source {
+			v = source(task, p)
+		} else {
+			var ins []evidence.Record
+			for _, e := range g.Inputs(task) {
+				ins = append(ins, evidence.Record{Logical: e.From, Value: eval(e.From, p)})
+			}
+			v = evidence.HashCompute(task, p, ins)
+		}
+		memo[k] = v
+		return v
+	}
+	return func(sink flow.TaskID, p uint64) []byte { return eval(sink, p) }
+}
+
+// --- Report analysis -------------------------------------------------------
+
+// BadIntervals returns the merged intervals during which any of the given
+// sinks (all sinks if none specified) produced incorrect output.
+func (r *Report) BadIntervals(sinks ...flow.TaskID) []metrics.Interval {
+	if len(sinks) == 0 {
+		for sk := range r.PerSink {
+			sinks = append(sinks, sk)
+		}
+		sort.Slice(sinks, func(i, j int) bool { return sinks[i] < sinks[j] })
+	}
+	var all []metrics.Interval
+	for _, sk := range sinks {
+		if tl := r.PerSink[sk]; tl != nil {
+			all = append(all, tl.FalseIntervals(r.Horizon)...)
+		}
+	}
+	return MergeIntervals(all)
+}
+
+// SinksAtOrAbove lists the report's sinks with criticality c or higher.
+func (r *Report) SinksAtOrAbove(c flow.Criticality) []flow.TaskID {
+	var out []flow.TaskID
+	for sk, crit := range r.SinkCrit {
+		if crit <= c {
+			out = append(out, sk)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Recoveries pairs the run's fault injections with the bad intervals of
+// the given sinks (all if none).
+func (r *Report) Recoveries(sinks ...flow.TaskID) []metrics.Recovery {
+	return metrics.MatchRecoveries(append([]sim.Time(nil), r.FaultTimes...), r.BadIntervals(sinks...))
+}
+
+// MaxRecovery returns the worst measured recovery over the given sinks.
+func (r *Report) MaxRecovery(sinks ...flow.TaskID) sim.Time {
+	var max sim.Time
+	for _, rec := range r.Recoveries(sinks...) {
+		if rec.Duration() > max {
+			max = rec.Duration()
+		}
+	}
+	return max
+}
+
+// TotalBadTime sums incorrect-output time across the given sinks' merged
+// intervals.
+func (r *Report) TotalBadTime(sinks ...flow.TaskID) sim.Time {
+	var sum sim.Time
+	for _, iv := range r.BadIntervals(sinks...) {
+		sum += iv.Duration()
+	}
+	return sum
+}
+
+// EvidenceTotal counts all evidence observations.
+func (r *Report) EvidenceTotal() int {
+	n := 0
+	for _, c := range r.EvidenceByKind {
+		n += c
+	}
+	return n
+}
+
+// MergeIntervals merges overlapping/adjacent intervals into a minimal
+// sorted set.
+func MergeIntervals(ivs []metrics.Interval) []metrics.Interval {
+	if len(ivs) == 0 {
+		return nil
+	}
+	sorted := append([]metrics.Interval(nil), ivs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Start < sorted[j].Start })
+	out := []metrics.Interval{sorted[0]}
+	for _, iv := range sorted[1:] {
+		last := &out[len(out)-1]
+		if iv.Start <= last.End {
+			if iv.End > last.End {
+				last.End = iv.End
+			}
+			continue
+		}
+		out = append(out, iv)
+	}
+	return out
+}

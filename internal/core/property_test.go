@@ -1,0 +1,133 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"btr/internal/evidence"
+	"btr/internal/flow"
+	"btr/internal/network"
+	"btr/internal/plan"
+	"btr/internal/runtime"
+	"btr/internal/sim"
+)
+
+// buildRandomSystem draws a random feasible deployment, or nil if the draw
+// is structurally infeasible.
+func buildRandomSystem(seed uint64) *System {
+	rng := sim.NewRNG(seed)
+	g := flow.Random(rng, 40*sim.Millisecond, flow.RandomOpts{
+		Layers:      2 + rng.Intn(2),
+		Width:       1 + rng.Intn(2),
+		EdgeProb:    0.3,
+		MinWCET:     200 * sim.Microsecond,
+		MaxWCET:     800 * sim.Microsecond,
+		MinBytes:    32,
+		MaxBytes:    128,
+		StateBytes:  256,
+		DeadlineFrc: 1.0,
+	})
+	topo := network.FullMesh(6+rng.Intn(3), 20_000_000, 50*sim.Microsecond)
+	s, err := NewSystem(Config{
+		Seed:     seed,
+		Workload: g,
+		Topology: topo,
+		PlanOpts: plan.DefaultOptions(1, sim.Second),
+		Horizon:  30,
+	})
+	if err != nil {
+		return nil
+	}
+	return s
+}
+
+func TestPropertyFaultFreeRandomWorkloads(t *testing.T) {
+	// Any feasible random deployment runs fault-free with zero wrong
+	// values, zero missed periods, zero evidence — end to end through
+	// the planner, scheduler, runtime, network, and monitor.
+	f := func(seed uint64) bool {
+		s := buildRandomSystem(seed)
+		if s == nil {
+			return true
+		}
+		rep := s.Run()
+		return rep.WrongValues == 0 && rep.MissedPeriods == 0 && rep.EvidenceTotal() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyRandomFaultRecoversWithinR(t *testing.T) {
+	// The headline theorem, property-tested: a random Byzantine fault
+	// (crash / corrupt-everything / omission on a random node) never
+	// produces incorrect output outside the derived bound R.
+	f := func(seed uint64) bool {
+		s := buildRandomSystem(seed)
+		if s == nil {
+			return true
+		}
+		rng := sim.NewRNG(seed ^ 0xfa417)
+		victim := network.NodeID(rng.Intn(s.Cfg.Topology.N))
+		faultAt := 4 * s.Cfg.Workload.Period
+		switch rng.Intn(3) {
+		case 0:
+			s.InjectAt(faultAt, func(rt *runtime.System) { rt.Crash(victim) })
+		case 1:
+			s.InjectAt(faultAt, func(rt *runtime.System) {
+				rt.SetBehavior(victim, &runtime.Behavior{
+					OnOutput: func(rec evidence.Record, consumer flow.TaskID) (evidence.Record, sim.Time, bool) {
+						rec.Value = append([]byte("z"), rec.Value...)
+						return rec, 0, true
+					},
+				})
+			})
+		default:
+			s.InjectAt(faultAt, func(rt *runtime.System) {
+				rt.SetBehavior(victim, &runtime.Behavior{
+					OnOutput: func(rec evidence.Record, consumer flow.TaskID) (evidence.Record, sim.Time, bool) {
+						return rec, 0, false
+					},
+				})
+			})
+		}
+		rep := s.Run()
+		return rep.MaxRecovery() <= rep.RNeeded
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyReportInternallyConsistent(t *testing.T) {
+	// TotalBadTime equals the sum of merged bad intervals; recoveries
+	// never start before their fault.
+	f := func(seed uint64) bool {
+		s := buildRandomSystem(seed)
+		if s == nil {
+			return true
+		}
+		victim := network.NodeID(int(seed % uint64(s.Cfg.Topology.N)))
+		s.InjectAt(4*s.Cfg.Workload.Period, func(rt *runtime.System) { rt.Crash(victim) })
+		rep := s.Run()
+		var sum sim.Time
+		for _, iv := range rep.BadIntervals() {
+			if iv.End <= iv.Start {
+				return false
+			}
+			sum += iv.Duration()
+		}
+		if sum != rep.TotalBadTime() {
+			return false
+		}
+		for _, rec := range rep.Recoveries() {
+			if rec.RecoverAt < rec.FaultAt {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}

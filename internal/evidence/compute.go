@@ -1,0 +1,58 @@
+package evidence
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sort"
+
+	"btr/internal/flow"
+)
+
+// HashCompute is the canonical deterministic task function used for
+// generic (non-plant) workloads: the output value of a task is a hash of
+// its identity, the period, and its input values (sorted by producing
+// logical task so replica arrival order does not matter). Both the runtime
+// (to execute tasks) and validators (to re-execute them for wrong-output
+// proofs) use this same function, which is what makes commission faults
+// attributable.
+func HashCompute(task flow.TaskID, period uint64, inputs []Record) []byte {
+	sorted := append([]Record(nil), inputs...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Logical != sorted[j].Logical {
+			return sorted[i].Logical < sorted[j].Logical
+		}
+		return sorted[i].Producer < sorted[j].Producer
+	})
+	h := sha256.New()
+	h.Write([]byte(task))
+	var pb [8]byte
+	binary.LittleEndian.PutUint64(pb[:], period)
+	h.Write(pb[:])
+	// Deduplicate replicas of the same logical input: replicas carry the
+	// same value when correct, and the consumer computes from one value
+	// per logical input.
+	var lastLogical flow.TaskID
+	for i, in := range sorted {
+		if i > 0 && in.Logical == lastLogical {
+			continue
+		}
+		lastLogical = in.Logical
+		h.Write([]byte(in.Logical))
+		h.Write(in.Value)
+	}
+	return h.Sum(nil)[:16]
+}
+
+// SourceValue is the canonical deterministic environment sample: all
+// replicas of a source observe the same physical world, modeled as a hash
+// of the logical source ID and the period. (Plant-backed workloads replace
+// this with real sensor readings.)
+func SourceValue(task flow.TaskID, period uint64) []byte {
+	h := sha256.New()
+	h.Write([]byte("env:"))
+	h.Write([]byte(task))
+	var pb [8]byte
+	binary.LittleEndian.PutUint64(pb[:], period)
+	h.Write(pb[:])
+	return h.Sum(nil)[:16]
+}

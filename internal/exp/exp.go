@@ -1,0 +1,103 @@
+// Package exp implements the reproduction experiments E1–E10 (see
+// DESIGN.md §3 and EXPERIMENTS.md). "Fault Tolerance and the Five-Second
+// Rule" is a HotOS position paper without numbered tables or figures, so
+// each experiment regenerates one of its quantitative *claims*; the tables
+// printed here are the repository's equivalent of the paper's evaluation.
+//
+// Every experiment is deterministic given its seed and returns plain-text
+// tables; cmd/btrbench prints them all, and bench_test.go wraps each in a
+// testing.B benchmark.
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"btr/internal/core"
+	"btr/internal/flow"
+	"btr/internal/metrics"
+	"btr/internal/network"
+	"btr/internal/plan"
+	"btr/internal/sim"
+)
+
+// Result is one experiment's output.
+type Result struct {
+	ID     string
+	Claim  string // the paper claim being reproduced
+	Tables []*metrics.Table
+}
+
+// Experiment is a runnable experiment definition.
+type Experiment struct {
+	ID  string
+	Run func(seed uint64, quick bool) Result
+}
+
+// All lists every experiment in order.
+func All() []Experiment {
+	return []Experiment{
+		{"E1", E1Recovery},
+		{"E2", E2ReplicaCost},
+		{"E3", E3ClockFrequency},
+		{"E4", E4Staggered},
+		{"E5", E5MixedCriticality},
+		{"E6", E6EvidenceDoS},
+		{"E7", E7Planner},
+		{"E8", E8ModeChange},
+		{"E9", E9FiveSecondRule},
+		{"E10", E10Baselines},
+	}
+}
+
+// RunAll executes every experiment and writes the tables to w.
+func RunAll(w io.Writer, seed uint64, quick bool) {
+	for _, e := range All() {
+		res := e.Run(seed, quick)
+		fmt.Fprintf(w, "---- %s: %s ----\n", res.ID, res.Claim)
+		for _, t := range res.Tables {
+			fmt.Fprintln(w, t.String())
+		}
+	}
+}
+
+// --- shared fixtures --------------------------------------------------------
+
+// chainSystem builds the standard 3-task chain deployment.
+func chainSystem(seed uint64, f, nodes int, horizon uint64) (*core.System, error) {
+	return core.NewSystem(core.Config{
+		Seed:     seed,
+		Workload: flow.Chain(3, 25*sim.Millisecond, sim.Millisecond, 64, flow.CritA),
+		Topology: network.FullMesh(nodes, 20_000_000, 50*sim.Microsecond),
+		PlanOpts: plan.DefaultOptions(f, 500*sim.Millisecond),
+		Horizon:  horizon,
+	})
+}
+
+// firstActuatingSinkNode returns the node whose sink replica actuates
+// first in the base plan (ties resolved by node scheduling order) — the
+// replica whose corruption is externally visible.
+func firstActuatingSinkNode(s *core.System, sink flow.TaskID) network.NodeID {
+	base := s.Strategy.Plans[""]
+	bestNode := network.NodeID(-1)
+	var bestFinish sim.Time
+	for _, id := range base.Aug.TaskIDs() {
+		logical, _ := plan.SplitReplica(id)
+		if logical != sink {
+			continue
+		}
+		fin := base.Table.Finish[id]
+		node := base.Assign[id]
+		if bestNode == -1 || fin < bestFinish || (fin == bestFinish && node < bestNode) {
+			bestNode, bestFinish = node, fin
+		}
+	}
+	return bestNode
+}
+
+func boolMark(ok bool) string {
+	if ok {
+		return "yes"
+	}
+	return "NO"
+}

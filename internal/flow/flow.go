@@ -1,0 +1,330 @@
+// Package flow models the paper's workload (§2.1): "a static, periodic
+// workload that can be described as a dataflow graph". The system has a
+// period P and releases a set of tasks during each period; each task
+// requires inputs from sources and/or other tasks and sends at least one
+// output to a sink or another task. Each sink output has a criticality
+// level and a deadline by which it must arrive.
+package flow
+
+import (
+	"fmt"
+	"sort"
+
+	"btr/internal/sim"
+)
+
+// TaskID names a task. Replica tasks derive IDs from the original
+// ("ctrl" -> "ctrl#1"), which the plan package manages.
+type TaskID string
+
+// Criticality orders tasks by importance, highest first — modeled on
+// avionics design-assurance levels. When a degraded mode is not
+// schedulable, the planner sheds tasks from the lowest level upward (§4.1).
+type Criticality int
+
+const (
+	// CritA is the highest level (e.g., flight control).
+	CritA Criticality = iota
+	// CritB is high (e.g., engine/pressure monitoring).
+	CritB
+	// CritC is medium (e.g., navigation display).
+	CritC
+	// CritD is the lowest (e.g., in-flight entertainment).
+	CritD
+	// NumCrits is the number of criticality levels.
+	NumCrits
+)
+
+func (c Criticality) String() string {
+	switch c {
+	case CritA:
+		return "A"
+	case CritB:
+		return "B"
+	case CritC:
+		return "C"
+	case CritD:
+		return "D"
+	default:
+		return fmt.Sprintf("crit(%d)", int(c))
+	}
+}
+
+// Task is one node of the dataflow graph.
+type Task struct {
+	ID   TaskID
+	WCET sim.Time    // worst-case execution time per period
+	Crit Criticality // criticality level
+	// StateBytes is internal state that must migrate when the task is
+	// reassigned to a different node during a mode change (§4.1: "extra
+	// reassignments consume resources, e.g., bandwidth for transferring
+	// state, and can thus prolong recovery").
+	StateBytes int64
+	// Source tasks sample the physical world (no dataflow inputs);
+	// Sink tasks actuate it (no dataflow outputs).
+	Source, Sink bool
+	// Deadline, for sinks, is the offset within each period by which the
+	// sink's actuation must happen. Zero for non-sinks.
+	Deadline sim.Time
+}
+
+// Edge is a directed dataflow dependency carrying Bytes per period.
+type Edge struct {
+	From, To TaskID
+	Bytes    int64
+}
+
+// Graph is a validated periodic dataflow workload.
+type Graph struct {
+	Name   string
+	Period sim.Time
+	Tasks  map[TaskID]*Task
+	Edges  []Edge
+
+	ins, outs map[TaskID][]Edge
+	topo      []TaskID
+}
+
+// NewGraph returns an empty graph with the given period.
+func NewGraph(name string, period sim.Time) *Graph {
+	return &Graph{
+		Name:   name,
+		Period: period,
+		Tasks:  map[TaskID]*Task{},
+		ins:    map[TaskID][]Edge{},
+		outs:   map[TaskID][]Edge{},
+	}
+}
+
+// AddTask inserts t. It panics on duplicate IDs (workloads are static
+// configuration).
+func (g *Graph) AddTask(t Task) *Task {
+	if t.ID == "" {
+		panic("flow: empty task ID")
+	}
+	if _, dup := g.Tasks[t.ID]; dup {
+		panic(fmt.Sprintf("flow: duplicate task %q", t.ID))
+	}
+	cp := t
+	g.Tasks[t.ID] = &cp
+	g.topo = nil
+	return &cp
+}
+
+// Connect adds a dataflow edge carrying bytes per period.
+func (g *Graph) Connect(from, to TaskID, bytes int64) {
+	if _, ok := g.Tasks[from]; !ok {
+		panic(fmt.Sprintf("flow: edge from unknown task %q", from))
+	}
+	if _, ok := g.Tasks[to]; !ok {
+		panic(fmt.Sprintf("flow: edge to unknown task %q", to))
+	}
+	e := Edge{From: from, To: to, Bytes: bytes}
+	g.Edges = append(g.Edges, e)
+	g.ins[to] = append(g.ins[to], e)
+	g.outs[from] = append(g.outs[from], e)
+	g.topo = nil
+}
+
+// Inputs returns the edges feeding id.
+func (g *Graph) Inputs(id TaskID) []Edge { return g.ins[id] }
+
+// Outputs returns the edges leaving id.
+func (g *Graph) Outputs(id TaskID) []Edge { return g.outs[id] }
+
+// Sources returns source task IDs, sorted.
+func (g *Graph) Sources() []TaskID { return g.filter(func(t *Task) bool { return t.Source }) }
+
+// Sinks returns sink task IDs, sorted.
+func (g *Graph) Sinks() []TaskID { return g.filter(func(t *Task) bool { return t.Sink }) }
+
+func (g *Graph) filter(pred func(*Task) bool) []TaskID {
+	var out []TaskID
+	for id, t := range g.Tasks {
+		if pred(t) {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// TaskIDs returns all task IDs, sorted (deterministic iteration order).
+func (g *Graph) TaskIDs() []TaskID { return g.filter(func(*Task) bool { return true }) }
+
+// TopoOrder returns tasks in a deterministic topological order (Kahn's
+// algorithm with lexicographic tie-break). It panics if the graph has a
+// cycle; call Validate first on untrusted input.
+func (g *Graph) TopoOrder() []TaskID {
+	if g.topo != nil {
+		return g.topo
+	}
+	indeg := map[TaskID]int{}
+	for id := range g.Tasks {
+		indeg[id] = len(g.ins[id])
+	}
+	var ready []TaskID
+	for id, d := range indeg {
+		if d == 0 {
+			ready = append(ready, id)
+		}
+	}
+	sort.Slice(ready, func(i, j int) bool { return ready[i] < ready[j] })
+	var order []TaskID
+	for len(ready) > 0 {
+		id := ready[0]
+		ready = ready[1:]
+		order = append(order, id)
+		var unlocked []TaskID
+		for _, e := range g.outs[id] {
+			indeg[e.To]--
+			if indeg[e.To] == 0 {
+				unlocked = append(unlocked, e.To)
+			}
+		}
+		sort.Slice(unlocked, func(i, j int) bool { return unlocked[i] < unlocked[j] })
+		// Merge keeping ready sorted.
+		ready = append(ready, unlocked...)
+		sort.Slice(ready, func(i, j int) bool { return ready[i] < ready[j] })
+	}
+	if len(order) != len(g.Tasks) {
+		panic("flow: dataflow graph has a cycle")
+	}
+	g.topo = order
+	return order
+}
+
+// Validate checks structural invariants and returns a descriptive error
+// for the first violation found.
+func (g *Graph) Validate() error {
+	if g.Period <= 0 {
+		return fmt.Errorf("flow: non-positive period %v", g.Period)
+	}
+	if len(g.Tasks) == 0 {
+		return fmt.Errorf("flow: empty graph")
+	}
+	for id, t := range g.Tasks {
+		if t.WCET <= 0 {
+			return fmt.Errorf("flow: task %q has non-positive WCET", id)
+		}
+		if t.WCET > g.Period {
+			return fmt.Errorf("flow: task %q WCET %v exceeds period %v", id, t.WCET, g.Period)
+		}
+		if t.StateBytes < 0 {
+			return fmt.Errorf("flow: task %q has negative state", id)
+		}
+		if t.Crit < CritA || t.Crit > CritD {
+			return fmt.Errorf("flow: task %q has invalid criticality %d", id, t.Crit)
+		}
+		if t.Source && len(g.ins[id]) > 0 {
+			return fmt.Errorf("flow: source %q has inputs", id)
+		}
+		if !t.Source && len(g.ins[id]) == 0 {
+			return fmt.Errorf("flow: non-source %q has no inputs", id)
+		}
+		if t.Sink && len(g.outs[id]) > 0 {
+			return fmt.Errorf("flow: sink %q has outputs", id)
+		}
+		if !t.Sink && len(g.outs[id]) == 0 {
+			return fmt.Errorf("flow: non-sink %q has no outputs", id)
+		}
+		if t.Sink {
+			if t.Deadline <= 0 || t.Deadline > g.Period {
+				return fmt.Errorf("flow: sink %q deadline %v outside (0, period]", id, t.Deadline)
+			}
+		}
+	}
+	for _, e := range g.Edges {
+		if e.Bytes <= 0 {
+			return fmt.Errorf("flow: edge %s->%s carries %d bytes", e.From, e.To, e.Bytes)
+		}
+	}
+	// Acyclicity: TopoOrder panics on cycles; convert to error.
+	err := func() (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("%v", r)
+			}
+		}()
+		g.TopoOrder()
+		return nil
+	}()
+	return err
+}
+
+// Clone returns a deep copy (tasks and edges).
+func (g *Graph) Clone() *Graph {
+	c := NewGraph(g.Name, g.Period)
+	for _, id := range g.TaskIDs() {
+		c.AddTask(*g.Tasks[id])
+	}
+	for _, e := range g.Edges {
+		c.Connect(e.From, e.To, e.Bytes)
+	}
+	return c
+}
+
+// TotalWCET sums per-period execution demand over all tasks.
+func (g *Graph) TotalWCET() sim.Time {
+	var sum sim.Time
+	for _, t := range g.Tasks {
+		sum += t.WCET
+	}
+	return sum
+}
+
+// TasksAtOrAbove returns IDs with criticality c or more critical, sorted.
+func (g *Graph) TasksAtOrAbove(c Criticality) []TaskID {
+	return g.filter(func(t *Task) bool { return t.Crit <= c })
+}
+
+// CritPath returns the longest WCET-weighted path (ignoring network
+// delays); a quick lower bound on achievable end-to-end latency.
+func (g *Graph) CritPath() sim.Time {
+	longest := map[TaskID]sim.Time{}
+	var max sim.Time
+	for _, id := range g.TopoOrder() {
+		best := sim.Time(0)
+		for _, e := range g.ins[id] {
+			if longest[e.From] > best {
+				best = longest[e.From]
+			}
+		}
+		longest[id] = best + g.Tasks[id].WCET
+		if longest[id] > max {
+			max = longest[id]
+		}
+	}
+	return max
+}
+
+// SinkOf returns, for each task, the set of sinks reachable from it. The
+// planner uses this to propagate deadlines and to decide which sink
+// outputs a fault on a given task can corrupt.
+func (g *Graph) SinkOf() map[TaskID][]TaskID {
+	reach := map[TaskID]map[TaskID]bool{}
+	order := g.TopoOrder()
+	for i := len(order) - 1; i >= 0; i-- {
+		id := order[i]
+		set := map[TaskID]bool{}
+		if g.Tasks[id].Sink {
+			set[id] = true
+		}
+		for _, e := range g.outs[id] {
+			for s := range reach[e.To] {
+				set[s] = true
+			}
+		}
+		reach[id] = set
+	}
+	out := map[TaskID][]TaskID{}
+	for id, set := range reach {
+		var sinks []TaskID
+		for s := range set {
+			sinks = append(sinks, s)
+		}
+		sort.Slice(sinks, func(i, j int) bool { return sinks[i] < sinks[j] })
+		out[id] = sinks
+	}
+	return out
+}

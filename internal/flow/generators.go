@@ -1,0 +1,233 @@
+package flow
+
+import (
+	"fmt"
+
+	"btr/internal/sim"
+)
+
+// Chain builds a linear pipeline src -> w1 -> ... -> w(n-2) -> sink with
+// uniform WCET, message size, and criticality. Useful as the simplest
+// non-trivial workload.
+func Chain(n int, period, wcet sim.Time, bytes int64, crit Criticality) *Graph {
+	if n < 2 {
+		panic("flow: chain needs n >= 2")
+	}
+	g := NewGraph(fmt.Sprintf("chain-%d", n), period)
+	for i := 0; i < n; i++ {
+		t := Task{
+			ID:         TaskID(fmt.Sprintf("c%d", i)),
+			WCET:       wcet,
+			Crit:       crit,
+			StateBytes: 256,
+		}
+		switch i {
+		case 0:
+			t.Source = true
+		case n - 1:
+			t.Sink = true
+			t.Deadline = period
+		}
+		g.AddTask(t)
+	}
+	for i := 0; i < n-1; i++ {
+		g.Connect(TaskID(fmt.Sprintf("c%d", i)), TaskID(fmt.Sprintf("c%d", i+1)), bytes)
+	}
+	return g
+}
+
+// ForkJoin builds src -> {w1..wK} -> join -> sink: one sensor fanned out to
+// K parallel workers whose results are fused.
+func ForkJoin(k int, period, wcet sim.Time, bytes int64, crit Criticality) *Graph {
+	if k < 1 {
+		panic("flow: fork-join needs k >= 1")
+	}
+	g := NewGraph(fmt.Sprintf("forkjoin-%d", k), period)
+	g.AddTask(Task{ID: "src", WCET: wcet, Crit: crit, Source: true, StateBytes: 128})
+	for i := 0; i < k; i++ {
+		g.AddTask(Task{ID: TaskID(fmt.Sprintf("w%d", i)), WCET: wcet, Crit: crit, StateBytes: 512})
+	}
+	g.AddTask(Task{ID: "join", WCET: wcet, Crit: crit, StateBytes: 512})
+	g.AddTask(Task{ID: "sink", WCET: wcet, Crit: crit, Sink: true, Deadline: period, StateBytes: 64})
+	for i := 0; i < k; i++ {
+		id := TaskID(fmt.Sprintf("w%d", i))
+		g.Connect("src", id, bytes)
+		g.Connect(id, "join", bytes)
+	}
+	g.Connect("join", "sink", bytes)
+	return g
+}
+
+// Avionics builds the mixed-criticality workload the paper's introduction
+// motivates: "the CPS on an airplane might run flight control and the
+// in-flight entertainment system". Four subsystems at four criticality
+// levels share the platform:
+//
+//	A: gyro+airspeed -> fc.filter -> fc.law -> elevator   (flight control)
+//	B: pressure -> eng.monitor -> valve                    (engine protection)
+//	C: gyro+airspeed -> nav.fuse -> display                (navigation)
+//	D: media -> ife.decode -> cabin                        (entertainment)
+//
+// Periods and WCETs are chosen so the whole suite fits on a handful of
+// embedded nodes with headroom for f+1 replication but not for 3f+1.
+func Avionics(period sim.Time) *Graph {
+	g := NewGraph("avionics", period)
+	ms := func(x float64) sim.Time { return sim.Time(x * float64(sim.Millisecond)) }
+
+	// Sensors (sources).
+	g.AddTask(Task{ID: "gyro", WCET: ms(0.4), Crit: CritA, Source: true, StateBytes: 64})
+	g.AddTask(Task{ID: "airspeed", WCET: ms(0.4), Crit: CritA, Source: true, StateBytes: 64})
+	g.AddTask(Task{ID: "pressure", WCET: ms(0.4), Crit: CritB, Source: true, StateBytes: 64})
+	g.AddTask(Task{ID: "media", WCET: ms(1.5), Crit: CritD, Source: true, StateBytes: 4096})
+
+	// Flight control (criticality A, tightest deadline).
+	g.AddTask(Task{ID: "fc.filter", WCET: ms(0.8), Crit: CritA, StateBytes: 1024})
+	g.AddTask(Task{ID: "fc.law", WCET: ms(1.0), Crit: CritA, StateBytes: 2048})
+	g.AddTask(Task{ID: "elevator", WCET: ms(0.3), Crit: CritA, Sink: true, Deadline: period * 6 / 10, StateBytes: 64})
+
+	// Engine/pressure protection (criticality B).
+	g.AddTask(Task{ID: "eng.monitor", WCET: ms(0.7), Crit: CritB, StateBytes: 512})
+	g.AddTask(Task{ID: "valve", WCET: ms(0.3), Crit: CritB, Sink: true, Deadline: period * 7 / 10, StateBytes: 64})
+
+	// Navigation (criticality C).
+	g.AddTask(Task{ID: "nav.fuse", WCET: ms(1.2), Crit: CritC, StateBytes: 2048})
+	g.AddTask(Task{ID: "display", WCET: ms(0.4), Crit: CritC, Sink: true, Deadline: period, StateBytes: 128})
+
+	// In-flight entertainment (criticality D, bulky traffic).
+	g.AddTask(Task{ID: "ife.decode", WCET: ms(2.0), Crit: CritD, StateBytes: 8192})
+	g.AddTask(Task{ID: "cabin", WCET: ms(0.5), Crit: CritD, Sink: true, Deadline: period, StateBytes: 256})
+
+	g.Connect("gyro", "fc.filter", 64)
+	g.Connect("airspeed", "fc.filter", 64)
+	g.Connect("fc.filter", "fc.law", 128)
+	g.Connect("fc.law", "elevator", 64)
+
+	g.Connect("pressure", "eng.monitor", 64)
+	g.Connect("eng.monitor", "valve", 64)
+
+	g.Connect("gyro", "nav.fuse", 64)
+	g.Connect("airspeed", "nav.fuse", 64)
+	g.Connect("nav.fuse", "display", 256)
+
+	g.Connect("media", "ife.decode", 4096)
+	g.Connect("ife.decode", "cabin", 2048)
+	return g
+}
+
+// ControlLoop builds the minimal sensor->controller->actuator loop used by
+// the plant experiments (E9): one source sampling the plant, a controller
+// computing the actuation command, and a sink applying it.
+func ControlLoop(period sim.Time, crit Criticality) *Graph {
+	g := NewGraph("controlloop", period)
+	g.AddTask(Task{ID: "sensor", WCET: period / 50, Crit: crit, Source: true, StateBytes: 64})
+	g.AddTask(Task{ID: "controller", WCET: period / 20, Crit: crit, StateBytes: 512})
+	g.AddTask(Task{ID: "actuator", WCET: period / 50, Crit: crit, Sink: true, Deadline: period / 2, StateBytes: 64})
+	g.Connect("sensor", "controller", 64)
+	g.Connect("controller", "actuator", 64)
+	return g
+}
+
+// RandomOpts parameterizes Random.
+type RandomOpts struct {
+	Layers      int     // DAG depth (>= 2: sources + sinks)
+	Width       int     // tasks per inner layer
+	EdgeProb    float64 // probability of an edge between adjacent layers beyond the spanning one
+	MinWCET     sim.Time
+	MaxWCET     sim.Time
+	MinBytes    int64
+	MaxBytes    int64
+	StateBytes  int64
+	DeadlineFrc float64 // sink deadline as a fraction of the period
+}
+
+// DefaultRandomOpts returns moderate defaults for planner stress tests.
+func DefaultRandomOpts() RandomOpts {
+	return RandomOpts{
+		Layers:      4,
+		Width:       3,
+		EdgeProb:    0.3,
+		MinWCET:     200 * sim.Microsecond,
+		MaxWCET:     1500 * sim.Microsecond,
+		MinBytes:    32,
+		MaxBytes:    512,
+		StateBytes:  1024,
+		DeadlineFrc: 1.0,
+	}
+}
+
+// Random generates a layered random DAG: layer 0 is sources, the last
+// layer is sinks, and every task has at least one input from the previous
+// layer and one output to the next. Criticality is assigned round-robin
+// across levels so mixed-criticality shedding always has work to do.
+// Deterministic in rng.
+func Random(rng *sim.RNG, period sim.Time, o RandomOpts) *Graph {
+	if o.Layers < 2 || o.Width < 1 {
+		panic("flow: Random needs Layers >= 2, Width >= 1")
+	}
+	g := NewGraph("random", period)
+	id := func(l, i int) TaskID { return TaskID(fmt.Sprintf("L%dT%d", l, i)) }
+	wcet := func() sim.Time {
+		if o.MaxWCET <= o.MinWCET {
+			return o.MinWCET
+		}
+		return o.MinWCET + rng.Duration(o.MaxWCET-o.MinWCET)
+	}
+	bytes := func() int64 {
+		if o.MaxBytes <= o.MinBytes {
+			return o.MinBytes
+		}
+		return o.MinBytes + rng.Int63n(o.MaxBytes-o.MinBytes)
+	}
+	crit := 0
+	for l := 0; l < o.Layers; l++ {
+		for i := 0; i < o.Width; i++ {
+			t := Task{
+				ID:         id(l, i),
+				WCET:       wcet(),
+				Crit:       Criticality(crit % int(NumCrits)),
+				StateBytes: o.StateBytes,
+			}
+			crit++
+			if l == 0 {
+				t.Source = true
+			}
+			if l == o.Layers-1 {
+				t.Sink = true
+				t.Deadline = sim.Time(float64(period) * o.DeadlineFrc)
+			}
+			g.AddTask(t)
+		}
+	}
+	for l := 1; l < o.Layers; l++ {
+		for i := 0; i < o.Width; i++ {
+			// Guarantee one input from the previous layer...
+			g.Connect(id(l-1, rng.Intn(o.Width)), id(l, i), bytes())
+			// ...plus extra edges with probability EdgeProb.
+			for j := 0; j < o.Width; j++ {
+				if rng.Bool(o.EdgeProb) {
+					from, to := id(l-1, j), id(l, i)
+					dup := false
+					for _, e := range g.Inputs(to) {
+						if e.From == from {
+							dup = true
+							break
+						}
+					}
+					if !dup {
+						g.Connect(from, to, bytes())
+					}
+				}
+			}
+		}
+	}
+	// Guarantee every non-sink has an output: connect strays to a random
+	// next-layer task.
+	for l := 0; l < o.Layers-1; l++ {
+		for i := 0; i < o.Width; i++ {
+			if len(g.Outputs(id(l, i))) == 0 {
+				g.Connect(id(l, i), id(l+1, rng.Intn(o.Width)), bytes())
+			}
+		}
+	}
+	return g
+}

@@ -1,0 +1,323 @@
+// Package network simulates the communication substrate from the paper's
+// system model (§2.1): a set of nodes connected by links with finite
+// bandwidth, where "the bandwidth of each link is statically allocated
+// between the nodes" (the babbling-idiot countermeasure) and residual
+// packet loss after FEC is rare enough to ignore by default.
+//
+// Two traffic classes exist on every link: the foreground class used by
+// dataflow traffic and a reserved evidence class (§4.3) whose capacity
+// share is carved out statically, so evidence distribution latency cannot
+// be inflated by foreground congestion or by a flooding adversary.
+package network
+
+import (
+	"fmt"
+
+	"btr/internal/sim"
+)
+
+// NodeID identifies a node in the topology. IDs are dense, 0..N-1.
+type NodeID int
+
+// Link is an undirected, full-duplex, point-to-point link between two
+// nodes. Each direction independently offers Bandwidth bytes/second; Prop
+// is the one-way propagation delay.
+type Link struct {
+	A, B      NodeID
+	Bandwidth int64 // bytes per second, per direction
+	Prop      sim.Time
+}
+
+// Topology is a static node/link graph. Construct with one of the
+// generators or assemble manually and call Validate.
+type Topology struct {
+	N     int
+	Links []Link
+
+	adj map[NodeID][]NodeID // neighbor lists, sorted
+	lnk map[[2]NodeID]int   // directed endpoint pair -> Links index
+}
+
+// NewTopology builds a topology over n nodes with the given links and
+// precomputes adjacency. It panics on malformed input; topologies are
+// static configuration, so errors are programmer errors.
+func NewTopology(n int, links []Link) *Topology {
+	t := &Topology{N: n, Links: links}
+	t.adj = make(map[NodeID][]NodeID, n)
+	t.lnk = make(map[[2]NodeID]int, 2*len(links))
+	for i, l := range links {
+		if l.A == l.B {
+			panic(fmt.Sprintf("network: self-link on node %d", l.A))
+		}
+		if l.A < 0 || int(l.A) >= n || l.B < 0 || int(l.B) >= n {
+			panic(fmt.Sprintf("network: link %d-%d out of range [0,%d)", l.A, l.B, n))
+		}
+		if l.Bandwidth <= 0 {
+			panic(fmt.Sprintf("network: link %d-%d has non-positive bandwidth", l.A, l.B))
+		}
+		if _, dup := t.lnk[[2]NodeID{l.A, l.B}]; dup {
+			panic(fmt.Sprintf("network: duplicate link %d-%d", l.A, l.B))
+		}
+		t.lnk[[2]NodeID{l.A, l.B}] = i
+		t.lnk[[2]NodeID{l.B, l.A}] = i
+		t.adj[l.A] = append(t.adj[l.A], l.B)
+		t.adj[l.B] = append(t.adj[l.B], l.A)
+	}
+	for id := range t.adj {
+		ns := t.adj[id]
+		for i := 1; i < len(ns); i++ { // insertion sort: lists are short
+			for j := i; j > 0 && ns[j] < ns[j-1]; j-- {
+				ns[j], ns[j-1] = ns[j-1], ns[j]
+			}
+		}
+	}
+	return t
+}
+
+// Neighbors returns the sorted neighbor list of id (shared slice; do not
+// mutate).
+func (t *Topology) Neighbors(id NodeID) []NodeID { return t.adj[id] }
+
+// LinkBetween returns the link joining a and b, if any.
+func (t *Topology) LinkBetween(a, b NodeID) (Link, bool) {
+	i, ok := t.lnk[[2]NodeID{a, b}]
+	if !ok {
+		return Link{}, false
+	}
+	return t.Links[i], true
+}
+
+// Connected reports whether the graph is connected (ignoring node health;
+// this is the physical wiring).
+func (t *Topology) Connected() bool {
+	if t.N == 0 {
+		return true
+	}
+	seen := make([]bool, t.N)
+	stack := []NodeID{0}
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, w := range t.adj[v] {
+			if !seen[w] {
+				seen[w] = true
+				count++
+				stack = append(stack, w)
+			}
+		}
+	}
+	return count == t.N
+}
+
+// bfsFrom computes hop distances and deterministic parent pointers from
+// src, skipping nodes for which skip returns true (src itself is never
+// skipped). Unreachable nodes have dist -1.
+func (t *Topology) bfsFrom(src NodeID, skip func(NodeID) bool) (dist []int, parent []NodeID) {
+	dist = make([]int, t.N)
+	parent = make([]NodeID, t.N)
+	for i := range dist {
+		dist[i] = -1
+		parent[i] = -1
+	}
+	dist[src] = 0
+	queue := []NodeID{src}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, w := range t.adj[v] { // sorted ⇒ deterministic parents
+			if dist[w] != -1 || (skip != nil && skip(w)) {
+				continue
+			}
+			dist[w] = dist[v] + 1
+			parent[w] = v
+			queue = append(queue, w)
+		}
+	}
+	return dist, parent
+}
+
+// Path returns a shortest path from a to b (inclusive of both endpoints),
+// choosing deterministically among equals (lowest neighbor IDs first).
+// ok is false if no path exists.
+func (t *Topology) Path(a, b NodeID) (path []NodeID, ok bool) {
+	return t.PathAvoiding(a, b, nil)
+}
+
+// PathAvoiding is Path but refuses to route through nodes for which avoid
+// returns true (the endpoints are always allowed).
+func (t *Topology) PathAvoiding(a, b NodeID, avoid func(NodeID) bool) ([]NodeID, bool) {
+	if a == b {
+		return []NodeID{a}, true
+	}
+	skip := func(n NodeID) bool { return avoid != nil && n != b && avoid(n) }
+	dist, parent := t.bfsFrom(a, skip)
+	if dist[b] == -1 {
+		return nil, false
+	}
+	path := []NodeID{b}
+	for v := b; v != a; v = parent[v] {
+		path = append(path, parent[v])
+	}
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return path, true
+}
+
+// Diameter returns the maximum shortest-path hop count over all connected
+// pairs, or -1 for a disconnected graph.
+func (t *Topology) Diameter() int {
+	max := 0
+	for s := 0; s < t.N; s++ {
+		dist, _ := t.bfsFrom(NodeID(s), nil)
+		for _, d := range dist {
+			if d == -1 {
+				return -1
+			}
+			if d > max {
+				max = d
+			}
+		}
+	}
+	return max
+}
+
+// MinBandwidth returns the smallest per-direction link bandwidth in the
+// topology; planners use it for conservative worst-case latency bounds.
+func (t *Topology) MinBandwidth() int64 {
+	if len(t.Links) == 0 {
+		return 0
+	}
+	min := t.Links[0].Bandwidth
+	for _, l := range t.Links[1:] {
+		if l.Bandwidth < min {
+			min = l.Bandwidth
+		}
+	}
+	return min
+}
+
+// MaxProp returns the largest one-way propagation delay of any link.
+func (t *Topology) MaxProp() sim.Time {
+	var max sim.Time
+	for _, l := range t.Links {
+		if l.Prop > max {
+			max = l.Prop
+		}
+	}
+	return max
+}
+
+// --- Generators -----------------------------------------------------------
+
+// Line returns a path topology 0-1-2-...-(n-1).
+func Line(n int, bw int64, prop sim.Time) *Topology {
+	links := make([]Link, 0, n-1)
+	for i := 0; i < n-1; i++ {
+		links = append(links, Link{NodeID(i), NodeID(i + 1), bw, prop})
+	}
+	return NewTopology(n, links)
+}
+
+// Ring returns a cycle topology.
+func Ring(n int, bw int64, prop sim.Time) *Topology {
+	if n < 3 {
+		panic("network: ring needs n >= 3")
+	}
+	links := make([]Link, 0, n)
+	for i := 0; i < n; i++ {
+		links = append(links, Link{NodeID(i), NodeID((i + 1) % n), bw, prop})
+	}
+	return NewTopology(n, links)
+}
+
+// Star returns a hub-and-spoke topology with node 0 as the hub.
+func Star(n int, bw int64, prop sim.Time) *Topology {
+	links := make([]Link, 0, n-1)
+	for i := 1; i < n; i++ {
+		links = append(links, Link{0, NodeID(i), bw, prop})
+	}
+	return NewTopology(n, links)
+}
+
+// FullMesh returns a complete graph.
+func FullMesh(n int, bw int64, prop sim.Time) *Topology {
+	var links []Link
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			links = append(links, Link{NodeID(i), NodeID(j), bw, prop})
+		}
+	}
+	return NewTopology(n, links)
+}
+
+// Grid returns a w×h mesh grid; node (x,y) has index y*w+x.
+func Grid(w, h int, bw int64, prop sim.Time) *Topology {
+	var links []Link
+	id := func(x, y int) NodeID { return NodeID(y*w + x) }
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if x+1 < w {
+				links = append(links, Link{id(x, y), id(x+1, y), bw, prop})
+			}
+			if y+1 < h {
+				links = append(links, Link{id(x, y), id(x, y+1), bw, prop})
+			}
+		}
+	}
+	return NewTopology(w*h, links)
+}
+
+// DualBus models the redundant-bus layout common in avionics (e.g., two
+// CAN buses): nodes 0 and 1 act as bus guardians/switch nodes and every
+// other node links to both, giving two node-disjoint paths between any two
+// non-guardian nodes.
+func DualBus(n int, bw int64, prop sim.Time) *Topology {
+	if n < 3 {
+		panic("network: dual bus needs n >= 3")
+	}
+	var links []Link
+	links = append(links, Link{0, 1, bw, prop})
+	for i := 2; i < n; i++ {
+		links = append(links, Link{0, NodeID(i), bw, prop})
+		links = append(links, Link{1, NodeID(i), bw, prop})
+	}
+	return NewTopology(n, links)
+}
+
+// RandomConnected returns a random connected graph: a random spanning tree
+// plus extra edges added with probability p per remaining pair. The result
+// is deterministic in rng.
+func RandomConnected(rng *sim.RNG, n int, p float64, bw int64, prop sim.Time) *Topology {
+	if n < 1 {
+		panic("network: RandomConnected needs n >= 1")
+	}
+	var links []Link
+	have := map[[2]NodeID]bool{}
+	addLink := func(a, b NodeID) {
+		if a > b {
+			a, b = b, a
+		}
+		if have[[2]NodeID{a, b}] {
+			return
+		}
+		have[[2]NodeID{a, b}] = true
+		links = append(links, Link{a, b, bw, prop})
+	}
+	perm := rng.Perm(n)
+	for i := 1; i < n; i++ {
+		// Attach each node to a random earlier node: uniform spanning
+		// tree over the permutation order.
+		addLink(NodeID(perm[i]), NodeID(perm[rng.Intn(i)]))
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Bool(p) {
+				addLink(NodeID(i), NodeID(j))
+			}
+		}
+	}
+	return NewTopology(n, links)
+}

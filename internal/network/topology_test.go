@@ -1,0 +1,197 @@
+package network
+
+import (
+	"testing"
+	"testing/quick"
+
+	"btr/internal/sim"
+)
+
+func TestLineTopology(t *testing.T) {
+	topo := Line(5, 1000, sim.Millisecond)
+	if !topo.Connected() {
+		t.Fatal("line not connected")
+	}
+	if d := topo.Diameter(); d != 4 {
+		t.Errorf("diameter = %d, want 4", d)
+	}
+	if ns := topo.Neighbors(2); len(ns) != 2 || ns[0] != 1 || ns[1] != 3 {
+		t.Errorf("Neighbors(2) = %v, want [1 3]", ns)
+	}
+	path, ok := topo.Path(0, 4)
+	if !ok || len(path) != 5 {
+		t.Fatalf("Path(0,4) = %v, %v", path, ok)
+	}
+}
+
+func TestRingTopology(t *testing.T) {
+	topo := Ring(6, 1000, 0)
+	if d := topo.Diameter(); d != 3 {
+		t.Errorf("ring diameter = %d, want 3", d)
+	}
+	for i := 0; i < 6; i++ {
+		if len(topo.Neighbors(NodeID(i))) != 2 {
+			t.Errorf("ring node %d degree != 2", i)
+		}
+	}
+}
+
+func TestStarTopology(t *testing.T) {
+	topo := Star(7, 1000, 0)
+	if d := topo.Diameter(); d != 2 {
+		t.Errorf("star diameter = %d, want 2", d)
+	}
+	if len(topo.Neighbors(0)) != 6 {
+		t.Errorf("hub degree = %d, want 6", len(topo.Neighbors(0)))
+	}
+	path, ok := topo.Path(3, 5)
+	if !ok || len(path) != 3 || path[1] != 0 {
+		t.Errorf("Path(3,5) = %v, want through hub", path)
+	}
+}
+
+func TestFullMeshTopology(t *testing.T) {
+	topo := FullMesh(5, 1000, 0)
+	if d := topo.Diameter(); d != 1 {
+		t.Errorf("mesh diameter = %d, want 1", d)
+	}
+	if len(topo.Links) != 10 {
+		t.Errorf("mesh links = %d, want 10", len(topo.Links))
+	}
+}
+
+func TestGridTopology(t *testing.T) {
+	topo := Grid(3, 3, 1000, 0)
+	if !topo.Connected() {
+		t.Fatal("grid not connected")
+	}
+	if d := topo.Diameter(); d != 4 {
+		t.Errorf("3x3 grid diameter = %d, want 4", d)
+	}
+	// Corner has degree 2, center degree 4.
+	if len(topo.Neighbors(0)) != 2 {
+		t.Errorf("corner degree = %d, want 2", len(topo.Neighbors(0)))
+	}
+	if len(topo.Neighbors(4)) != 4 {
+		t.Errorf("center degree = %d, want 4", len(topo.Neighbors(4)))
+	}
+}
+
+func TestDualBusTopology(t *testing.T) {
+	topo := DualBus(6, 1000, 0)
+	// Every non-guardian node must have two node-disjoint paths to any
+	// other: removing either guardian keeps it connected.
+	for g := NodeID(0); g <= 1; g++ {
+		path, ok := topo.PathAvoiding(2, 5, func(x NodeID) bool { return x == g })
+		if !ok {
+			t.Errorf("no path 2->5 avoiding guardian %d", g)
+		}
+		for _, v := range path {
+			if v == g {
+				t.Errorf("path 2->5 uses avoided guardian %d: %v", g, path)
+			}
+		}
+	}
+}
+
+func TestRandomConnectedIsConnected(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := sim.NewRNG(seed)
+		n := 2 + int(seed%20)
+		topo := RandomConnected(rng, n, 0.1, 1000, 0)
+		return topo.Connected()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPathAvoiding(t *testing.T) {
+	// Ring: avoid one direction's intermediate, path must go the long way.
+	topo := Ring(5, 1000, 0)
+	path, ok := topo.PathAvoiding(0, 2, func(x NodeID) bool { return x == 1 })
+	if !ok {
+		t.Fatal("no avoiding path on ring")
+	}
+	want := []NodeID{0, 4, 3, 2}
+	if len(path) != len(want) {
+		t.Fatalf("path = %v, want %v", path, want)
+	}
+	for i := range want {
+		if path[i] != want[i] {
+			t.Fatalf("path = %v, want %v", path, want)
+		}
+	}
+}
+
+func TestPathToSelf(t *testing.T) {
+	topo := Line(3, 1000, 0)
+	path, ok := topo.Path(1, 1)
+	if !ok || len(path) != 1 || path[0] != 1 {
+		t.Errorf("Path(1,1) = %v, %v", path, ok)
+	}
+}
+
+func TestDisconnectedPath(t *testing.T) {
+	topo := NewTopology(4, []Link{{0, 1, 1000, 0}, {2, 3, 1000, 0}})
+	if topo.Connected() {
+		t.Error("disconnected topo reported connected")
+	}
+	if _, ok := topo.Path(0, 3); ok {
+		t.Error("found path across disconnected components")
+	}
+	if topo.Diameter() != -1 {
+		t.Error("diameter of disconnected graph should be -1")
+	}
+}
+
+func TestTopologyValidationPanics(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func()
+	}{
+		{"self-link", func() { NewTopology(2, []Link{{0, 0, 10, 0}}) }},
+		{"out-of-range", func() { NewTopology(2, []Link{{0, 5, 10, 0}}) }},
+		{"zero-bandwidth", func() { NewTopology(2, []Link{{0, 1, 0, 0}}) }},
+		{"duplicate", func() { NewTopology(2, []Link{{0, 1, 10, 0}, {1, 0, 10, 0}}) }},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", c.name)
+				}
+			}()
+			c.build()
+		})
+	}
+}
+
+func TestMinBandwidthMaxProp(t *testing.T) {
+	topo := NewTopology(3, []Link{
+		{0, 1, 500, 2 * sim.Millisecond},
+		{1, 2, 1000, 5 * sim.Millisecond},
+	})
+	if bw := topo.MinBandwidth(); bw != 500 {
+		t.Errorf("MinBandwidth = %d, want 500", bw)
+	}
+	if p := topo.MaxProp(); p != 5*sim.Millisecond {
+		t.Errorf("MaxProp = %v, want 5ms", p)
+	}
+}
+
+func TestDeterministicPaths(t *testing.T) {
+	// Same topology queried twice must yield identical paths (BFS with
+	// sorted adjacency is deterministic).
+	topo := Grid(4, 4, 1000, 0)
+	p1, _ := topo.Path(0, 15)
+	p2, _ := topo.Path(0, 15)
+	if len(p1) != len(p2) {
+		t.Fatal("path lengths differ")
+	}
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Fatal("paths differ between identical queries")
+		}
+	}
+}

@@ -1,0 +1,175 @@
+package plan
+
+import (
+	"testing"
+	"testing/quick"
+
+	"btr/internal/flow"
+	"btr/internal/network"
+	"btr/internal/sim"
+)
+
+// randomScenario draws a workload + topology for property tests. Returns
+// nil when the draw is structurally infeasible (too few nodes for the
+// replica counts) so properties can skip it.
+func randomScenario(seed uint64) (*flow.Graph, *network.Topology, Options) {
+	rng := sim.NewRNG(seed)
+	opts := flow.RandomOpts{
+		Layers:      2 + rng.Intn(3),
+		Width:       1 + rng.Intn(3),
+		EdgeProb:    0.3,
+		MinWCET:     200 * sim.Microsecond,
+		MaxWCET:     900 * sim.Microsecond,
+		MinBytes:    32,
+		MaxBytes:    256,
+		StateBytes:  512,
+		DeadlineFrc: 1.0,
+	}
+	g := flow.Random(rng, 40*sim.Millisecond, opts)
+	f := 1
+	nodes := 6 + rng.Intn(4)
+	var topo *network.Topology
+	switch rng.Intn(3) {
+	case 0:
+		topo = network.FullMesh(nodes, 20_000_000, 50*sim.Microsecond)
+	case 1:
+		topo = network.Ring(nodes, 20_000_000, 50*sim.Microsecond)
+	default:
+		topo = network.DualBus(nodes, 20_000_000, 50*sim.Microsecond)
+	}
+	return g, topo, DefaultOptions(f, sim.Second)
+}
+
+func TestPropertyStrategyInvariants(t *testing.T) {
+	f := func(seed uint64) bool {
+		g, topo, opts := randomScenario(seed)
+		s, err := Build(g, topo, opts)
+		if err != nil {
+			return true // infeasible draws are legitimate
+		}
+		for _, p := range s.Plans {
+			// Hard constraints hold in every mode.
+			if VerifyAssignment(p.Aug, p.Assign, p.Faults) != nil {
+				return false
+			}
+			// Tables are self-consistent.
+			if p.Table.VerifySanity(p.Aug) != nil {
+				return false
+			}
+			// Shedding respects criticality order: if a sink of
+			// criticality c was shed, no sink with crit > c (less
+			// critical) may still run.
+			shed := map[flow.TaskID]bool{}
+			worstShed := flow.Criticality(-1) // most critical level shed
+			for _, sk := range p.ShedSinks {
+				shed[sk] = true
+				if c := g.Tasks[sk].Crit; worstShed == -1 || c < worstShed {
+					worstShed = c
+				}
+			}
+			if worstShed >= 0 {
+				for _, sk := range g.Sinks() {
+					if !shed[sk] && g.Tasks[sk].Crit > worstShed {
+						return false // a less critical sink survived
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyTransitionsOnlyTouchNecessaryTasks(t *testing.T) {
+	// With minimal-diff derivation, a transition from the base plan into
+	// a single-fault mode moves only replicas that were hosted on the
+	// failed node (unless shedding changed the task set).
+	f := func(seed uint64) bool {
+		g, topo, opts := randomScenario(seed)
+		s, err := Build(g, topo, opts)
+		if err != nil {
+			return true
+		}
+		base := s.Plans[""]
+		for n := 0; n < topo.N; n++ {
+			p := s.Plans[NewFaultSet(network.NodeID(n)).Key()]
+			if p == nil || len(p.ShedSinks) != len(base.ShedSinks) {
+				continue // shedding changes the comparison
+			}
+			for _, id := range base.Assign.Diff(p.Assign) {
+				if base.Assign[id] != network.NodeID(n) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyRNeededMonotoneInDiameter(t *testing.T) {
+	// Distribution crosses the diameter: a line topology must not yield a
+	// smaller achieved R than a full mesh of the same size.
+	g := flow.Chain(3, 30*sim.Millisecond, sim.Millisecond, 64, flow.CritB)
+	mesh, err := Build(g, network.FullMesh(6, 20_000_000, 50*sim.Microsecond), DefaultOptions(1, sim.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	line, err := Build(g, network.Line(6, 20_000_000, 50*sim.Microsecond), DefaultOptions(1, sim.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if line.DistributeBound < mesh.DistributeBound {
+		t.Errorf("line distribute bound %v below mesh %v", line.DistributeBound, mesh.DistributeBound)
+	}
+	if line.RNeeded < mesh.RNeeded {
+		t.Errorf("line R %v below mesh R %v", line.RNeeded, mesh.RNeeded)
+	}
+}
+
+func TestLocalityAblation(t *testing.T) {
+	// Disabling the locality heuristic must not break any invariant; it
+	// typically increases cross-node traffic distance (not asserted, but
+	// both must schedule).
+	g := flow.Avionics(25 * sim.Millisecond)
+	topo := network.Ring(8, 20_000_000, 50*sim.Microsecond)
+	for _, locality := range []bool{true, false} {
+		opts := DefaultOptions(1, sim.Second)
+		opts.Locality = locality
+		s, err := Build(g, topo, opts)
+		if err != nil {
+			t.Fatalf("locality=%v: %v", locality, err)
+		}
+		for _, p := range s.Plans {
+			if err := VerifyAssignment(p.Aug, p.Assign, p.Faults); err != nil {
+				t.Fatalf("locality=%v: %v", locality, err)
+			}
+		}
+	}
+}
+
+func TestPropertySourceReplicaOverride(t *testing.T) {
+	// SourceReplicas override is honored and validated.
+	g := flow.Chain(3, 25*sim.Millisecond, sim.Millisecond, 64, flow.CritA)
+	opts := DefaultOptions(1, sim.Second)
+	opts.SourceReplicas = 2 // below the 2f+1 default
+	topo := network.FullMesh(5, 20_000_000, 50*sim.Microsecond)
+	s, err := Build(g, topo, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	for _, id := range s.Plans[""].Aug.TaskIDs() {
+		logical, _ := SplitReplica(id)
+		if logical == "c0" {
+			count++
+		}
+	}
+	if count != 2 {
+		t.Errorf("source replicas = %d, want 2", count)
+	}
+}

@@ -1,0 +1,459 @@
+package plan
+
+import (
+	"fmt"
+	"sort"
+
+	"btr/internal/flow"
+	"btr/internal/network"
+	"btr/internal/sched"
+	"btr/internal/sim"
+)
+
+// Options configures strategy construction.
+type Options struct {
+	// F is the maximum number of simultaneously faulty nodes.
+	F int
+	// R is the requested recovery bound. Build reports (but does not
+	// fail on) infeasibility; callers decide.
+	R sim.Time
+	// Sched carries CPU speed, crypto costs, and the evidence share.
+	Sched sched.Params
+	// SourceReplicas overrides source replication (default 2F+1).
+	SourceReplicas int
+	// CheckerWCET is the per-checker execution budget.
+	CheckerWCET sim.Time
+	// MinimalDiff derives each plan from its canonical predecessor to
+	// minimize reassignment (§4.1). False = naive replanning (ablation).
+	MinimalDiff bool
+	// Locality enables the producer-proximity placement heuristic.
+	Locality bool
+	// OmissionThreshold is the attribution threshold for path
+	// accusations; defaults to F+1 (so F colluding accusers cannot frame
+	// a correct node).
+	OmissionThreshold int
+	// WatchdogMargin is added to planned arrival offsets before a
+	// consumer declares an omission.
+	WatchdogMargin sim.Time
+}
+
+// DefaultOptions returns the planner defaults for fault bound f and
+// recovery bound r.
+func DefaultOptions(f int, r sim.Time) Options {
+	return Options{
+		F:                 f,
+		R:                 r,
+		Sched:             sched.DefaultParams(),
+		CheckerWCET:       300 * sim.Microsecond,
+		MinimalDiff:       true,
+		Locality:          true,
+		OmissionThreshold: f + 1,
+		WatchdogMargin:    2 * sim.Millisecond,
+	}
+}
+
+// Plan is one mode's complete configuration: which tasks run where on
+// what schedule, and which logical sinks were shed to fit.
+type Plan struct {
+	Faults FaultSet
+	// Pruned is the base workload minus shed tasks; Aug is its
+	// replica-augmented runtime graph.
+	Pruned *flow.Graph
+	Aug    *flow.Graph
+	Assign Assignment
+	Table  *sched.Table
+	// ShedSinks lists logical sinks dropped in this mode (lowest
+	// criticality first).
+	ShedSinks []flow.TaskID
+}
+
+// Key returns the plan's strategy key.
+func (p *Plan) Key() string { return p.Faults.Key() }
+
+// RunsTask reports whether logical task id still runs in this mode.
+func (p *Plan) RunsTask(id flow.TaskID) bool {
+	_, ok := p.Pruned.Tasks[id]
+	return ok
+}
+
+// Transition describes switching from one plan to a successor.
+type Transition struct {
+	From, To   string
+	Moved      []flow.TaskID // replicas whose node changes
+	StateBytes int64         // total state that must migrate
+	Bound      sim.Time      // worst-case completion time of the switch
+}
+
+// Strategy is the full offline artifact installed on every node: plans
+// for every fault pattern up to F, transition bounds, and the derived
+// timing constants that make recovery bounded.
+type Strategy struct {
+	Base *flow.Graph
+	Topo *network.Topology
+	Opts Options
+
+	Plans map[string]*Plan
+	// Trans holds, for each non-empty plan key, the worst-case transition
+	// into it over all predecessors.
+	Trans map[string]Transition
+
+	// Derived bounds (see DESIGN.md):
+	DetectBound     sim.Time // fault manifestation -> evidence exists
+	DistributeBound sim.Time // evidence exists -> all correct nodes have it
+	SwitchBound     sim.Time // activation -> new mode fully running
+	// Delta is the activation delay: every correct node activates the
+	// successor plan at detection_time + Delta (rounded up to a period
+	// boundary), which is safe because Delta >= DistributeBound.
+	Delta sim.Time
+	// RNeeded is the provable recovery bound this strategy achieves.
+	RNeeded sim.Time
+}
+
+// RFeasible reports whether the achieved bound meets the requested R.
+func (s *Strategy) RFeasible() bool { return s.RNeeded <= s.Opts.R }
+
+// Build computes the complete strategy for the workload on the topology.
+func Build(base *flow.Graph, topo *network.Topology, opts Options) (*Strategy, error) {
+	if err := base.Validate(); err != nil {
+		return nil, fmt.Errorf("plan: invalid workload: %w", err)
+	}
+	if opts.F < 0 {
+		return nil, fmt.Errorf("plan: negative fault bound")
+	}
+	if opts.OmissionThreshold == 0 {
+		opts.OmissionThreshold = opts.F + 1
+	}
+	if opts.CheckerWCET == 0 {
+		opts.CheckerWCET = 300 * sim.Microsecond
+	}
+	if opts.WatchdogMargin == 0 {
+		opts.WatchdogMargin = 2 * sim.Millisecond
+	}
+	s := &Strategy{
+		Base:  base,
+		Topo:  topo,
+		Opts:  opts,
+		Plans: map[string]*Plan{},
+		Trans: map[string]Transition{},
+	}
+	sets := EnumerateFaultSets(topo.N, opts.F)
+	for _, fs := range sets {
+		var parent Assignment
+		if opts.MinimalDiff && fs.Len() > 0 {
+			// Canonical predecessor: remove the largest member. Its plan
+			// exists because sets enumerate in BFS order.
+			preds := fs.Predecessors()
+			canon := preds[len(preds)-1]
+			if pp := s.Plans[canon.Key()]; pp != nil {
+				parent = pp.Assign
+			}
+		}
+		p, err := buildPlan(base, topo, opts, fs, parent)
+		if err != nil {
+			return nil, fmt.Errorf("plan: mode %v: %w", fs, err)
+		}
+		s.Plans[fs.Key()] = p
+	}
+	// Transition analysis: worst-case into each plan over all direct
+	// predecessors.
+	for _, fs := range sets {
+		if fs.Len() == 0 {
+			continue
+		}
+		to := s.Plans[fs.Key()]
+		worst := Transition{From: "?", To: fs.Key()}
+		for _, pred := range fs.Predecessors() {
+			from := s.Plans[pred.Key()]
+			tr := transitionBetween(from, to, topo, opts)
+			if tr.Bound >= worst.Bound {
+				worst = tr
+			}
+		}
+		s.Trans[fs.Key()] = worst
+	}
+	s.deriveBounds()
+	return s, nil
+}
+
+// buildPlan computes one mode's plan, shedding low-criticality sinks until
+// the mode schedules ("the planner removes some of the less critical tasks
+// and retries", §4.1).
+func buildPlan(base *flow.Graph, topo *network.Topology, opts Options,
+	fs FaultSet, parent Assignment) (*Plan, error) {
+	var shed []flow.TaskID
+	var lastErr error
+	for {
+		pruned := prune(base, shed)
+		if pruned == nil || len(pruned.Sinks()) == 0 {
+			if lastErr == nil {
+				lastErr = fmt.Errorf("nothing schedulable")
+			}
+			return nil, fmt.Errorf("all sinks shed and still unschedulable: %v", lastErr)
+		}
+		aug := Augment(pruned, AugmentOptions{
+			F:              opts.F,
+			SourceReplicas: opts.SourceReplicas,
+			CheckerWCET:    opts.CheckerWCET,
+		})
+		asn, err := assign(aug, topo, assignOptions{
+			faults:   fs,
+			parent:   parent,
+			locality: opts.Locality,
+		})
+		if err == nil {
+			var table *sched.Table
+			table, err = sched.Build(aug, asn, topo, opts.Sched)
+			if err == nil {
+				if verr := deadlinesOK(pruned, aug, table); verr != nil {
+					err = verr
+				} else {
+					return &Plan{
+						Faults: fs, Pruned: pruned, Aug: aug,
+						Assign: asn, Table: table, ShedSinks: shed,
+					}, nil
+				}
+			}
+		}
+		lastErr = err
+		next, ok := nextShedSink(base, shed)
+		if !ok {
+			return nil, fmt.Errorf("unschedulable even after shedding everything sheddable: %v", lastErr)
+		}
+		shed = append(shed, next)
+	}
+}
+
+// prune removes the shed sinks and every task that only serves shed sinks.
+// Returns nil if nothing remains.
+func prune(base *flow.Graph, shedSinks []flow.TaskID) *flow.Graph {
+	if len(shedSinks) == 0 {
+		return base
+	}
+	dead := map[flow.TaskID]bool{}
+	for _, s := range shedSinks {
+		dead[s] = true
+	}
+	sinkOf := base.SinkOf()
+	keep := map[flow.TaskID]bool{}
+	for _, id := range base.TaskIDs() {
+		alive := false
+		for _, s := range sinkOf[id] {
+			if !dead[s] {
+				alive = true
+				break
+			}
+		}
+		if alive {
+			keep[id] = true
+		}
+	}
+	if len(keep) == 0 {
+		return nil
+	}
+	g := flow.NewGraph(base.Name, base.Period)
+	for _, id := range base.TaskIDs() {
+		if keep[id] {
+			g.AddTask(*base.Tasks[id])
+		}
+	}
+	for _, e := range base.Edges {
+		if keep[e.From] && keep[e.To] {
+			g.Connect(e.From, e.To, e.Bytes)
+		}
+	}
+	return g
+}
+
+// nextShedSink picks the least critical not-yet-shed sink (largest
+// criticality letter, then largest WCET of its exclusive support group,
+// then ID).
+func nextShedSink(base *flow.Graph, already []flow.TaskID) (flow.TaskID, bool) {
+	shed := map[flow.TaskID]bool{}
+	for _, s := range already {
+		shed[s] = true
+	}
+	var best flow.TaskID
+	found := false
+	for _, s := range base.Sinks() {
+		if shed[s] {
+			continue
+		}
+		if !found {
+			best, found = s, true
+			continue
+		}
+		bc, sc := base.Tasks[best].Crit, base.Tasks[s].Crit
+		if sc > bc || (sc == bc && s < best) {
+			best = s
+		}
+	}
+	return best, found
+}
+
+// deadlinesOK checks both the augmented graph's own sinks (checkers) and
+// the actuation deadlines of the original sinks' replicas.
+func deadlinesOK(pruned, aug *flow.Graph, table *sched.Table) error {
+	if vs := table.CheckDeadlines(aug); len(vs) != 0 {
+		return fmt.Errorf("deadline violations: %v", vs[0])
+	}
+	for _, s := range pruned.Sinks() {
+		dl := pruned.Tasks[s].Deadline
+		for _, id := range aug.TaskIDs() {
+			logical, _ := SplitReplica(id)
+			if logical != s {
+				continue
+			}
+			if f := table.Finish[id]; f > dl {
+				return fmt.Errorf("actuation deadline: replica %q finishes %v after %v", id, f, dl)
+			}
+		}
+	}
+	return nil
+}
+
+// transitionBetween analyzes switching from plan a to plan b.
+func transitionBetween(a, b *Plan, topo *network.Topology, opts Options) Transition {
+	moved := a.Assign.Diff(b.Assign)
+	var bytes int64
+	for _, id := range moved {
+		if t, ok := b.Aug.Tasks[id]; ok {
+			bytes += t.StateBytes
+		}
+	}
+	// Also count tasks newly started on b (state must be initialized or
+	// fetched from surviving replicas).
+	for id := range b.Assign {
+		if _, existed := a.Assign[id]; !existed {
+			if t, ok := b.Aug.Tasks[id]; ok {
+				bytes += t.StateBytes
+			}
+		}
+	}
+	// Worst-case transfer: all state crosses the slowest foreground
+	// share sequentially plus one diameter of propagation. Conservative.
+	capMin := fgShare(topo.MinBandwidth(), opts.Sched.EvidenceShare)
+	transfer := network.TxTime(bytes, capMin) + sim.Time(topo.Diameter())*topo.MaxProp()
+	return Transition{
+		From: a.Key(), To: b.Key(),
+		Moved: moved, StateBytes: bytes,
+		Bound: transfer + b.Pruned.Period, // settle within one period after transfer
+	}
+}
+
+func fgShare(bw int64, evidenceShare float64) int64 {
+	c := int64(float64(bw) * (1 - evidenceShare))
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+// deriveBounds computes the strategy-wide timing constants.
+func (s *Strategy) deriveBounds() {
+	p := s.Base.Period
+	// Commission faults: a bad record sent in period k is compared by
+	// checkers/consumers within the same period; evidence exists by the
+	// end of period k+1 in the worst case. Omission faults: conviction
+	// needs OmissionThreshold distinct accusation paths; all consumer
+	// replicas accuse within one period of the omission, so allow one
+	// extra period for the attributor to cross its threshold.
+	s.DetectBound = 2 * p
+	if s.Opts.OmissionThreshold > s.Opts.F+1 {
+		// Fewer accusers per period than the threshold needs: scale.
+		extra := (s.Opts.OmissionThreshold + s.Opts.F) / (s.Opts.F + 1)
+		s.DetectBound = sim.Time(1+extra) * p
+	}
+
+	// Evidence flooding: per hop, the message serializes on the evidence
+	// share of the slowest link, propagates, and is verified before
+	// being forwarded. Worst case crosses the diameter.
+	evCap := int64(float64(s.Topo.MinBandwidth()) * s.Opts.Sched.EvidenceShare)
+	if evCap < 1 {
+		evCap = 1
+	}
+	maxEv := s.maxEvidenceBytes()
+	hop := network.TxTime(maxEv, evCap) + s.Topo.MaxProp() + s.Opts.Sched.VerifyCost*4
+	d := s.Topo.Diameter()
+	if d < 1 {
+		d = 1
+	}
+	s.DistributeBound = sim.Time(d)*hop + sim.Millisecond
+
+	for _, tr := range s.Trans {
+		if tr.Bound > s.SwitchBound {
+			s.SwitchBound = tr.Bound
+		}
+	}
+	s.Delta = s.DistributeBound
+	// Activation rounds up to a period boundary (+P), then the switch
+	// completes within SwitchBound.
+	s.RNeeded = s.DetectBound + s.Delta + p + s.SwitchBound
+}
+
+// maxEvidenceBytes bounds the wire size of any evidence this workload can
+// produce (wrong-output proofs carry one envelope per logical input).
+func (s *Strategy) maxEvidenceBytes() int64 {
+	var maxIn int
+	var maxBytes int64
+	for _, id := range s.Base.TaskIDs() {
+		if n := len(s.Base.Inputs(id)); n > maxIn {
+			maxIn = n
+		}
+		for _, e := range s.Base.Outputs(id) {
+			if e.Bytes > maxBytes {
+				maxBytes = e.Bytes
+			}
+		}
+	}
+	return 2*(maxBytes+recordOverhead+envelopeOverhead) +
+		int64(maxIn)*(maxBytes+recordOverhead+2*envelopeOverhead) + 64
+}
+
+// PlanFor returns the plan for the given fault set. If the exact set is
+// not covered (more than F faults suspected), it falls back to the largest
+// covered subset — the BTR guarantee is void beyond F faults, but the
+// system should still do something sensible.
+func (s *Strategy) PlanFor(fs FaultSet) *Plan {
+	if p, ok := s.Plans[fs.Key()]; ok {
+		return p
+	}
+	nodes := fs.Nodes()
+	for len(nodes) > s.Opts.F {
+		nodes = nodes[:len(nodes)-1]
+	}
+	for len(nodes) >= 0 {
+		if p, ok := s.Plans[NewFaultSet(nodes...).Key()]; ok {
+			return p
+		}
+		if len(nodes) == 0 {
+			break
+		}
+		nodes = nodes[:len(nodes)-1]
+	}
+	return s.Plans[""]
+}
+
+// Summary renders a human-readable strategy overview.
+func (s *Strategy) Summary() string {
+	keys := make([]string, 0, len(s.Plans))
+	for k := range s.Plans {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if len(keys[i]) != len(keys[j]) {
+			return len(keys[i]) < len(keys[j])
+		}
+		return keys[i] < keys[j]
+	})
+	out := fmt.Sprintf("strategy: %d plans, F=%d, R requested %v, R achieved %v (feasible=%v)\n",
+		len(s.Plans), s.Opts.F, s.Opts.R, s.RNeeded, s.RFeasible())
+	out += fmt.Sprintf("  detect<=%v distribute<=%v switch<=%v delta=%v\n",
+		s.DetectBound, s.DistributeBound, s.SwitchBound, s.Delta)
+	for _, k := range keys {
+		p := s.Plans[k]
+		_, maxU := p.Table.MaxUtilization()
+		out += fmt.Sprintf("  mode %-12s tasks=%-3d shed=%v maxUtil=%.2f\n",
+			p.Faults.String(), len(p.Aug.Tasks), p.ShedSinks, maxU)
+	}
+	return out
+}

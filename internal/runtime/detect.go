@@ -1,0 +1,228 @@
+package runtime
+
+import (
+	"fmt"
+
+	"btr/internal/evidence"
+	"btr/internal/flow"
+	"btr/internal/network"
+	"btr/internal/plan"
+	"btr/internal/sched"
+	"btr/internal/sig"
+	"btr/internal/sim"
+)
+
+// validator builds this node's evidence validator against its current
+// mode's schedule.
+func (n *Node) validator() *evidence.Validator {
+	return &evidence.Validator{
+		Reg: n.cfg.Registry,
+		Recompute: func(task flow.TaskID, period uint64, inputs []evidence.Record) ([]byte, bool) {
+			if n.isSourceTask(task) {
+				return nil, false // environment samples cannot be re-executed
+			}
+			return n.cfg.Compute(task, period, inputs), true
+		},
+		Window: func(producer flow.TaskID, period uint64) (sim.Time, sim.Time, bool) {
+			_, slot, ok := n.slotOf(producer)
+			if !ok {
+				return 0, 0, false
+			}
+			return slot.Start, slot.End, true
+		},
+	}
+}
+
+func (n *Node) isSourceTask(logical flow.TaskID) bool {
+	if t, ok := n.cfg.Strategy.Base.Tasks[logical]; ok {
+		return t.Source
+	}
+	return false
+}
+
+// slotOf finds the producer's slot in the current plan.
+func (n *Node) slotOf(task flow.TaskID) (node int, s sched.Slot, ok bool) {
+	nd, slot, ok := n.cur.Table.SlotFor(task)
+	return int(nd), slot, ok
+}
+
+// detectOnArrival runs the detector checks on a freshly received record:
+// equivocation tracking (including the producer's attached inputs, which
+// catches cross-consumer equivocation), timing validation, and the
+// re-execution audit. It returns false if the record is malformed and
+// should not count as an arrival.
+func (n *Node) detectOnArrival(cur *plan.Plan, a *arrival) bool {
+	rec := a.rec
+
+	// Equivocation tracking for the record itself...
+	n.trackEquivocation(a.env, rec)
+	// ...and for each well-signed attachment (another producer's record).
+	for _, att := range a.atts {
+		if n.cfg.Registry.Check(att) {
+			if ar, err := evidence.DecodeRecord(att.Body); err == nil && ar.Node == att.Signer {
+				n.trackEquivocation(att, ar)
+			}
+		}
+	}
+
+	// Timing: the claimed send offset must lie inside the producer's
+	// scheduled slot. (A lying claim that stays in-window but arrives
+	// late is handled by the arrival watchdog as a path accusation.)
+	if _, slot, ok := n.cur.Table.SlotFor(rec.Producer); ok {
+		if rec.SendOff < slot.Start || rec.SendOff > slot.End {
+			n.raiseEvidence(evidence.Evidence{
+				Kind: evidence.KindTiming, Accused: rec.Node, Reporter: n.id,
+				DetectedAt: n.cfg.Kernel.Now(), Primary: a.env,
+			})
+			// Still an arrival: the value may be fine, and the proof
+			// already convicts the producer.
+		}
+	}
+
+	// Audit: sources cannot be re-executed; their cross-replica
+	// comparison happens at input-choice time (majority voting).
+	if n.isSourceTask(rec.Logical) {
+		a.audited, a.consistent = true, true
+		return true
+	}
+	// Digest must cover the attachments exactly; otherwise a relay may
+	// have tampered and we cannot attribute — treat as non-arrival.
+	if evidence.DigestEnvelopes(a.atts) != rec.InputsDigest {
+		return false
+	}
+	inputs := make([]evidence.Record, 0, len(a.atts))
+	for _, att := range a.atts {
+		if !n.cfg.Registry.Check(att) {
+			// The producer committed to a garbage input: bad-input proof.
+			n.raiseEvidence(evidence.Evidence{
+				Kind: evidence.KindBadInput, Accused: rec.Node, Reporter: n.id,
+				DetectedAt: n.cfg.Kernel.Now(), Primary: a.env, Attachments: a.atts,
+			})
+			a.audited, a.consistent = true, false
+			return true
+		}
+		ar, err := evidence.DecodeRecord(att.Body)
+		if err != nil || ar.Node != att.Signer {
+			n.raiseEvidence(evidence.Evidence{
+				Kind: evidence.KindBadInput, Accused: rec.Node, Reporter: n.id,
+				DetectedAt: n.cfg.Kernel.Now(), Primary: a.env, Attachments: a.atts,
+			})
+			a.audited, a.consistent = true, false
+			return true
+		}
+		inputs = append(inputs, ar)
+	}
+	want := n.cfg.Compute(rec.Logical, rec.Period, inputs)
+	a.audited = true
+	a.consistent = string(want) == string(rec.Value)
+	if !a.consistent {
+		n.raiseEvidence(evidence.Evidence{
+			Kind: evidence.KindWrongOutput, Accused: rec.Node, Reporter: n.id,
+			DetectedAt: n.cfg.Kernel.Now(), Primary: a.env, Attachments: a.atts,
+		})
+	}
+	return true
+}
+
+// trackEquivocation remembers the first record content seen per (producer
+// replica, period) and emits an equivocation proof when a conflicting
+// second version appears.
+func (n *Node) trackEquivocation(env sig.Envelope, rec evidence.Record) {
+	key := fmt.Sprintf("%s|%d", rec.Producer, rec.Period)
+	if prev, ok := n.firstRecord[key]; ok {
+		prevRec, err := evidence.DecodeRecord(prev.Body)
+		if err == nil && evidence.SameSlot(prevRec, rec) && evidence.Conflicts(prevRec, rec) {
+			n.raiseEvidence(evidence.Evidence{
+				Kind: evidence.KindEquivocation, Accused: rec.Node, Reporter: n.id,
+				DetectedAt: n.cfg.Kernel.Now(), Primary: prev, Secondary: env,
+			})
+		}
+		return
+	}
+	n.firstRecord[key] = env
+}
+
+// auditSinkRecords is the checker's scheduled body. The per-arrival audit
+// has already re-executed each sink replica's command and fed its
+// attachments through the equivocation tracker, so the slot mainly
+// represents the checker's reserved CPU time; what remains is detecting
+// silent sink replicas, which the arrival watchdogs cover.
+func (n *Node) auditSinkRecords(cur *plan.Plan, p uint64, task flow.TaskID) {}
+
+// checkArrived is the arrival watchdog: if the record for edge e (period
+// p) has not arrived by its planned window plus margin, the node raises a
+// path accusation over the route the message should have taken (§4.2:
+// "allow both the sender and the recipient to declare a problem with the
+// path between them").
+func (n *Node) checkArrived(cur *plan.Plan, p uint64, e flow.Edge, w sched.MsgWindow) {
+	if n.crashed || n.cur != cur {
+		return
+	}
+	logical, _ := plan.SplitReplica(e.From)
+	for _, a := range n.inbox[p][slotKey{e.To, logical}] {
+		if a.rec.Producer == e.From {
+			return // arrived
+		}
+	}
+	srcNode := cur.Assign[e.From]
+	if n.faults.Contains(srcNode) {
+		return // already convicted; mode change under way
+	}
+	slotKeyStr := fmt.Sprintf("%s|%d|%s", e.From, p, e.To)
+	if n.accusedSlots[slotKeyStr] {
+		return
+	}
+	n.accusedSlots[slotKeyStr] = true
+	path, ok := n.cfg.Net.Topology().Path(srcNode, n.id)
+	if !ok {
+		path = []network.NodeID{srcNode, n.id}
+	}
+	n.accusePath(path, e.From, e.To, p)
+}
+
+// accuseSourceMinority raises accusations against source replicas whose
+// value disagrees with the majority (sensor disagreement cannot be
+// re-executed; see DESIGN.md).
+func (n *Node) accuseSourceMinority(p uint64, consumer flow.TaskID, arr []*arrival, winner *arrival) {
+	for _, a := range arr {
+		if string(a.rec.Value) == string(winner.rec.Value) {
+			continue
+		}
+		key := fmt.Sprintf("src|%s|%d", a.rec.Producer, p)
+		if n.accusedSlots[key] {
+			continue
+		}
+		n.accusedSlots[key] = true
+		n.accusePath([]network.NodeID{a.rec.Node, n.id}, a.rec.Producer, consumer, p)
+	}
+}
+
+// accusePath signs and raises a path accusation.
+func (n *Node) accusePath(path []network.NodeID, producer, consumer flow.TaskID, p uint64) {
+	acc := evidence.Accusation{
+		Reporter: n.id, Path: path, Producer: producer, Consumer: consumer, Period: p,
+	}
+	env := n.cfg.Registry.Seal(n.id, acc.Encode())
+	n.raiseEvidence(evidence.Evidence{
+		Kind: evidence.KindPathAccusation, Accused: -1, Reporter: n.id,
+		DetectedAt: n.cfg.Kernel.Now(), Primary: env,
+	})
+}
+
+// raiseEvidence handles locally-generated evidence: act on it and flood it
+// (unless the adversary suppresses detection on this node).
+func (n *Node) raiseEvidence(ev evidence.Evidence) {
+	if b := n.behavior; b != nil && b.SuppressDetection {
+		return
+	}
+	id := ev.ID()
+	if n.seenEvidence[id] {
+		return
+	}
+	n.seenEvidence[id] = true
+	if n.cfg.OnEvidence != nil {
+		n.cfg.OnEvidence(n.id, ev, n.cfg.Kernel.Now())
+	}
+	n.actOnEvidence(ev)
+	n.forwardEvidence(ev)
+}

@@ -1,0 +1,411 @@
+package runtime
+
+import (
+	"sort"
+
+	"btr/internal/evidence"
+	"btr/internal/flow"
+	"btr/internal/network"
+	"btr/internal/plan"
+	"btr/internal/sig"
+	"btr/internal/sim"
+)
+
+// arrival is one received (or locally produced) record with provenance.
+type arrival struct {
+	env  sig.Envelope
+	rec  evidence.Record
+	atts []sig.Envelope
+	at   sim.Time
+	// audited is set once re-execution confirmed the record is
+	// self-consistent (or the producer is a source, where consistency
+	// cannot be checked).
+	audited bool
+	// consistent is the audit verdict.
+	consistent bool
+}
+
+// slotKey indexes the inbox by (consumer replica, logical producer).
+type slotKey struct {
+	consumer flow.TaskID
+	logical  flow.TaskID
+}
+
+// Node is one BTR runtime node.
+type Node struct {
+	id  network.NodeID
+	cfg *Config
+	sys *System
+
+	behavior *Behavior
+	crashed  bool
+
+	cur    *plan.Plan    // current mode's plan
+	faults plan.FaultSet // append-only local fault set
+
+	// inbox: per period, per (consumer, logical producer), arrivals.
+	inbox map[uint64]map[slotKey][]*arrival
+	// firstRecord tracks the first record content per (producer replica,
+	// period) for equivocation detection.
+	firstRecord map[string]sig.Envelope
+	// seenEvidence dedups evidence by ID.
+	seenEvidence map[[16]byte]bool
+	// attributor aggregates path accusations.
+	attributor *evidence.Attributor
+	// evBudget counts evidence messages processed per neighbor this
+	// period (rate limit).
+	evBudget map[network.NodeID]int
+	// accusedSlots dedups locally-generated accusations.
+	accusedSlots map[string]bool
+
+	// Stats.
+	EvidenceAccepted int
+	EvidenceRejected int
+	EvidenceDropped  int // rate-limited
+	Switches         int
+}
+
+func newNode(id network.NodeID, cfg *Config) *Node {
+	return &Node{
+		id:           id,
+		cfg:          cfg,
+		cur:          cfg.Strategy.Plans[""],
+		faults:       plan.NewFaultSet(),
+		inbox:        map[uint64]map[slotKey][]*arrival{},
+		firstRecord:  map[string]sig.Envelope{},
+		seenEvidence: map[[16]byte]bool{},
+		attributor:   evidence.NewAttributor(cfg.Strategy.Opts.OmissionThreshold),
+		evBudget:     map[network.NodeID]int{},
+		accusedSlots: map[string]bool{},
+	}
+}
+
+// ID returns the node's identity.
+func (n *Node) ID() network.NodeID { return n.id }
+
+// FaultSet returns the node's local fault set.
+func (n *Node) FaultSet() plan.FaultSet { return n.faults }
+
+// start schedules period 0.
+func (n *Node) start() { n.schedulePeriod(0) }
+
+// periodStart returns the absolute start time of period p.
+func (n *Node) periodStart(p uint64) sim.Time {
+	return sim.Time(p) * n.cfg.Strategy.Base.Period
+}
+
+// schedulePeriod sets up all of this node's slot executions and watchdogs
+// for period p, then re-arms for p+1.
+func (n *Node) schedulePeriod(p uint64) {
+	if n.crashed {
+		return
+	}
+	k := n.cfg.Kernel
+	base := n.periodStart(p)
+	cur := n.cur // capture: activation may swap plans mid-period
+
+	// Reset per-period evidence budgets and flood bogus evidence if the
+	// adversary asked for it.
+	n.evBudget = map[network.NodeID]int{}
+	if b := n.behavior; b != nil && b.BogusEvidencePerPeriod > 0 {
+		n.floodBogus(b.BogusEvidencePerPeriod)
+	}
+
+	// Execute this node's slots.
+	for _, slot := range cur.Table.Slots[n.id] {
+		slot := slot
+		k.At(base+slot.Start, func() { n.beginTask(cur, p, slot.Task) })
+		k.At(base+slot.End, func() { n.finishTask(cur, p, slot.Task) })
+	}
+	// Arm arrival watchdogs for edges whose consumer lives here (local
+	// handoffs included: a colocated producer replica can omit too).
+	margin := n.cfg.Strategy.Opts.WatchdogMargin
+	for e, w := range cur.Table.Msgs {
+		if cur.Assign[e.To] != n.id {
+			continue
+		}
+		e, w := e, w
+		k.At(base+w.Arrive+margin, func() { n.checkArrived(cur, p, e, w) })
+	}
+	// Garbage-collect old inbox periods (keep two).
+	if p >= 2 {
+		delete(n.inbox, p-2)
+	}
+	k.At(base+n.cfg.Strategy.Base.Period, func() { n.schedulePeriod(p + 1) })
+}
+
+// chosenInputs picks, for each logical input of task, the record the task
+// will compute with: the first *audited-consistent* arrival, with majority
+// vote among source replicas (sources cannot be audited). Returns nil if
+// some logical input has no usable record (omission upstream).
+func (n *Node) chosenInputs(cur *plan.Plan, p uint64, task flow.TaskID) ([]*arrival, bool) {
+	byLogical := map[flow.TaskID][]*arrival{}
+	var logicals []flow.TaskID
+	for _, e := range cur.Aug.Inputs(task) {
+		logical, _ := plan.SplitReplica(e.From)
+		if _, ok := byLogical[logical]; !ok {
+			logicals = append(logicals, logical)
+			byLogical[logical] = nil
+		}
+	}
+	sort.Slice(logicals, func(i, j int) bool { return logicals[i] < logicals[j] })
+	perSlot := n.inbox[p]
+	var chosen []*arrival
+	for _, logical := range logicals {
+		arr := perSlot[slotKey{task, logical}]
+		var pick *arrival
+		if len(arr) > 0 && arr[0].rec.Producer != "" {
+			if isSourceLogical(cur, logical) {
+				pick = majority(arr)
+				if pick != nil {
+					n.accuseSourceMinority(p, task, arr, pick)
+				}
+			} else {
+				for _, a := range arr {
+					if a.audited && a.consistent {
+						pick = a
+						break
+					}
+				}
+			}
+		}
+		if pick == nil {
+			return nil, false
+		}
+		chosen = append(chosen, pick)
+	}
+	return chosen, true
+}
+
+func isSourceLogical(cur *plan.Plan, logical flow.TaskID) bool {
+	if t, ok := cur.Pruned.Tasks[logical]; ok {
+		return t.Source
+	}
+	return false
+}
+
+// majority returns the arrival whose value has the most supporters
+// (ties: earliest arrival among the largest class).
+func majority(arr []*arrival) *arrival {
+	counts := map[string]int{}
+	for _, a := range arr {
+		counts[string(a.rec.Value)]++
+	}
+	best, bestCount := -1, 0
+	for i, a := range arr {
+		c := counts[string(a.rec.Value)]
+		if c > bestCount {
+			best, bestCount = i, c
+		}
+	}
+	if best < 0 {
+		return nil
+	}
+	return arr[best]
+}
+
+// beginTask is a hook at slot start; execution semantics are applied at
+// finishTask (the table accounts for the WCET in between).
+func (n *Node) beginTask(cur *plan.Plan, p uint64, task flow.TaskID) {
+	if n.crashed || n.cur != cur {
+		return
+	}
+}
+
+// finishTask computes the task's output at its slot end and emits it.
+func (n *Node) finishTask(cur *plan.Plan, p uint64, task flow.TaskID) {
+	if n.crashed || n.cur != cur {
+		return
+	}
+	logical, _ := plan.SplitReplica(task)
+	lt, ok := cur.Pruned.Tasks[logical]
+	isChecker := plan.IsChecker(logical)
+	if !ok && !isChecker {
+		return
+	}
+
+	var value []byte
+	var chosen []*arrival
+	switch {
+	case isChecker:
+		n.runChecker(cur, p, task)
+		return
+	case lt.Source:
+		value = n.cfg.Source(logical, p)
+	default:
+		var usable bool
+		chosen, usable = n.chosenInputs(cur, p, task)
+		if !usable {
+			return // upstream omission: this replica stays silent
+		}
+		recs := make([]evidence.Record, len(chosen))
+		for i, a := range chosen {
+			recs[i] = a.rec
+		}
+		value = n.cfg.Compute(logical, p, recs)
+	}
+
+	// Build the signed record committing to the chosen inputs.
+	var atts []sig.Envelope
+	for _, a := range chosen {
+		atts = append(atts, a.env)
+	}
+	slotEnd := n.slotEnd(cur, task)
+	rec := evidence.Record{
+		Producer: task, Logical: logical, Node: n.id,
+		Period: p, SendOff: slotEnd, Value: value,
+		InputsDigest: evidence.DigestEnvelopes(atts),
+	}
+
+	// Actuate if this replica implements a logical sink.
+	if lt != nil && lt.Sink {
+		n.actuate(cur, p, logical, rec, atts)
+	}
+
+	// Emit one message per output edge.
+	for _, e := range cur.Aug.Outputs(task) {
+		n.emit(cur, p, rec, atts, e)
+	}
+}
+
+// slotEnd looks up the task's planned completion offset.
+func (n *Node) slotEnd(cur *plan.Plan, task flow.TaskID) sim.Time {
+	return cur.Table.Finish[task]
+}
+
+// actuate delivers the sink command to the physical world (unless the
+// adversary suppresses it).
+func (n *Node) actuate(cur *plan.Plan, p uint64, logical flow.TaskID, rec evidence.Record, atts []sig.Envelope) {
+	if b := n.behavior; b != nil {
+		if b.SkipActuation {
+			return
+		}
+		if b.OnOutput != nil {
+			mutated, delay, send := b.OnOutput(rec, logical)
+			if !send {
+				return
+			}
+			rec = mutated
+			if delay > 0 {
+				at := n.cfg.Kernel.Now() + delay
+				n.cfg.Kernel.After(delay, func() {
+					if n.cfg.OnActuation != nil {
+						n.cfg.OnActuation(n.id, logical, p, rec.Value, at)
+					}
+				})
+				return
+			}
+		}
+	}
+	if n.cfg.OnActuation != nil {
+		n.cfg.OnActuation(n.id, logical, p, rec.Value, n.cfg.Kernel.Now())
+	}
+}
+
+// emit signs and sends one record instance along edge e, applying the
+// adversary's output hook if installed.
+func (n *Node) emit(cur *plan.Plan, p uint64, rec evidence.Record, atts []sig.Envelope, e flow.Edge) {
+	outRec := rec
+	var extraDelay sim.Time
+	if b := n.behavior; b != nil && b.OnOutput != nil {
+		mutated, delay, send := b.OnOutput(rec, e.To)
+		if !send {
+			return
+		}
+		outRec, extraDelay = mutated, delay
+	}
+	env := n.cfg.Registry.Seal(n.id, outRec.Encode())
+	// Equivocation requires a fresh digest? No: the adversary mutates the
+	// record but keeps the committed attachments (a mismatched digest
+	// would be a bad-input proof instead).
+	payload := dataPayload(env, atts)
+	dst := cur.Assign[e.To]
+	send := func() {
+		if dst == n.id {
+			n.acceptRecord(env, atts, nil)
+			return
+		}
+		n.cfg.Net.Send(n.id, dst, network.ClassForeground, payload)
+	}
+	if extraDelay > 0 {
+		n.cfg.Kernel.After(extraDelay, send)
+	} else {
+		send()
+	}
+}
+
+// runChecker audits the sink replicas feeding checker task `task`
+// (performed in detect.go; split for readability).
+func (n *Node) runChecker(cur *plan.Plan, p uint64, task flow.TaskID) {
+	n.auditSinkRecords(cur, p, task)
+}
+
+// onMessage is the network delivery handler.
+func (n *Node) onMessage(m *network.Message) {
+	if n.crashed {
+		return
+	}
+	if len(m.Payload) == 0 {
+		return
+	}
+	switch m.Payload[0] {
+	case msgData:
+		env, atts, err := parseDataPayload(m.Payload)
+		if err != nil {
+			return // malformed frame: MAC-level noise, drop
+		}
+		n.acceptRecord(env, atts, m)
+	case msgEvidence:
+		n.onEvidenceMessage(m)
+	}
+}
+
+// acceptRecord ingests a dataflow record (remote or local handoff),
+// running the detector checks.
+func (n *Node) acceptRecord(env sig.Envelope, atts []sig.Envelope, m *network.Message) {
+	if !n.cfg.Registry.Check(env) {
+		return // unsigned garbage: drop
+	}
+	if n.faults.Contains(env.Signer) {
+		return // isolate convicted nodes: their records are ignored
+	}
+	rec, err := evidence.DecodeRecord(env.Body)
+	if err != nil || rec.Node != env.Signer {
+		return
+	}
+	cur := n.cur
+	// Find the consumer for this record on this node: the edge whose
+	// producer is rec.Producer and whose consumer is assigned here.
+	var consumers []flow.TaskID
+	for _, e := range cur.Aug.Outputs(rec.Producer) {
+		if cur.Assign[e.To] == n.id {
+			consumers = append(consumers, e.To)
+		}
+	}
+	if len(consumers) == 0 {
+		return // stale record from a previous mode
+	}
+	a := &arrival{env: env, rec: rec, atts: atts, at: n.cfg.Kernel.Now()}
+	if !n.detectOnArrival(cur, a) {
+		return // malformed (digest/attachment tampering): not an arrival
+	}
+	for _, c := range consumers {
+		key := slotKey{c, rec.Logical}
+		per := n.inbox[rec.Period]
+		if per == nil {
+			per = map[slotKey][]*arrival{}
+			n.inbox[rec.Period] = per
+		}
+		// Dedup: one arrival per producer replica per consumer slot.
+		dup := false
+		for _, prev := range per[key] {
+			if prev.rec.Producer == a.rec.Producer {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			per[key] = append(per[key], a)
+		}
+	}
+}

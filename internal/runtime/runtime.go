@@ -1,0 +1,218 @@
+// Package runtime implements BTR's online components (§4.2–§4.4): the
+// per-node executive that runs the current plan's static schedule, the
+// fault detector (replica comparison, re-execution audit, arrival
+// watchdogs), the evidence distributor (validate-then-forward flooding on
+// the reserved bandwidth share, with endorsement so bogus evidence counts
+// against its sender), and the mode switcher (append-only fault set, plan
+// lookup, coordinated activation at a deterministic time — no agreement
+// protocol needed).
+//
+// Byzantine behavior is injected via Behavior hooks installed on
+// compromised nodes: the adversary controls what those nodes send and
+// when, but not other nodes' keys.
+package runtime
+
+import (
+	"fmt"
+
+	"btr/internal/evidence"
+	"btr/internal/flow"
+	"btr/internal/network"
+	"btr/internal/plan"
+	"btr/internal/sig"
+	"btr/internal/sim"
+)
+
+// TaskFunc computes a non-source task's output value from its chosen
+// inputs. It must be deterministic: detection relies on re-execution.
+type TaskFunc func(task flow.TaskID, period uint64, inputs []evidence.Record) []byte
+
+// SourceFunc samples the environment for a source task. All replicas of a
+// source observe the same value for the same period (sample-and-hold at
+// the period boundary, standard in digital control).
+type SourceFunc func(task flow.TaskID, period uint64) []byte
+
+// ActuationFunc observes a sink replica delivering its command to the
+// physical world. The monitor (and any physical plant) subscribes here;
+// BTR semantics: the plant acts on the first command per (sink, period).
+type ActuationFunc func(node network.NodeID, sink flow.TaskID, period uint64, value []byte, at sim.Time)
+
+// EvidenceFunc observes every piece of evidence accepted by any correct
+// node (for metrics and tests).
+type EvidenceFunc func(node network.NodeID, ev evidence.Evidence, at sim.Time)
+
+// SwitchFunc observes mode changes (for metrics and tests).
+type SwitchFunc func(node network.NodeID, from, to string, at sim.Time)
+
+// Behavior is the adversary's hook on a compromised node. Fields are
+// optional; zero value = correct behavior (useful for "compromised but
+// currently dormant" nodes).
+type Behavior struct {
+	// OnOutput intercepts each outgoing record (per consumer replica).
+	// Return the possibly-mutated record, an extra send delay, and false
+	// to suppress the send entirely.
+	OnOutput func(rec evidence.Record, consumer flow.TaskID) (evidence.Record, sim.Time, bool)
+	// SuppressDetection stops the node from reporting faults it observes.
+	SuppressDetection bool
+	// SuppressForwarding stops the node from forwarding evidence.
+	SuppressForwarding bool
+	// BogusEvidencePerPeriod floods this many invalid evidence blobs per
+	// period to every neighbor (the §4.3 DoS attack).
+	BogusEvidencePerPeriod int
+	// SkipActuation suppresses the node's sink replicas' actuations.
+	SkipActuation bool
+}
+
+// Config assembles a runtime system.
+type Config struct {
+	Kernel   *sim.Kernel
+	Net      *network.Network
+	Registry *sig.Registry
+	Strategy *plan.Strategy
+
+	Compute TaskFunc   // default: evidence.HashCompute
+	Source  SourceFunc // default: evidence.SourceValue
+
+	OnActuation ActuationFunc
+	OnEvidence  EvidenceFunc
+	OnSwitch    SwitchFunc
+
+	// EvidenceRateLimit caps evidence messages processed per neighbor per
+	// period (DoS bound). 0 means the default of 16.
+	EvidenceRateLimit int
+}
+
+// System is the collection of BTR nodes driving one simulation.
+type System struct {
+	cfg   Config
+	nodes []*Node
+}
+
+// New builds the per-node runtimes and registers network handlers. Call
+// Start to schedule the first period.
+func New(cfg Config) *System {
+	if cfg.Compute == nil {
+		cfg.Compute = func(task flow.TaskID, period uint64, inputs []evidence.Record) []byte {
+			return evidence.HashCompute(task, period, inputs)
+		}
+	}
+	if cfg.Source == nil {
+		cfg.Source = evidence.SourceValue
+	}
+	if cfg.EvidenceRateLimit == 0 {
+		cfg.EvidenceRateLimit = 16
+	}
+	s := &System{cfg: cfg}
+	n := cfg.Net.Topology().N
+	for id := 0; id < n; id++ {
+		s.nodes = append(s.nodes, newNode(network.NodeID(id), &cfg))
+	}
+	for _, nd := range s.nodes {
+		nd.sys = s
+		cfg.Net.Handle(nd.id, nd.onMessage)
+	}
+	return s
+}
+
+// Node returns the runtime for node id.
+func (s *System) Node(id network.NodeID) *Node { return s.nodes[int(id)] }
+
+// Start schedules every node's first period at t=0.
+func (s *System) Start() {
+	for _, nd := range s.nodes {
+		nd.start()
+	}
+}
+
+// SetBehavior installs (or clears, with nil) a Byzantine behavior.
+func (s *System) SetBehavior(id network.NodeID, b *Behavior) {
+	s.nodes[int(id)].behavior = b
+}
+
+// Crash marks the node as crashed: it stops executing and the network
+// drops its traffic.
+func (s *System) Crash(id network.NodeID) {
+	s.nodes[int(id)].crashed = true
+	s.cfg.Net.SetDown(id, true)
+}
+
+// FaultSetOf returns node id's current local fault set (for tests).
+func (s *System) FaultSetOf(id network.NodeID) plan.FaultSet {
+	return s.nodes[int(id)].faults
+}
+
+// PlanKeyOf returns node id's current plan key (for tests).
+func (s *System) PlanKeyOf(id network.NodeID) string {
+	return s.nodes[int(id)].cur.Key()
+}
+
+// Converged reports whether all correct (non-crashed, non-compromised per
+// the caller's knowledge) nodes run the plan for the same fault set.
+// Callers pass the ground-truth faulty set to exclude.
+func (s *System) Converged(exclude plan.FaultSet) (string, bool) {
+	key := ""
+	first := true
+	for _, nd := range s.nodes {
+		if nd.crashed || exclude.Contains(nd.id) {
+			continue
+		}
+		if first {
+			key, first = nd.cur.Key(), false
+			continue
+		}
+		if nd.cur.Key() != key {
+			return "", false
+		}
+	}
+	return key, true
+}
+
+// msgKind tags the first byte of every payload.
+const (
+	msgData     = 'D'
+	msgEvidence = 'E'
+)
+
+// dataPayload frames a dataflow record: kind byte, record envelope,
+// attached input envelopes.
+func dataPayload(env sig.Envelope, attachments []sig.Envelope) []byte {
+	out := []byte{msgData}
+	eb := env.Encode()
+	out = append(out, byte(len(eb)), byte(len(eb)>>8), byte(len(eb)>>16), byte(len(eb)>>24))
+	out = append(out, eb...)
+	out = append(out, evidence.EncodeEnvelopes(attachments)...)
+	return out
+}
+
+// parseDataPayload reverses dataPayload.
+func parseDataPayload(b []byte) (sig.Envelope, []sig.Envelope, error) {
+	if len(b) < 5 || b[0] != msgData {
+		return sig.Envelope{}, nil, fmt.Errorf("runtime: bad data frame")
+	}
+	n := int(b[1]) | int(b[2])<<8 | int(b[3])<<16 | int(b[4])<<24
+	if n < 0 || len(b) < 5+n {
+		return sig.Envelope{}, nil, fmt.Errorf("runtime: truncated data frame")
+	}
+	env, err := sig.DecodeEnvelope(b[5 : 5+n])
+	if err != nil {
+		return sig.Envelope{}, nil, err
+	}
+	atts, err := evidence.DecodeEnvelopes(b[5+n:])
+	if err != nil {
+		return sig.Envelope{}, nil, err
+	}
+	return env, atts, nil
+}
+
+// evidencePayload frames evidence wrapped in the forwarder's endorsement
+// envelope: the receiver can prove who handed it an invalid blob.
+func evidencePayload(wrapper sig.Envelope) []byte {
+	return append([]byte{msgEvidence}, wrapper.Encode()...)
+}
+
+func parseEvidencePayload(b []byte) (sig.Envelope, error) {
+	if len(b) < 1 || b[0] != msgEvidence {
+		return sig.Envelope{}, fmt.Errorf("runtime: bad evidence frame")
+	}
+	return sig.DecodeEnvelope(b[1:])
+}

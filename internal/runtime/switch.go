@@ -1,0 +1,75 @@
+package runtime
+
+import (
+	"btr/internal/evidence"
+	"btr/internal/network"
+	"btr/internal/sim"
+)
+
+// Mode switching (§4.4): no agreement protocol. The fault set is
+// append-only; valid evidence adds its accused node, path accusations feed
+// the threshold attributor, and the successor plan is a pure function of
+// the local fault set. Every correct node activates the new plan at
+//
+//	ceil((DetectedAt + Delta) / P) * P
+//
+// where Delta >= the evidence distribution bound, so all correct nodes
+// hold the evidence before any of them activates — they converge on the
+// same plan at the same period boundary. ("Since BTR allows the system to
+// produce incorrect outputs for a limited time, some brief confusion may
+// even be acceptable.")
+
+// actOnEvidence updates the fault set from validated evidence.
+func (n *Node) actOnEvidence(ev evidence.Evidence) {
+	if ev.Kind.Proof() {
+		n.addFault(ev.Accused, ev.DetectedAt)
+		return
+	}
+	// Path accusation: aggregate; convictions come from the attributor.
+	acc, err := evidence.DecodeAccusation(ev.Primary.Body)
+	if err != nil {
+		return // validated evidence always decodes; defensive
+	}
+	for _, convicted := range n.attributor.Add(acc.Path, acc.Reporter) {
+		if convicted == n.id {
+			continue // a node never excludes itself; others will
+		}
+		n.addFault(convicted, ev.DetectedAt)
+	}
+}
+
+// addFault registers a newly-convicted node and schedules the mode change.
+func (n *Node) addFault(x network.NodeID, detectedAt sim.Time) {
+	if x < 0 || n.faults.Contains(x) || x == n.id {
+		return
+	}
+	n.faults = n.faults.With(x)
+	p := n.cfg.Strategy.Base.Period
+	delta := n.cfg.Strategy.Delta
+	// Activate one microsecond before a period boundary so the next
+	// period is scheduled entirely under the new plan.
+	boundary := ((detectedAt+delta)/p + 1) * p
+	at := boundary - 1
+	now := n.cfg.Kernel.Now()
+	if at < now {
+		at = now
+	}
+	n.cfg.Kernel.At(at, n.activate)
+}
+
+// activate swaps to the plan for the current fault set.
+func (n *Node) activate() {
+	if n.crashed {
+		return
+	}
+	next := n.cfg.Strategy.PlanFor(n.faults)
+	if next == nil || next.Key() == n.cur.Key() {
+		return
+	}
+	from := n.cur.Key()
+	n.cur = next
+	n.Switches++
+	if n.cfg.OnSwitch != nil {
+		n.cfg.OnSwitch(n.id, from, next.Key(), n.cfg.Kernel.Now())
+	}
+}

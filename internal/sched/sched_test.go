@@ -1,0 +1,330 @@
+package sched
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"btr/internal/flow"
+	"btr/internal/network"
+	"btr/internal/sim"
+)
+
+// fastParams removes crypto costs so latency arithmetic in tests stays
+// simple; individual tests opt back in.
+func fastParams() Params {
+	p := DefaultParams()
+	p.SignCost, p.VerifyCost = 0, 0
+	return p
+}
+
+func allOn(g *flow.Graph, node network.NodeID) map[flow.TaskID]network.NodeID {
+	m := map[flow.TaskID]network.NodeID{}
+	for _, id := range g.TaskIDs() {
+		m[id] = node
+	}
+	return m
+}
+
+func TestSingleNodeChain(t *testing.T) {
+	g := flow.Chain(3, 10*sim.Millisecond, sim.Millisecond, 64, flow.CritA)
+	topo := network.Line(1, 1_000_000, 0)
+	tab, err := Build(g, allOn(g, 0), topo, fastParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.VerifySanity(g); err != nil {
+		t.Fatal(err)
+	}
+	// Three sequential 1ms tasks on one CPU.
+	if tab.Finish["c2"] != 3*sim.Millisecond {
+		t.Errorf("c2 finish = %v, want 3ms", tab.Finish["c2"])
+	}
+	if vs := tab.CheckDeadlines(g); len(vs) != 0 {
+		t.Errorf("unexpected violations: %v", vs)
+	}
+	if u := tab.NodeUtilization(0); u < 0.29 || u > 0.31 {
+		t.Errorf("utilization = %v, want ~0.3", u)
+	}
+}
+
+func TestTwoNodeChainIncludesNetwork(t *testing.T) {
+	g := flow.Chain(2, 10*sim.Millisecond, sim.Millisecond, 968, flow.CritA)
+	topo := network.Line(2, 1_250_000, sim.Millisecond) // fg share 1MB/s
+	assign := map[flow.TaskID]network.NodeID{"c0": 0, "c1": 1}
+	tab, err := Build(g, assign, topo, fastParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// c0: [0,1ms); tx 968B@1MB/s = 968us; prop 1ms; c1 starts at
+	// 1+0.968+1 = 2.968ms, finishes 3.968ms.
+	want := sim.Time(3968)
+	if tab.Finish["c1"] != want {
+		t.Errorf("c1 finish = %v, want %v", tab.Finish["c1"], want)
+	}
+	w := tab.Msgs[g.Edges[0]]
+	if w.Depart != sim.Millisecond || w.Hops != 1 {
+		t.Errorf("msg window = %+v", w)
+	}
+}
+
+func TestCryptoCostsCharged(t *testing.T) {
+	g := flow.Chain(2, 10*sim.Millisecond, sim.Millisecond, 64, flow.CritA)
+	topo := network.Line(2, 1_000_000, 0)
+	assign := map[flow.TaskID]network.NodeID{"c0": 0, "c1": 1}
+	p := fastParams()
+	p.SignCost, p.VerifyCost = 100*sim.Microsecond, 200*sim.Microsecond
+	tab, err := Build(g, assign, topo, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// c0 has one output edge: work = 1ms + 100us.
+	if tab.Finish["c0"] != 1100*sim.Microsecond {
+		t.Errorf("c0 finish = %v, want 1.1ms", tab.Finish["c0"])
+	}
+}
+
+func TestSpeedScaling(t *testing.T) {
+	g := flow.Chain(3, 10*sim.Millisecond, sim.Millisecond, 64, flow.CritA)
+	topo := network.Line(1, 1_000_000, 0)
+	p := fastParams()
+	p.Speed = 2.0
+	tab, err := Build(g, allOn(g, 0), topo, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Finish["c2"] != 1500*sim.Microsecond {
+		t.Errorf("2x speed: c2 finish = %v, want 1.5ms", tab.Finish["c2"])
+	}
+	p.Speed = 0.5
+	tab, err = Build(g, allOn(g, 0), topo, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Finish["c2"] != 6*sim.Millisecond {
+		t.Errorf("0.5x speed: c2 finish = %v, want 6ms", tab.Finish["c2"])
+	}
+}
+
+func TestUnschedulableWhenOverloaded(t *testing.T) {
+	// 12 x 1ms tasks in a 10ms period on one CPU cannot fit.
+	g := flow.Chain(12, 10*sim.Millisecond, sim.Millisecond, 8, flow.CritA)
+	topo := network.Line(1, 1_000_000, 0)
+	_, err := Build(g, allOn(g, 0), topo, fastParams())
+	if err == nil {
+		t.Fatal("expected unschedulable")
+	}
+	if _, ok := err.(*UnschedulableError); !ok {
+		t.Errorf("error type = %T, want *UnschedulableError", err)
+	}
+}
+
+func TestMissingAssignment(t *testing.T) {
+	g := flow.Chain(2, 10*sim.Millisecond, sim.Millisecond, 8, flow.CritA)
+	topo := network.Line(1, 1_000_000, 0)
+	_, err := Build(g, map[flow.TaskID]network.NodeID{"c0": 0}, topo, fastParams())
+	if err == nil || !strings.Contains(err.Error(), "unassigned") {
+		t.Errorf("err = %v, want unassigned", err)
+	}
+}
+
+func TestNoRoute(t *testing.T) {
+	g := flow.Chain(2, 10*sim.Millisecond, sim.Millisecond, 8, flow.CritA)
+	topo := network.NewTopology(3, []network.Link{{A: 0, B: 1, Bandwidth: 1000}})
+	assign := map[flow.TaskID]network.NodeID{"c0": 0, "c1": 2} // 2 is isolated
+	_, err := Build(g, assign, topo, fastParams())
+	if err == nil || !strings.Contains(err.Error(), "no route") {
+		t.Errorf("err = %v, want no route", err)
+	}
+}
+
+func TestParallelTasksOnDistinctNodes(t *testing.T) {
+	g := flow.ForkJoin(2, 20*sim.Millisecond, sim.Millisecond, 64, flow.CritB)
+	topo := network.FullMesh(4, 10_000_000, 0)
+	assign := map[flow.TaskID]network.NodeID{
+		"src": 0, "w0": 1, "w1": 2, "join": 3, "sink": 3,
+	}
+	tab, err := Build(g, assign, topo, fastParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.VerifySanity(g); err != nil {
+		t.Fatal(err)
+	}
+	// w0 and w1 run in parallel: both should start at the same offset.
+	_, s0, _ := tab.SlotFor("w0")
+	_, s1, _ := tab.SlotFor("w1")
+	if s0.Start != s1.Start {
+		t.Errorf("parallel workers start at %v and %v", s0.Start, s1.Start)
+	}
+}
+
+func TestLinkContentionSerializes(t *testing.T) {
+	// Two producers on node 0 both send 1ms-sized messages to node 1;
+	// windows on the directed link must not overlap.
+	g := flow.NewGraph("contend", 20*sim.Millisecond)
+	g.AddTask(flow.Task{ID: "a", WCET: sim.Millisecond, Crit: flow.CritA, Source: true})
+	g.AddTask(flow.Task{ID: "b", WCET: sim.Millisecond, Crit: flow.CritA, Source: true})
+	g.AddTask(flow.Task{ID: "k", WCET: sim.Millisecond, Crit: flow.CritA, Sink: true, Deadline: 20 * sim.Millisecond})
+	g.Connect("a", "k", 968)
+	g.Connect("b", "k", 968)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	topo := network.Line(2, 1_250_000, 0) // fg 1MB/s => 968B ~ 968us... wait header not modeled in sched
+	assign := map[flow.TaskID]network.NodeID{"a": 0, "b": 0, "k": 1}
+	tab, err := Build(g, assign, topo, fastParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w1, w2 := tab.Msgs[g.Edges[0]], tab.Msgs[g.Edges[1]]
+	// Same link, same direction: transmissions must be disjoint.
+	lo, hi := w1, w2
+	if lo.Depart > hi.Depart {
+		lo, hi = hi, lo
+	}
+	if hi.Depart < lo.Arrive {
+		t.Errorf("link transmissions overlap: %+v vs %+v", w1, w2)
+	}
+}
+
+func TestDeadlineViolationDetected(t *testing.T) {
+	g := flow.NewGraph("tight", 10*sim.Millisecond)
+	g.AddTask(flow.Task{ID: "s", WCET: sim.Millisecond, Crit: flow.CritA, Source: true})
+	g.AddTask(flow.Task{ID: "k", WCET: sim.Millisecond, Crit: flow.CritA, Sink: true,
+		Deadline: 1500 * sim.Microsecond}) // needs 2ms
+	g.Connect("s", "k", 8)
+	topo := network.Line(1, 1_000_000, 0)
+	tab, err := Build(g, allOn(g, 0), topo, fastParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	vs := tab.CheckDeadlines(g)
+	if len(vs) != 1 || vs[0].Sink != "k" {
+		t.Fatalf("violations = %v, want one on k", vs)
+	}
+	if !strings.Contains(vs[0].String(), "deadline") {
+		t.Error("violation string unhelpful")
+	}
+}
+
+func TestAvionicsSchedulesOnFourNodes(t *testing.T) {
+	g := flow.Avionics(20 * sim.Millisecond)
+	topo := network.FullMesh(4, 10_000_000, 100*sim.Microsecond)
+	// Round-robin assignment.
+	assign := map[flow.TaskID]network.NodeID{}
+	for i, id := range g.TaskIDs() {
+		assign[id] = network.NodeID(i % 4)
+	}
+	tab, err := Build(g, assign, topo, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.VerifySanity(g); err != nil {
+		t.Fatal(err)
+	}
+	if vs := tab.CheckDeadlines(g); len(vs) != 0 {
+		t.Errorf("avionics violations: %v", vs)
+	}
+}
+
+func TestMakespanAndMaxUtilization(t *testing.T) {
+	g := flow.Chain(3, 10*sim.Millisecond, sim.Millisecond, 64, flow.CritA)
+	topo := network.Line(2, 1_000_000, 0)
+	assign := map[flow.TaskID]network.NodeID{"c0": 0, "c1": 0, "c2": 1}
+	tab, err := Build(g, assign, topo, fastParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Makespan() != tab.Finish["c2"] {
+		t.Errorf("makespan %v != c2 finish %v", tab.Makespan(), tab.Finish["c2"])
+	}
+	node, u := tab.MaxUtilization()
+	if node != 0 || u < tab.NodeUtilization(1) {
+		t.Errorf("MaxUtilization = node %d (%v)", node, u)
+	}
+}
+
+func TestIntervalSetGapFinding(t *testing.T) {
+	s := &intervalSet{}
+	s.reserve("a", 10, 20)
+	s.reserve("b", 30, 40)
+	cases := []struct{ from, dur, want sim.Time }{
+		{0, 5, 0},    // fits before first interval
+		{0, 10, 0},   // exactly fits
+		{0, 11, 40},  // too big for either gap -> after "b"
+		{12, 5, 20},  // from inside "a" -> after it
+		{20, 10, 20}, // exact middle gap
+		{20, 11, 40}, // middle gap too small -> after "b"
+		{50, 5, 50},  // after everything
+	}
+	for _, c := range cases {
+		if got := s.earliestGap(c.from, c.dur); got != c.want {
+			t.Errorf("earliestGap(%d,%d) = %d, want %d", c.from, c.dur, got, c.want)
+		}
+	}
+}
+
+func TestPropertyNoCPUOverlapRandomGraphs(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := sim.NewRNG(seed)
+		g := flow.Random(rng, 40*sim.Millisecond, flow.DefaultRandomOpts())
+		topo := network.FullMesh(4, 10_000_000, 0)
+		assign := map[flow.TaskID]network.NodeID{}
+		for _, id := range g.TaskIDs() {
+			assign[id] = network.NodeID(rng.Intn(4))
+		}
+		tab, err := Build(g, assign, topo, DefaultParams())
+		if err != nil {
+			return true // unschedulable is a legitimate outcome
+		}
+		return tab.VerifySanity(g) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyPrecedencesRespected(t *testing.T) {
+	// For every edge, the consumer must start at/after the producer's
+	// message arrival.
+	f := func(seed uint64) bool {
+		rng := sim.NewRNG(seed)
+		g := flow.Random(rng, 40*sim.Millisecond, flow.DefaultRandomOpts())
+		topo := network.Ring(5, 10_000_000, 50*sim.Microsecond)
+		assign := map[flow.TaskID]network.NodeID{}
+		for _, id := range g.TaskIDs() {
+			assign[id] = network.NodeID(rng.Intn(5))
+		}
+		tab, err := Build(g, assign, topo, DefaultParams())
+		if err != nil {
+			return true
+		}
+		for _, e := range g.Edges {
+			w := tab.Msgs[e]
+			_, slot, ok := tab.SlotFor(e.To)
+			if !ok || slot.Start < w.Arrive {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkBuildAvionics(b *testing.B) {
+	g := flow.Avionics(20 * sim.Millisecond)
+	topo := network.FullMesh(4, 10_000_000, 100*sim.Microsecond)
+	assign := map[flow.TaskID]network.NodeID{}
+	for i, id := range g.TaskIDs() {
+		assign[id] = network.NodeID(i % 4)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Build(g, assign, topo, DefaultParams()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

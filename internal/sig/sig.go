@@ -1,0 +1,131 @@
+// Package sig provides the cryptographic substrate BTR's evidence relies
+// on: every node holds an ed25519 keypair, every dataflow output and every
+// piece of evidence is signed, and any node can verify any other node's
+// signatures. The Byzantine adversary controls compromised nodes' behavior
+// but not other nodes' private keys, so evidence built from signed
+// statements is self-certifying (§4.2 of the paper).
+//
+// Because BTR schedules crypto alongside the workload ("there are no extra
+// resources for BTR", §4.1), the package also exposes a CostModel charging
+// virtual CPU time for sign/verify operations.
+package sig
+
+import (
+	"crypto/ed25519"
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"btr/internal/network"
+	"btr/internal/sim"
+)
+
+// CostModel gives the virtual CPU time consumed by crypto operations.
+// Defaults approximate an embedded-class CPU (the paper notes CPS CPUs are
+// "far less powerful than CPUs in servers").
+type CostModel struct {
+	Sign   sim.Time
+	Verify sim.Time
+}
+
+// DefaultCosts is a plausible embedded-CPU cost model.
+func DefaultCosts() CostModel {
+	return CostModel{Sign: 200 * sim.Microsecond, Verify: 400 * sim.Microsecond}
+}
+
+// Registry maps node IDs to keypairs. Keys are derived deterministically
+// from a seed so simulations are reproducible.
+type Registry struct {
+	privs []ed25519.PrivateKey
+	pubs  []ed25519.PublicKey
+	Costs CostModel
+}
+
+// NewRegistry creates keypairs for nodes 0..n-1, derived from seed.
+func NewRegistry(seed uint64, n int) *Registry {
+	r := &Registry{
+		privs: make([]ed25519.PrivateKey, n),
+		pubs:  make([]ed25519.PublicKey, n),
+		Costs: DefaultCosts(),
+	}
+	rng := sim.NewRNG(seed ^ 0x5167_5167_5167_5167)
+	for i := 0; i < n; i++ {
+		var kseed [ed25519.SeedSize]byte
+		for j := 0; j < ed25519.SeedSize; j += 8 {
+			binary.LittleEndian.PutUint64(kseed[j:], rng.Uint64())
+		}
+		r.privs[i] = ed25519.NewKeyFromSeed(kseed[:])
+		r.pubs[i] = r.privs[i].Public().(ed25519.PublicKey)
+	}
+	return r
+}
+
+// N returns the number of registered nodes.
+func (r *Registry) N() int { return len(r.pubs) }
+
+// Sign returns id's signature over msg. Only the simulation harness calls
+// this on behalf of a node; the adversary "owns" compromised nodes' keys,
+// which is exactly the Byzantine model.
+func (r *Registry) Sign(id network.NodeID, msg []byte) []byte {
+	return ed25519.Sign(r.privs[id], msg)
+}
+
+// Verify reports whether sig is id's valid signature over msg.
+func (r *Registry) Verify(id network.NodeID, msg, sig []byte) bool {
+	if int(id) < 0 || int(id) >= len(r.pubs) || len(sig) != ed25519.SignatureSize {
+		return false
+	}
+	return ed25519.Verify(r.pubs[id], msg, sig)
+}
+
+// SignatureSize is the wire size of a signature.
+const SignatureSize = ed25519.SignatureSize
+
+// Envelope is a signed statement: Signer attests to Body. Envelopes are
+// the unit from which both dataflow messages and evidence are built.
+type Envelope struct {
+	Signer network.NodeID
+	Body   []byte
+	Sig    []byte
+}
+
+// Seal signs body as signer and returns the envelope.
+func (r *Registry) Seal(signer network.NodeID, body []byte) Envelope {
+	return Envelope{Signer: signer, Body: body, Sig: r.Sign(signer, body)}
+}
+
+// Check verifies the envelope's signature.
+func (r *Registry) Check(e Envelope) bool {
+	return r.Verify(e.Signer, e.Body, e.Sig)
+}
+
+var errTruncated = errors.New("sig: truncated envelope")
+
+// Encode serializes the envelope: signer(4) | len(4) | body | sig(64).
+func (e Envelope) Encode() []byte {
+	out := make([]byte, 8+len(e.Body)+len(e.Sig))
+	binary.LittleEndian.PutUint32(out[0:], uint32(e.Signer))
+	binary.LittleEndian.PutUint32(out[4:], uint32(len(e.Body)))
+	copy(out[8:], e.Body)
+	copy(out[8+len(e.Body):], e.Sig)
+	return out
+}
+
+// DecodeEnvelope parses an encoded envelope. It is strict: trailing bytes
+// or a short signature are errors, so malformed (possibly adversarial)
+// input is rejected cheaply before any signature check.
+func DecodeEnvelope(b []byte) (Envelope, error) {
+	if len(b) < 8 {
+		return Envelope{}, errTruncated
+	}
+	signer := network.NodeID(binary.LittleEndian.Uint32(b[0:]))
+	n := int(binary.LittleEndian.Uint32(b[4:]))
+	if n < 0 || len(b) != 8+n+SignatureSize {
+		return Envelope{}, fmt.Errorf("sig: bad envelope framing (body %d, total %d)", n, len(b))
+	}
+	body := make([]byte, n)
+	copy(body, b[8:8+n])
+	s := make([]byte, SignatureSize)
+	copy(s, b[8+n:])
+	return Envelope{Signer: signer, Body: body, Sig: s}, nil
+}

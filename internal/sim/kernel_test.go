@@ -1,0 +1,276 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		in   Time
+		want string
+	}{
+		{0, "0us"},
+		{5, "5us"},
+		{1500, "1.500ms"},
+		{2 * Second, "2.000s"},
+		{Never, "never"},
+		{-3 * Millisecond, "-3.000ms"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("Time(%d).String() = %q, want %q", int64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestTimeConversions(t *testing.T) {
+	if got := (2500 * Millisecond).Seconds(); got != 2.5 {
+		t.Errorf("Seconds() = %v, want 2.5", got)
+	}
+	if got := (3 * Millisecond).Millis(); got != 3.0 {
+		t.Errorf("Millis() = %v, want 3", got)
+	}
+	if got := FromSeconds(1.5); got != 1500*Millisecond {
+		t.Errorf("FromSeconds(1.5) = %v, want 1.5s", got)
+	}
+}
+
+func TestKernelOrdering(t *testing.T) {
+	k := NewKernel(1)
+	var order []int
+	k.At(30, func() { order = append(order, 3) })
+	k.At(10, func() { order = append(order, 1) })
+	k.At(20, func() { order = append(order, 2) })
+	k.RunAll()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("events ran out of order: %v", order)
+	}
+	if k.Now() != 30 {
+		t.Errorf("Now() = %v, want 30", k.Now())
+	}
+}
+
+func TestKernelFIFOTieBreak(t *testing.T) {
+	// Events at the same timestamp must run in insertion order.
+	k := NewKernel(1)
+	var order []int
+	for i := 0; i < 100; i++ {
+		i := i
+		k.At(5, func() { order = append(order, i) })
+	}
+	k.RunAll()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("tie-break violated at index %d: got %d", i, v)
+		}
+	}
+}
+
+func TestKernelNestedScheduling(t *testing.T) {
+	k := NewKernel(1)
+	var hits []Time
+	k.At(10, func() {
+		hits = append(hits, k.Now())
+		k.After(5, func() { hits = append(hits, k.Now()) })
+	})
+	k.RunAll()
+	if len(hits) != 2 || hits[0] != 10 || hits[1] != 15 {
+		t.Fatalf("nested scheduling wrong: %v", hits)
+	}
+}
+
+func TestKernelRunUntil(t *testing.T) {
+	k := NewKernel(1)
+	var count int
+	for _, tm := range []Time{5, 10, 15, 20} {
+		k.At(tm, func() { count++ })
+	}
+	n := k.Run(12)
+	if n != 2 || count != 2 {
+		t.Fatalf("Run(12) dispatched %d (count %d), want 2", n, count)
+	}
+	if k.Now() != 12 {
+		t.Errorf("clock after Run(12) = %v, want 12", k.Now())
+	}
+	if k.Pending() != 2 {
+		t.Errorf("Pending() = %d, want 2", k.Pending())
+	}
+	if k.NextEventTime() != 15 {
+		t.Errorf("NextEventTime() = %v, want 15", k.NextEventTime())
+	}
+}
+
+func TestKernelStop(t *testing.T) {
+	k := NewKernel(1)
+	var count int
+	k.At(1, func() { count++; k.Stop() })
+	k.At(2, func() { count++ })
+	k.RunAll()
+	if count != 1 {
+		t.Fatalf("Stop did not halt: count = %d", count)
+	}
+	if !k.Stopped() {
+		t.Error("Stopped() = false after Stop")
+	}
+	if k.Step() {
+		t.Error("Step() succeeded after Stop")
+	}
+}
+
+func TestKernelPastSchedulingPanics(t *testing.T) {
+	k := NewKernel(1)
+	k.At(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		k.At(5, func() {})
+	})
+	k.RunAll()
+}
+
+func TestKernelNegativeAfterPanics(t *testing.T) {
+	k := NewKernel(1)
+	defer func() {
+		if recover() == nil {
+			t.Error("After(-1) did not panic")
+		}
+	}()
+	k.After(-1, func() {})
+}
+
+func TestKernelEmptyNextEventTime(t *testing.T) {
+	k := NewKernel(1)
+	if k.NextEventTime() != Never {
+		t.Errorf("NextEventTime on empty queue = %v, want Never", k.NextEventTime())
+	}
+}
+
+func TestKernelDeterminism(t *testing.T) {
+	// Two kernels with identical seeds and schedules produce identical
+	// random draws interleaved with events.
+	run := func() []uint64 {
+		k := NewKernel(42)
+		var draws []uint64
+		for i := 0; i < 50; i++ {
+			k.At(Time(i*3), func() { draws = append(draws, k.RNG().Uint64()) })
+		}
+		k.RunAll()
+		return draws
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("determinism violated at draw %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestRNGIntnRange(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 10000; i++ {
+		v := r.Intn(13)
+		if v < 0 || v >= 13 {
+			t.Fatalf("Intn(13) = %d out of range", v)
+		}
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(8)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", v)
+		}
+	}
+}
+
+func TestRNGPermIsPermutation(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := NewRNG(seed)
+		n := 1 + int(seed%50)
+		p := r.Perm(n)
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRNGForkIndependence(t *testing.T) {
+	r1 := NewRNG(99)
+	f1 := r1.Fork()
+	// Drawing from the fork must not perturb the parent relative to a
+	// parent that forked but never used the child.
+	r2 := NewRNG(99)
+	_ = r2.Fork()
+	for i := 0; i < 100; i++ {
+		f1.Uint64()
+	}
+	for i := 0; i < 100; i++ {
+		if r1.Uint64() != r2.Uint64() {
+			t.Fatal("fork usage perturbed parent stream")
+		}
+	}
+}
+
+func TestRNGIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) did not panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestRNGDurationRange(t *testing.T) {
+	r := NewRNG(3)
+	for i := 0; i < 1000; i++ {
+		d := r.Duration(Second)
+		if d < 0 || d >= Second {
+			t.Fatalf("Duration out of range: %v", d)
+		}
+	}
+}
+
+func TestRNGUniformity(t *testing.T) {
+	// Crude chi-square-ish check: each of 10 buckets of Intn(10) should
+	// receive roughly 1/10 of 100k draws.
+	r := NewRNG(1234)
+	const draws = 100000
+	var buckets [10]int
+	for i := 0; i < draws; i++ {
+		buckets[r.Intn(10)]++
+	}
+	for b, c := range buckets {
+		if c < draws/10-draws/50 || c > draws/10+draws/50 {
+			t.Errorf("bucket %d has %d draws, expected ~%d", b, c, draws/10)
+		}
+	}
+}
+
+func BenchmarkKernelEventDispatch(b *testing.B) {
+	k := NewKernel(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		k.At(k.Now()+1, func() {})
+		k.Step()
+	}
+}
+
+func BenchmarkRNGUint64(b *testing.B) {
+	r := NewRNG(1)
+	for i := 0; i < b.N; i++ {
+		r.Uint64()
+	}
+}
