@@ -1,0 +1,52 @@
+# BTR reproduction — build / test / benchmark entry points.
+#
+# `make ci` is the gate every PR must pass: vet, build, the full test
+# suite under the race detector, and a one-iteration benchmark smoke of
+# the campaign runner. `make bench-json` regenerates BENCH_campaign.json,
+# the tracked perf trajectory of the experiment table.
+
+GO ?= go
+
+.PHONY: all build test vet fmt race ci bench bench-json fuzz campaign clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Short fuzz pass over the evidence codec (the seed corpus always runs as
+# part of `go test`; this digs further).
+fuzz:
+	$(GO) test ./internal/evidence -fuzz=FuzzRecordRoundTrip -fuzztime=30s
+
+# One-iteration benchmark smoke: every experiment benchmark plus the
+# campaign serial/parallel pair, without -benchtime noise.
+bench:
+	$(GO) test -run='^$$' -bench=. -benchtime=1x .
+
+# Regenerate the tracked campaign perf bundle (full, non-quick sweep).
+bench-json:
+	BTR_BENCH_OUT=$(CURDIR)/BENCH_campaign.json $(GO) test -run TestEmitCampaignBench -v .
+
+# Full campaign, all scenario families, JSON bundle to stdout.
+campaign:
+	$(GO) run ./cmd/btrcampaign -json
+
+ci: fmt vet build race bench
+	@echo "ci: OK"
+
+clean:
+	$(GO) clean ./...

@@ -7,10 +7,16 @@ package btr
 // as a results regeneration pass.
 
 import (
+	"encoding/json"
+	"io"
+	"os"
+	"runtime"
 	"strconv"
 	"strings"
 	"testing"
+	"time"
 
+	"btr/internal/campaign"
 	"btr/internal/exp"
 )
 
@@ -38,6 +44,86 @@ func cellMillis(cell string) (float64, bool) {
 	}
 	v, err := strconv.ParseFloat(s, 64)
 	return v, err == nil
+}
+
+// benchCampaign runs the full paper experiment table (quick mode) through
+// the campaign runner at the given worker count.
+func benchCampaign(b *testing.B, workers int) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		exp.RunAllWorkers(io.Discard, 1, true, workers)
+	}
+}
+
+func BenchmarkCampaignSerial(b *testing.B)   { benchCampaign(b, 1) }
+func BenchmarkCampaignWorkers4(b *testing.B) { benchCampaign(b, 4) }
+
+// campaignBench is the BENCH_campaign.json schema: the perf trajectory of
+// the experiment table through the campaign runner, tracked from PR 1
+// onward. Timing fields are machine-dependent; cores records the machine.
+type campaignBench struct {
+	Schema   string  `json:"schema"`
+	Seed     uint64  `json:"seed"`
+	Quick    bool    `json:"quick"`
+	Cores    int     `json:"cores"`
+	SerialMS float64 `json:"serial_wall_ms"`   // workers=1
+	Par4MS   float64 `json:"workers4_wall_ms"` // workers=4
+	Speedup  float64 `json:"speedup_4w"`
+
+	Scenarios []campaignBenchScenario `json:"scenarios"`
+}
+
+type campaignBenchScenario struct {
+	ID     string  `json:"id"`
+	Trials int     `json:"trials"`
+	Failed int     `json:"failed"`
+	WorkMS float64 `json:"work_ms"` // summed trial compute (serial run)
+}
+
+// TestEmitCampaignBench writes BENCH_campaign.json when BTR_BENCH_OUT is
+// set (wired to `make bench-json`); it is skipped in normal test runs.
+func TestEmitCampaignBench(t *testing.T) {
+	out := os.Getenv("BTR_BENCH_OUT")
+	if out == "" {
+		t.Skip("set BTR_BENCH_OUT=<path> to emit the campaign benchmark bundle")
+	}
+	quick := os.Getenv("BTR_BENCH_QUICK") != ""
+	scens := exp.PaperScenarios()
+	p := campaign.Params{Seed: 1, Quick: quick}
+
+	start := time.Now()
+	serialRes := campaign.Run(scens, campaign.Options{Workers: 1, Params: p})
+	serial := time.Since(start)
+	start = time.Now()
+	campaign.Run(scens, campaign.Options{Workers: 4, Params: p})
+	par4 := time.Since(start)
+
+	bench := campaignBench{
+		Schema: "btr-campaign-bench/v1",
+		Seed:   1, Quick: quick,
+		Cores:    runtime.NumCPU(),
+		SerialMS: float64(serial.Microseconds()) / 1000,
+		Par4MS:   float64(par4.Microseconds()) / 1000,
+		Speedup:  float64(serial) / float64(par4),
+	}
+	for _, r := range serialRes {
+		bench.Scenarios = append(bench.Scenarios, campaignBenchScenario{
+			ID: r.ID, Trials: len(r.Trials), Failed: r.Failed,
+			WorkMS: float64(r.Work.Microseconds()) / 1000,
+		})
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		t.Fatalf("create %s: %v", out, err)
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(bench); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	t.Logf("wrote %s: serial %.0fms, workers=4 %.0fms, speedup %.2fx on %d core(s)",
+		out, bench.SerialMS, bench.Par4MS, bench.Speedup, bench.Cores)
 }
 
 func BenchmarkE1Recovery(b *testing.B) {

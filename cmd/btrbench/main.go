@@ -1,13 +1,16 @@
 // Command btrbench regenerates every experiment table from the paper
-// reproduction (E1–E10; see EXPERIMENTS.md). Usage:
+// reproduction (E1–E10; see EXPERIMENTS.md). Experiments run through the
+// parallel campaign runner; tables are byte-identical for any -workers
+// value. Usage:
 //
-//	btrbench [-seed N] [-quick] [-only E6]
+//	btrbench [-seed N] [-quick] [-only E6] [-workers N]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"btr/internal/exp"
 )
@@ -16,6 +19,7 @@ func main() {
 	seed := flag.Uint64("seed", 1, "simulation seed (results are deterministic per seed)")
 	quick := flag.Bool("quick", false, "smaller sweeps (for smoke runs)")
 	only := flag.String("only", "", "run a single experiment (e.g. E6)")
+	workers := flag.Int("workers", runtime.NumCPU(), "trial worker pool size (does not affect output)")
 	flag.Parse()
 
 	if *only != "" {
@@ -32,5 +36,5 @@ func main() {
 		fmt.Fprintf(os.Stderr, "btrbench: unknown experiment %q\n", *only)
 		os.Exit(2)
 	}
-	exp.RunAll(os.Stdout, *seed, *quick)
+	exp.RunAllWorkers(os.Stdout, *seed, *quick, *workers)
 }

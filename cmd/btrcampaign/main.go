@@ -1,0 +1,103 @@
+// Command btrcampaign runs fault-injection campaigns: every scenario
+// (the paper reproductions E1–E10 and the sweep families C1–C3) fanned
+// out over a deterministic worker pool. Aggregated tables are
+// byte-identical for any -workers value. Usage:
+//
+//	btrcampaign [-workers N] [-trials N] [-seed N] [-quick] [-json]
+//	            [-only E6] [-family campaign] [-list] [-v]
+//
+// With -json, the full machine-readable result bundle (tables, per-trial
+// status and timing, campaign metadata) is written to stdout.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"btr/internal/campaign"
+	"btr/internal/exp"
+)
+
+func main() {
+	workers := flag.Int("workers", runtime.NumCPU(), "worker pool size (output is identical for any value)")
+	trials := flag.Int("trials", 1, "Monte Carlo multiplier for randomized scenario families")
+	seed := flag.Uint64("seed", 1, "campaign master seed (every trial seed is split from it)")
+	quick := flag.Bool("quick", false, "smaller sweeps (for smoke runs)")
+	jsonOut := flag.Bool("json", false, "emit the machine-readable result bundle as JSON")
+	only := flag.String("only", "", "run a single scenario (e.g. E6 or C1)")
+	family := flag.String("family", "", "run one scenario family (paper | campaign)")
+	list := flag.Bool("list", false, "list scenarios and exit")
+	verbose := flag.Bool("v", false, "print per-trial progress to stderr")
+	flag.Parse()
+	if *workers < 1 {
+		*workers = 1
+	}
+	if *trials < 1 {
+		*trials = 1
+	}
+
+	all := exp.Scenarios()
+	if *list {
+		for _, sc := range all {
+			fmt.Printf("%-4s %-9s %s\n", sc.ID, sc.Family, sc.Claim)
+		}
+		return
+	}
+
+	var selected []campaign.Scenario
+	for _, sc := range all {
+		if *only != "" && sc.ID != *only {
+			continue
+		}
+		if *family != "" && sc.Family != *family {
+			continue
+		}
+		selected = append(selected, sc)
+	}
+	if len(selected) == 0 {
+		fmt.Fprintf(os.Stderr, "btrcampaign: no scenario matches -only=%q -family=%q\n", *only, *family)
+		os.Exit(2)
+	}
+
+	opts := campaign.Options{
+		Workers: *workers,
+		Params:  campaign.Params{Seed: *seed, Quick: *quick, Trials: *trials},
+	}
+	if *verbose {
+		opts.OnTrial = func(id string, tr campaign.TrialResult) {
+			status := "ok"
+			if tr.Err != nil {
+				status = "FAILED"
+			}
+			fmt.Fprintf(os.Stderr, "[%s] %-40s %-6s %8.1fms\n",
+				id, tr.Name, status, float64(tr.Elapsed.Microseconds())/1000)
+		}
+	}
+
+	start := time.Now()
+	results := campaign.Run(selected, opts)
+	wall := time.Since(start)
+
+	failed := 0
+	for _, r := range results {
+		failed += r.Failed
+	}
+	if *jsonOut {
+		if err := campaign.NewBundle(opts, wall, results).WriteJSON(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "btrcampaign: %v\n", err)
+			os.Exit(1)
+		}
+	} else {
+		for _, r := range results {
+			exp.WriteResult(os.Stdout, r)
+		}
+		fmt.Printf("campaign: %d scenario(s), %d worker(s), wall %v\n", len(results), *workers, wall.Round(time.Millisecond))
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "btrcampaign: %d trial(s) failed\n", failed)
+		os.Exit(1)
+	}
+}

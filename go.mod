@@ -1,0 +1,3 @@
+module btr
+
+go 1.21

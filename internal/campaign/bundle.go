@@ -1,0 +1,100 @@
+package campaign
+
+import (
+	"encoding/json"
+	"io"
+	"runtime"
+	"time"
+
+	"btr/internal/metrics"
+)
+
+// Bundle is the machine-readable result of one campaign run: everything a
+// downstream consumer (CI trend tracking, plotting, regression diffing)
+// needs without reparsing rendered tables. Tables, rows, and trial order
+// are deterministic; the *_ms timing fields are diagnostics and vary run
+// to run.
+type Bundle struct {
+	Seed    uint64  `json:"seed"`
+	Workers int     `json:"workers"`
+	Trials  int     `json:"trials"`
+	Quick   bool    `json:"quick"`
+	Cores   int     `json:"cores"` // runtime.NumCPU at run time
+	WallMS  float64 `json:"wall_ms"`
+
+	Scenarios []ScenarioBundle `json:"scenarios"`
+}
+
+// ScenarioBundle is one scenario's share of a Bundle.
+type ScenarioBundle struct {
+	ID     string        `json:"id"`
+	Family string        `json:"family"`
+	Claim  string        `json:"claim"`
+	Failed int           `json:"failed_trials"`
+	WorkMS float64       `json:"work_ms"` // summed trial wall time
+	Trials []TrialBundle `json:"trials"`
+	Tables []TableBundle `json:"tables"`
+}
+
+// TrialBundle is one trial's share of a Bundle.
+type TrialBundle struct {
+	Name string  `json:"name"`
+	OK   bool    `json:"ok"`
+	Err  string  `json:"err,omitempty"`
+	MS   float64 `json:"ms"`
+}
+
+// TableBundle mirrors metrics.Table for JSON output.
+type TableBundle struct {
+	Title   string     `json:"title"`
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+	Notes   []string   `json:"notes,omitempty"`
+}
+
+// NewBundle packages campaign results for serialization.
+func NewBundle(opts Options, wall time.Duration, results []ScenarioResult) Bundle {
+	p := opts.Params.norm()
+	workers := opts.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	b := Bundle{
+		Seed: p.Seed, Workers: workers, Trials: p.Trials, Quick: p.Quick,
+		Cores:  runtime.NumCPU(),
+		WallMS: float64(wall.Microseconds()) / 1000,
+	}
+	for _, r := range results {
+		sb := ScenarioBundle{
+			ID: r.ID, Family: r.Family, Claim: r.Claim,
+			Failed: r.Failed,
+			WorkMS: float64(r.Work.Microseconds()) / 1000,
+		}
+		for _, tr := range r.Trials {
+			tb := TrialBundle{
+				Name: tr.Name, OK: tr.Err == nil,
+				MS: float64(tr.Elapsed.Microseconds()) / 1000,
+			}
+			if tr.Err != nil {
+				tb.Err = FirstLine(tr.Err.Error())
+			}
+			sb.Trials = append(sb.Trials, tb)
+		}
+		for _, t := range r.Tables {
+			sb.Tables = append(sb.Tables, tableBundle(t))
+		}
+		b.Scenarios = append(b.Scenarios, sb)
+	}
+	return b
+}
+
+func tableBundle(t *metrics.Table) TableBundle {
+	return TableBundle{Title: t.Title, Columns: t.Columns, Rows: t.Rows, Notes: t.Notes}
+}
+
+// WriteJSON serializes the bundle as indented JSON.
+func (b Bundle) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(b)
+}

@@ -1,0 +1,105 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+
+	"btr/internal/campaign"
+)
+
+// renderAll runs every scenario (paper + campaign families) in quick mode
+// with the given worker count and renders the aggregated tables.
+func renderAll(t *testing.T, workers int) string {
+	t.Helper()
+	results := campaign.Run(Scenarios(), campaign.Options{
+		Workers: workers,
+		Params:  campaign.Params{Seed: 1, Quick: true, Trials: 1},
+	})
+	var b strings.Builder
+	for _, r := range results {
+		if r.Failed > 0 {
+			for _, tr := range r.Trials {
+				if tr.Err != nil {
+					t.Errorf("%s/%s failed: %v", r.ID, tr.Name, tr.Err)
+				}
+			}
+		}
+		WriteResult(&b, r)
+	}
+	return b.String()
+}
+
+// TestCampaignDeterministicAcrossWorkers is the headline determinism
+// guarantee: the full campaign — every experiment and sweep family —
+// produces byte-identical aggregated tables at -workers=1 and -workers=8.
+func TestCampaignDeterministicAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full campaign in -short mode")
+	}
+	serial := renderAll(t, 1)
+	parallel := renderAll(t, 8)
+	if serial != parallel {
+		t.Fatalf("workers=1 and workers=8 disagree:\n--- workers=1 ---\n%s\n--- workers=8 ---\n%s",
+			serial, parallel)
+	}
+	for _, id := range []string{"E1", "E5", "E10", "C1", "C2", "C3"} {
+		if !strings.Contains(serial, "---- "+id+":") {
+			t.Errorf("campaign output missing %s", id)
+		}
+	}
+}
+
+// TestSerialPathMatchesCampaignPath pins the tentpole refactor contract:
+// the legacy serial API (All/Run) and the campaign runner produce the
+// same tables.
+func TestSerialPathMatchesCampaignPath(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full comparison in -short mode")
+	}
+	var serial strings.Builder
+	for _, e := range All() {
+		res := e.Run(1, true)
+		serial.WriteString("---- " + res.ID + ": " + res.Claim + " ----\n")
+		for _, tb := range res.Tables {
+			serial.WriteString(tb.String())
+			serial.WriteString("\n")
+		}
+	}
+	var parallel strings.Builder
+	RunAllWorkers(&parallel, 1, true, 4)
+	if serial.String() != parallel.String() {
+		t.Fatalf("serial experiment path and parallel campaign path disagree:\n--- serial ---\n%s\n--- parallel ---\n%s",
+			serial.String(), parallel.String())
+	}
+}
+
+// TestCampaignSweepsHoldBounds asserts the sweep families' claims on the
+// quick configuration: every C1 schedule stays within k·R, every
+// schedulable C2 topology recovers within R, every C3 ensemble stays
+// within the analytic skew bound.
+func TestCampaignSweepsHoldBounds(t *testing.T) {
+	var sweeps []campaign.Scenario
+	for _, sc := range Scenarios() {
+		if sc.Family == "campaign" {
+			sweeps = append(sweeps, sc)
+		}
+	}
+	results := campaign.Run(sweeps, campaign.Options{
+		Workers: 4,
+		Params:  campaign.Params{Seed: 1, Quick: true, Trials: 1},
+	})
+	for _, r := range results {
+		if r.Failed > 0 {
+			for _, tr := range r.Trials {
+				if tr.Err != nil {
+					t.Errorf("%s/%s failed: %v", r.ID, tr.Name, tr.Err)
+				}
+			}
+		}
+		var b strings.Builder
+		WriteResult(&b, r)
+		if strings.Contains(b.String(), "NO") {
+			t.Errorf("%s violated its bound:\n%s", r.ID, b.String())
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"btr/internal/adversary"
+	"btr/internal/campaign"
 	"btr/internal/core"
 	"btr/internal/evidence"
 	"btr/internal/metrics"
@@ -11,19 +12,16 @@ import (
 	"btr/internal/sim"
 )
 
-// E1Recovery reproduces Definition 3.1: for a single fault of every type,
-// the system's outputs are incorrect for at most R after the fault
-// manifests, and correct everywhere else.
-func E1Recovery(seed uint64, quick bool) Result {
-	t := metrics.NewTable("E1: recovery bound per fault type (chain workload, f=1)",
-		"fault", "evidence", "wrong outputs", "measured recovery", "bound R", "within R")
+// --- E1: recovery bound per fault type --------------------------------------
 
-	type scenario struct {
-		name  string
-		wantK evidence.Kind
-		mk    func(s *core.System, at sim.Time) adversary.Attack
-	}
-	scenarios := []scenario{
+type e1Case struct {
+	name  string
+	wantK evidence.Kind
+	mk    func(s *core.System, at sim.Time) adversary.Attack
+}
+
+func e1Cases() []e1Case {
+	return []e1Case{
 		{"crash", evidence.KindPathAccusation, func(s *core.System, at sim.Time) adversary.Attack {
 			return adversary.Crash(s.Strategy.Plans[""].Assign["c1#0"], at)
 		}},
@@ -43,89 +41,146 @@ func E1Recovery(seed uint64, quick bool) Result {
 			return adversary.Equivocate(s.Strategy.Plans[""].Assign["c0#0"], "c0", at)
 		}},
 	}
-	horizon := uint64(40)
-	if quick {
-		horizon = 25
-	}
-	for i, sc := range scenarios {
-		s, err := chainSystem(seed+uint64(i), 1, 6, horizon)
-		if err != nil {
-			panic(err)
-		}
-		at := 5 * s.Cfg.Workload.Period
-		sc.mk(s, at).Install(s)
-		rep := s.Run()
-		recovery := rep.MaxRecovery()
-		evs := ""
-		if rep.EvidenceByKind[sc.wantK] > 0 {
-			evs = sc.wantK.String()
-		} else {
-			for k, c := range rep.EvidenceByKind {
-				if c > 0 {
-					evs = k.String()
-					break
-				}
-			}
-		}
-		t.AddRow(sc.name, evs, rep.WrongValues, recovery, rep.RNeeded,
-			boolMark(recovery <= rep.RNeeded))
-	}
-	t.Note("intermediate commission/omission recover in 0: audited input choice masks them (detection without disruption)")
-	return Result{
+}
+
+type e1Row struct {
+	Evidence string
+	Wrong    int
+	Recovery sim.Time
+	Bound    sim.Time
+}
+
+// e1Scenario reproduces Definition 3.1: for a single fault of every type,
+// the system's outputs are incorrect for at most R after the fault
+// manifests, and correct everywhere else.
+func e1Scenario() campaign.Scenario {
+	return campaign.Scenario{
 		ID:     "E1",
+		Family: "paper",
 		Claim:  "outputs are correct in any interval with no fault in the preceding R (Def. 3.1)",
-		Tables: []*metrics.Table{t},
+		Trials: func(p campaign.Params) []campaign.TrialSpec {
+			horizon := uint64(40)
+			if p.Quick {
+				horizon = 25
+			}
+			var specs []campaign.TrialSpec
+			for i, sc := range e1Cases() {
+				i, sc := i, sc
+				specs = append(specs, campaign.TrialSpec{Name: sc.name, Run: func(t *campaign.T) (any, error) {
+					s, err := chainSystem(p.Seed+uint64(i), 1, 6, horizon)
+					if err != nil {
+						return nil, err
+					}
+					at := 5 * s.Cfg.Workload.Period
+					sc.mk(s, at).Install(s)
+					rep := s.Run()
+					return e1Row{
+						Evidence: dominantEvidence(rep.EvidenceByKind, sc.wantK),
+						Wrong:    rep.WrongValues,
+						Recovery: rep.MaxRecovery(),
+						Bound:    rep.RNeeded,
+					}, nil
+				}})
+			}
+			return specs
+		},
+		Aggregate: func(p campaign.Params, trials []campaign.TrialResult) []*metrics.Table {
+			t := metrics.NewTable("E1: recovery bound per fault type (chain workload, f=1)",
+				"fault", "evidence", "wrong outputs", "measured recovery", "bound R", "within R")
+			cases := e1Cases()
+			for i, tr := range trials {
+				row, ok := campaign.Value[e1Row](tr)
+				if !ok {
+					t.AddRow(failedRow(cases[i].name), "-", "-", "-", "-", "-")
+					continue
+				}
+				t.AddRow(cases[i].name, row.Evidence, row.Wrong, row.Recovery, row.Bound,
+					boolMark(row.Recovery <= row.Bound))
+			}
+			t.Note("intermediate commission/omission recover in 0: audited input choice masks them (detection without disruption)")
+			return []*metrics.Table{t}
+		},
 	}
 }
 
-// E4Staggered reproduces §3: an adversary controlling k <= f nodes can
+// --- E4: staggered attacks --------------------------------------------------
+
+type e4Row struct {
+	K      int
+	Total  sim.Time
+	Bound  sim.Time
+	Period sim.Time
+}
+
+// e4Scenario reproduces §3: an adversary controlling k <= f nodes can
 // trigger a new fault every R seconds, forcing at most k·R of bad output —
 // hence R := D/f.
-func E4Staggered(seed uint64, quick bool) Result {
-	t := metrics.NewTable("E4: staggered attacks — total incorrect-output time vs k·R (chain, f=3, 10 nodes)",
-		"k (faults)", "total bad output", "k × measured-R1", "k × bound R", "within k·R")
-
-	f := 3
-	ks := []int{1, 2, 3}
-	if quick {
-		ks = []int{1, 2}
-		f = 2
+func e4Scenario() campaign.Scenario {
+	plan := func(p campaign.Params) (f int, ks []int) {
+		f, ks = 3, []int{1, 2, 3}
+		if p.Quick {
+			f, ks = 2, []int{1, 2}
+		}
+		return f, ks
 	}
-	// Baseline single-fault bad time for scaling comparison.
-	var r1 sim.Time
-	for _, k := range ks {
-		s, err := chainSystem(seed, f, 10, uint64(30+25*k))
-		if err != nil {
-			panic(err)
-		}
-		period := s.Cfg.Workload.Period
-		// One sink corruption per stage: always the replica that
-		// actuates first in the *current* plan would be ideal; we attack
-		// the first-actuating replicas of the base plan in order, spaced
-		// by the strategy's bound so each fault lands in a recovered
-		// system.
-		gap := s.Strategy.RNeeded + 2*period
-		victims := pickVictims(s, k)
-		for i, v := range victims {
-			at := 5*period + sim.Time(i)*gap
-			adversary.CorruptEverything(v, at).Install(s)
-		}
-		rep := s.Run()
-		total := rep.TotalBadTime()
-		if k == ks[0] {
-			r1 = total
-			if r1 == 0 {
-				r1 = period // avoid zero scaling when fully masked
-			}
-		}
-		bound := sim.Time(k) * rep.RNeeded
-		t.AddRow(k, total, sim.Time(k)*r1, bound, boolMark(total <= bound))
-	}
-	t.Note("each fault corrupts every output of one fresh node, spaced R apart (the §3 worst-case adversary)")
-	return Result{
+	return campaign.Scenario{
 		ID:     "E4",
+		Family: "paper",
 		Claim:  "k staggered faults can stretch the outage to at most k·R; set R := D/f",
-		Tables: []*metrics.Table{t},
+		Trials: func(p campaign.Params) []campaign.TrialSpec {
+			f, ks := plan(p)
+			var specs []campaign.TrialSpec
+			for _, k := range ks {
+				k := k
+				specs = append(specs, campaign.TrialSpec{Name: fmt.Sprintf("k=%d", k), Run: func(t *campaign.T) (any, error) {
+					s, err := chainSystem(p.Seed, f, 10, uint64(30+25*k))
+					if err != nil {
+						return nil, err
+					}
+					period := s.Cfg.Workload.Period
+					// One sink corruption per stage, spaced by the
+					// strategy's bound so each fault lands in a recovered
+					// system (the §3 worst-case adversary).
+					gap := s.Strategy.RNeeded + 2*period
+					victims := pickVictims(s, k)
+					for i, v := range victims {
+						at := 5*period + sim.Time(i)*gap
+						adversary.CorruptEverything(v, at).Install(s)
+					}
+					rep := s.Run()
+					return e4Row{K: k, Total: rep.TotalBadTime(), Bound: sim.Time(k) * rep.RNeeded, Period: period}, nil
+				}})
+			}
+			return specs
+		},
+		Aggregate: func(p campaign.Params, trials []campaign.TrialResult) []*metrics.Table {
+			t := metrics.NewTable("E4: staggered attacks — total incorrect-output time vs k·R (chain, f=3, 10 nodes)",
+				"k (faults)", "total bad output", "k × measured-R1", "k × bound R", "within k·R")
+			_, ks := plan(p)
+			// Baseline single-fault bad time for scaling comparison.
+			var r1 sim.Time
+			for i, tr := range trials {
+				row, ok := campaign.Value[e4Row](tr)
+				if !ok {
+					t.AddRow(failedRow(fmt.Sprintf("k=%d", ks[i])), "-", "-", "-", "-")
+					continue
+				}
+				if i == 0 {
+					r1 = row.Total
+					if r1 == 0 {
+						r1 = row.Period // avoid zero scaling when fully masked
+					}
+				}
+				scaled := "-" // k=1 baseline unavailable
+				if r1 > 0 {
+					scaled = (sim.Time(row.K) * r1).String()
+				}
+				t.AddRow(row.K, row.Total, scaled, row.Bound,
+					boolMark(row.Total <= row.Bound))
+			}
+			t.Note("each fault corrupts every output of one fresh node, spaced R apart (the §3 worst-case adversary)")
+			return []*metrics.Table{t}
+		},
 	}
 }
 

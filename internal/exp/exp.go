@@ -1,19 +1,27 @@
 // Package exp implements the reproduction experiments E1–E10 (see
-// DESIGN.md §3 and EXPERIMENTS.md). "Fault Tolerance and the Five-Second
-// Rule" is a HotOS position paper without numbered tables or figures, so
-// each experiment regenerates one of its quantitative *claims*; the tables
-// printed here are the repository's equivalent of the paper's evaluation.
+// DESIGN.md §3 and EXPERIMENTS.md) plus the campaign sweep families C1–C3.
+// "Fault Tolerance and the Five-Second Rule" is a HotOS position paper
+// without numbered tables or figures, so each experiment regenerates one
+// of its quantitative *claims*; the tables printed here are the
+// repository's equivalent of the paper's evaluation.
 //
-// Every experiment is deterministic given its seed and returns plain-text
-// tables; cmd/btrbench prints them all, and bench_test.go wraps each in a
-// testing.B benchmark.
+// Every experiment is a declarative campaign.Scenario: an enumeration of
+// independent trials (each owning its own deterministic simulation
+// kernel) plus an aggregation fold into plain-text tables. The scenario
+// table (Scenarios) is the single source of truth; the serial path
+// (RunAll, cmd/btrbench) and the parallel path (cmd/btrcampaign,
+// RunAllWorkers) run the very same trials, so their tables are
+// byte-identical for any worker count.
 package exp
 
 import (
 	"fmt"
 	"io"
+	"sort"
 
+	"btr/internal/campaign"
 	"btr/internal/core"
+	"btr/internal/evidence"
 	"btr/internal/flow"
 	"btr/internal/metrics"
 	"btr/internal/network"
@@ -34,30 +42,78 @@ type Experiment struct {
 	Run func(seed uint64, quick bool) Result
 }
 
-// All lists every experiment in order.
-func All() []Experiment {
-	return []Experiment{
-		{"E1", E1Recovery},
-		{"E2", E2ReplicaCost},
-		{"E3", E3ClockFrequency},
-		{"E4", E4Staggered},
-		{"E5", E5MixedCriticality},
-		{"E6", E6EvidenceDoS},
-		{"E7", E7Planner},
-		{"E8", E8ModeChange},
-		{"E9", E9FiveSecondRule},
-		{"E10", E10Baselines},
+// Scenarios lists every scenario in order: the paper reproductions E1–E10
+// followed by the campaign sweep families C1–C3.
+func Scenarios() []campaign.Scenario {
+	return []campaign.Scenario{
+		e1Scenario(),
+		e2Scenario(),
+		e3Scenario(),
+		e4Scenario(),
+		e5Scenario(),
+		e6Scenario(),
+		e7Scenario(),
+		e8Scenario(),
+		e9Scenario(),
+		e10Scenario(),
+		c1Colluding(),
+		c2Topology(),
+		c3ClockSkew(),
 	}
 }
 
-// RunAll executes every experiment and writes the tables to w.
-func RunAll(w io.Writer, seed uint64, quick bool) {
-	for _, e := range All() {
-		res := e.Run(seed, quick)
-		fmt.Fprintf(w, "---- %s: %s ----\n", res.ID, res.Claim)
-		for _, t := range res.Tables {
-			fmt.Fprintln(w, t.String())
+// PaperScenarios returns only the E1–E10 paper reproductions.
+func PaperScenarios() []campaign.Scenario {
+	var out []campaign.Scenario
+	for _, sc := range Scenarios() {
+		if sc.Family == "paper" {
+			out = append(out, sc)
 		}
+	}
+	return out
+}
+
+// All lists every paper experiment in order, as serially runnable
+// Experiments (each Run executes the scenario's trials on one worker).
+func All() []Experiment {
+	var out []Experiment
+	for _, sc := range PaperScenarios() {
+		sc := sc
+		out = append(out, Experiment{ID: sc.ID, Run: func(seed uint64, quick bool) Result {
+			res := campaign.Run([]campaign.Scenario{sc}, campaign.Options{
+				Workers: 1,
+				Params:  campaign.Params{Seed: seed, Quick: quick},
+			})
+			return Result{ID: sc.ID, Claim: sc.Claim, Tables: res[0].Tables}
+		}})
+	}
+	return out
+}
+
+// RunAll executes every paper experiment serially and writes the tables
+// to w.
+func RunAll(w io.Writer, seed uint64, quick bool) {
+	RunAllWorkers(w, seed, quick, 1)
+}
+
+// RunAllWorkers executes every paper experiment through the campaign
+// runner with the given worker count and writes the tables to w in
+// experiment order. Output is identical for every worker count.
+func RunAllWorkers(w io.Writer, seed uint64, quick bool, workers int) {
+	results := campaign.Run(PaperScenarios(), campaign.Options{
+		Workers: workers,
+		Params:  campaign.Params{Seed: seed, Quick: quick},
+	})
+	for _, r := range results {
+		WriteResult(w, r)
+	}
+}
+
+// WriteResult renders one scenario result in the btrbench text format.
+func WriteResult(w io.Writer, r campaign.ScenarioResult) {
+	fmt.Fprintf(w, "---- %s: %s ----\n", r.ID, r.Claim)
+	for _, t := range r.Tables {
+		fmt.Fprintln(w, t.String())
 	}
 }
 
@@ -101,3 +157,27 @@ func boolMark(ok bool) string {
 	}
 	return "NO"
 }
+
+// dominantEvidence names the evidence kind to report for a run: want if it
+// was observed, otherwise the lowest-numbered observed kind (sorted so the
+// choice is deterministic).
+func dominantEvidence(byKind map[evidence.Kind]int, want evidence.Kind) string {
+	if byKind[want] > 0 {
+		return want.String()
+	}
+	kinds := make([]int, 0, len(byKind))
+	for k, c := range byKind {
+		if c > 0 {
+			kinds = append(kinds, int(k))
+		}
+	}
+	sort.Ints(kinds)
+	if len(kinds) == 0 {
+		return ""
+	}
+	return evidence.Kind(kinds[0]).String()
+}
+
+// failedRow renders a placeholder first cell for a failed trial's table
+// row.
+func failedRow(name string) string { return name + " [trial failed]" }

@@ -147,6 +147,18 @@ func NewSeries(name string) *Series { return &Series{name: name} }
 // Add appends a sample.
 func (s *Series) Add(v float64) { s.samples = append(s.samples, v) }
 
+// Merge appends every sample of other (in other's insertion order). It is
+// the deterministic reduction step for sharded collection: merging
+// per-shard series in a fixed shard order yields the same multiset — and,
+// since all statistics here are order-insensitive, the same statistics —
+// regardless of how samples were distributed across shards.
+func (s *Series) Merge(other *Series) {
+	if other == nil {
+		return
+	}
+	s.samples = append(s.samples, other.samples...)
+}
+
 // AddTime appends a sim.Time sample in milliseconds.
 func (s *Series) AddTime(t sim.Time) { s.Add(t.Millis()) }
 
