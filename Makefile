@@ -1,13 +1,17 @@
 # BTR reproduction — build / test / benchmark entry points.
 #
-# `make ci` is the gate every PR must pass: vet, build, the full test
-# suite under the race detector, and a one-iteration benchmark smoke of
-# the campaign runner. `make bench-json` regenerates BENCH_campaign.json,
-# the tracked perf trajectory of the experiment table.
+# `make ci` is the gate every PR must pass (and exactly what
+# .github/workflows/ci.yml runs): gofmt diff check, vet, build, and the
+# full test suite under the race detector. `make bench-json` regenerates
+# BENCH_campaign.json, the tracked perf trajectory of the experiment
+# table and the plan cache; `make bench-check` regenerates it to a
+# scratch file and gates against the committed baseline via
+# cmd/btrcheckbench.
 
 GO ?= go
+FUZZTIME ?= 30s
 
-.PHONY: all build test vet fmt race ci bench bench-json fuzz campaign clean
+.PHONY: all build test vet fmt fmt-check race ci bench bench-json bench-new bench-check fuzz campaign clean
 
 all: build
 
@@ -17,9 +21,14 @@ build:
 vet:
 	$(GO) vet ./...
 
-fmt:
+# Non-mutating gofmt gate: lists offending files and fails.
+fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# Mutating counterpart: rewrite files in place.
+fmt:
+	gofmt -l -w .
 
 test:
 	$(GO) test ./...
@@ -28,12 +37,13 @@ race:
 	$(GO) test -race ./...
 
 # Short fuzz pass over the evidence codec (the seed corpus always runs as
-# part of `go test`; this digs further).
+# part of `go test`; this digs further). Override the budget with
+# `make fuzz FUZZTIME=10s` (CI does).
 fuzz:
-	$(GO) test ./internal/evidence -fuzz=FuzzRecordRoundTrip -fuzztime=30s
+	$(GO) test ./internal/evidence -fuzz=FuzzRecordRoundTrip -fuzztime=$(FUZZTIME)
 
-# One-iteration benchmark smoke: every experiment benchmark plus the
-# campaign serial/parallel pair, without -benchtime noise.
+# One-iteration benchmark smoke: every experiment benchmark, the campaign
+# serial/parallel pair, and the plan-cache cold/warm/delta benchmarks.
 bench:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x .
 
@@ -41,12 +51,24 @@ bench:
 bench-json:
 	BTR_BENCH_OUT=$(CURDIR)/BENCH_campaign.json $(GO) test -run TestEmitCampaignBench -v .
 
+# Generate a fresh bundle without touching the committed baseline.
+bench-new:
+	BTR_BENCH_OUT=$(CURDIR)/BENCH_new.json $(GO) test -run TestEmitCampaignBench -v .
+
+# Gate: fresh bundle vs committed baseline. Machine-independent checks
+# (work shares, warm-speedup floor, failed trials) always run; add
+# `-wall` via BENCHFLAGS for same-host absolute wall-clock gating:
+#   make bench-check BENCHFLAGS=-wall
+bench-check: bench-new
+	$(GO) run ./cmd/btrcheckbench -baseline BENCH_campaign.json -new BENCH_new.json -tolerance 0.20 $(BENCHFLAGS)
+
 # Full campaign, all scenario families, JSON bundle to stdout.
 campaign:
 	$(GO) run ./cmd/btrcampaign -json
 
-ci: fmt vet build race bench
+ci: fmt-check vet build race
 	@echo "ci: OK"
 
 clean:
 	$(GO) clean ./...
+	rm -f BENCH_new.json

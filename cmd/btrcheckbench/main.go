@@ -1,0 +1,205 @@
+// Command btrcheckbench gates CI on the tracked perf trajectory: it
+// compares a freshly generated BENCH_campaign.json against the committed
+// baseline and exits non-zero on regression.
+//
+//	btrcheckbench -baseline BENCH_campaign.json -new BENCH_new.json
+//	              [-tolerance 0.20] [-min-warm-speedup 5]
+//
+// Rules:
+//
+//   - structure always checked: every baseline scenario must still run,
+//     and no trial may fail in the new bundle;
+//   - ratio metrics always checked, because they are machine-independent
+//     to first order: the warm-plan-cache speedup must stay above the
+//     acceptance floor, and no scenario's share of the total serial
+//     compute may grow by more than the tolerance (a subsystem that got
+//     relatively slower shows up in its share no matter how fast the
+//     host is);
+//   - absolute wall-clock comparisons (campaign serial wall,
+//     per-scenario work, plan-cache cold synthesis) are meaningful only
+//     between runs on the same host at the same parallelism, so they
+//     require the explicit -wall flag *and* matching GOMAXPROCS — a
+//     single-core container baseline must never gate a differently
+//     shaped CI runner. Bundles older than schema v2 carry no
+//     gomaxprocs and always skip them.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// benchFile mirrors the BENCH_campaign.json schema (bench_test.go).
+// Unknown fields are ignored, so v1 bundles (no gomaxprocs, no
+// plan_cache) decode with zero values.
+type benchFile struct {
+	Schema     string  `json:"schema"`
+	Quick      bool    `json:"quick"`
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	HostCores  int     `json:"host_cores"`
+	SerialMS   float64 `json:"serial_wall_ms"`
+
+	PlanCache struct {
+		ColdMS  float64 `json:"cold_full_synthesis_ms"`
+		WarmMS  float64 `json:"warm_cache_ms"`
+		Speedup float64 `json:"speedup_warm"`
+	} `json:"plan_cache"`
+
+	Scenarios []benchScenario `json:"scenarios"`
+}
+
+type benchScenario struct {
+	ID     string  `json:"id"`
+	Trials int     `json:"trials"`
+	Failed int     `json:"failed"`
+	WorkMS float64 `json:"work_ms"`
+}
+
+// workSlackMS is an absolute floor added to relative work comparisons so
+// micro-scenarios (a few ms of work) don't fail on scheduler noise.
+const workSlackMS = 25.0
+
+// shareSlack is the absolute slack (in share points) added to the
+// work-share comparison for the same reason.
+const shareSlack = 0.02
+
+// compare returns the list of regressions (empty = pass) and the list
+// of informational notices.
+func compare(base, cur benchFile, tol, minWarmSpeedup float64, wall bool) (failures, notices []string) {
+	failf := func(format string, args ...any) {
+		failures = append(failures, fmt.Sprintf(format, args...))
+	}
+	notef := func(format string, args ...any) {
+		notices = append(notices, fmt.Sprintf(format, args...))
+	}
+	if !strings.HasPrefix(cur.Schema, "btr-campaign-bench/") {
+		failf("new bundle has unexpected schema %q", cur.Schema)
+		return failures, notices
+	}
+
+	curByID := map[string]int{}
+	for i, sc := range cur.Scenarios {
+		curByID[sc.ID] = i
+		if sc.Failed > 0 {
+			failf("scenario %s: %d/%d trials failed", sc.ID, sc.Failed, sc.Trials)
+		}
+	}
+	for _, sc := range base.Scenarios {
+		if _, ok := curByID[sc.ID]; !ok {
+			failf("scenario %s present in baseline but missing from new bundle", sc.ID)
+		}
+	}
+
+	// The new bundle is always freshly generated at schema v2+, so a
+	// missing/zero plan_cache section is itself a regression — never a
+	// reason to waive the acceptance floor.
+	if cur.PlanCache.Speedup <= 0 {
+		failf("new bundle carries no plan_cache measurements")
+	} else if cur.PlanCache.Speedup < minWarmSpeedup {
+		failf("plan-cache warm speedup %.2fx below the %.1fx floor", cur.PlanCache.Speedup, minWarmSpeedup)
+	}
+
+	if base.Quick != cur.Quick {
+		notef("skipping perf comparison: baseline quick=%v vs new quick=%v", base.Quick, cur.Quick)
+		return failures, notices
+	}
+
+	// Work-share check (host-speed independent): each scenario's share
+	// of the total serial compute must not grow beyond the tolerance.
+	totalWork := func(f benchFile) float64 {
+		t := 0.0
+		for _, sc := range f.Scenarios {
+			t += sc.WorkMS
+		}
+		return t
+	}
+	baseTotal, curTotal := totalWork(base), totalWork(cur)
+	if baseTotal > 0 && curTotal > 0 {
+		for _, bsc := range base.Scenarios {
+			i, ok := curByID[bsc.ID]
+			if !ok {
+				continue
+			}
+			baseShare := bsc.WorkMS / baseTotal
+			curShare := cur.Scenarios[i].WorkMS / curTotal
+			if curShare > baseShare*(1+tol)+shareSlack {
+				failf("scenario %s work share regressed >%.0f%%: %.1f%% -> %.1f%% of total serial compute",
+					bsc.ID, tol*100, baseShare*100, curShare*100)
+			}
+		}
+	}
+
+	// Absolute wall-clock checks: same-host, same-parallelism runs only.
+	if !wall {
+		notef("absolute wall-clock checks disabled (pass -wall for same-host comparisons)")
+		return failures, notices
+	}
+	if base.GOMAXPROCS <= 0 || base.GOMAXPROCS != cur.GOMAXPROCS {
+		notef("skipping absolute wall-clock comparison: baseline gomaxprocs=%d vs new gomaxprocs=%d",
+			base.GOMAXPROCS, cur.GOMAXPROCS)
+		return failures, notices
+	}
+	regressed := func(name string, baseMS, curMS, slack float64) {
+		if baseMS <= 0 {
+			return
+		}
+		if curMS > baseMS*(1+tol)+slack {
+			failf("%s regressed >%.0f%%: %.1fms -> %.1fms", name, tol*100, baseMS, curMS)
+		}
+	}
+	regressed("campaign serial wall", base.SerialMS, cur.SerialMS, workSlackMS)
+	regressed("plan-cache cold synthesis", base.PlanCache.ColdMS, cur.PlanCache.ColdMS, 5)
+	for _, bsc := range base.Scenarios {
+		if i, ok := curByID[bsc.ID]; ok {
+			regressed("scenario "+bsc.ID+" work", bsc.WorkMS, cur.Scenarios[i].WorkMS, workSlackMS)
+		}
+	}
+	return failures, notices
+}
+
+func load(path string) (benchFile, error) {
+	var f benchFile
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return f, err
+	}
+	if err := json.Unmarshal(b, &f); err != nil {
+		return f, fmt.Errorf("%s: %w", path, err)
+	}
+	return f, nil
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_campaign.json", "committed baseline bundle")
+	newPath := flag.String("new", "BENCH_new.json", "freshly generated bundle")
+	tol := flag.Float64("tolerance", 0.20, "allowed relative regression (work shares; wall clock with -wall)")
+	minWarm := flag.Float64("min-warm-speedup", 5, "minimum warm-plan-cache speedup (acceptance floor)")
+	wall := flag.Bool("wall", false, "also gate absolute wall-clock times (same-host comparisons only)")
+	flag.Parse()
+
+	base, err := load(*baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "btrcheckbench: %v\n", err)
+		os.Exit(2)
+	}
+	cur, err := load(*newPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "btrcheckbench: %v\n", err)
+		os.Exit(2)
+	}
+	failures, notices := compare(base, cur, *tol, *minWarm, *wall)
+	for _, n := range notices {
+		fmt.Printf("note: %s\n", n)
+	}
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Printf("FAIL: %s\n", f)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("bench check OK: %d scenario(s), serial %.0fms, plan-cache warm %.2fx\n",
+		len(cur.Scenarios), cur.SerialMS, cur.PlanCache.Speedup)
+}

@@ -1,0 +1,129 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func bundle(gomaxprocs int, serial float64, warmSpeedup float64) benchFile {
+	var f benchFile
+	f.Schema = "btr-campaign-bench/v2"
+	f.GOMAXPROCS = gomaxprocs
+	f.HostCores = gomaxprocs
+	f.SerialMS = serial
+	f.PlanCache.ColdMS = 10
+	f.PlanCache.WarmMS = 0.4
+	f.PlanCache.Speedup = warmSpeedup
+	f.Scenarios = []benchScenario{
+		{ID: "E1", Trials: 6, WorkMS: 1000},
+		{ID: "C4", Trials: 7, WorkMS: 100},
+	}
+	return f
+}
+
+func hasFailure(fails []string, substr string) bool {
+	for _, f := range fails {
+		if strings.Contains(f, substr) {
+			return true
+		}
+	}
+	return false
+}
+
+func TestCompareCleanRunPasses(t *testing.T) {
+	fails, _ := compare(bundle(4, 10000, 20), bundle(4, 10500, 21), 0.20, 5, true)
+	if len(fails) != 0 {
+		t.Fatalf("unexpected failures: %v", fails)
+	}
+}
+
+func TestCompareFlagsWallRegression(t *testing.T) {
+	fails, _ := compare(bundle(4, 10000, 20), bundle(4, 13000, 20), 0.20, 5, true)
+	if !hasFailure(fails, "serial wall") {
+		t.Fatalf("30%% serial regression not flagged: %v", fails)
+	}
+}
+
+func TestCompareFlagsScenarioWorkRegression(t *testing.T) {
+	cur := bundle(4, 10000, 20)
+	cur.Scenarios[0].WorkMS = 1400 // +40% and beyond the absolute slack
+	fails, _ := compare(bundle(4, 10000, 20), cur, 0.20, 5, true)
+	if !hasFailure(fails, "scenario E1") {
+		t.Fatalf("scenario work regression not flagged: %v", fails)
+	}
+}
+
+func TestCompareSkipsTimingAcrossCoreCounts(t *testing.T) {
+	// A 1-core container baseline must not gate a 4-core CI runner.
+	fails, notices := compare(bundle(1, 5000, 20), bundle(4, 30000, 20), 0.20, 5, true)
+	if len(fails) != 0 {
+		t.Fatalf("cross-core timing comparison should be skipped, got %v", fails)
+	}
+	if len(notices) == 0 || !strings.Contains(notices[0], "gomaxprocs") {
+		t.Fatalf("expected a gomaxprocs notice, got %v", notices)
+	}
+}
+
+func TestCompareV1BaselineSkipsTiming(t *testing.T) {
+	base := bundle(0, 17000, 0) // v1 bundles decode with gomaxprocs 0
+	base.Schema = "btr-campaign-bench/v1"
+	fails, notices := compare(base, bundle(4, 99999, 20), 0.20, 5, true)
+	if len(fails) != 0 {
+		t.Fatalf("v1 baseline must skip timing, got %v", fails)
+	}
+	if len(notices) == 0 {
+		t.Fatal("expected a skip notice for the v1 baseline")
+	}
+}
+
+func TestCompareEnforcesWarmSpeedupFloor(t *testing.T) {
+	fails, _ := compare(bundle(4, 10000, 20), bundle(4, 10000, 3.5), 0.20, 5, false)
+	if !hasFailure(fails, "warm speedup") {
+		t.Fatalf("speedup floor not enforced: %v", fails)
+	}
+	// A new bundle with no plan_cache section must fail, not silently
+	// waive the floor.
+	fails, _ = compare(bundle(4, 10000, 20), bundle(4, 10000, 0), 0.20, 5, false)
+	if !hasFailure(fails, "no plan_cache") {
+		t.Fatalf("missing plan_cache section not flagged: %v", fails)
+	}
+}
+
+func TestCompareFlagsFailedTrialsAndMissingScenarios(t *testing.T) {
+	cur := bundle(4, 10000, 20)
+	cur.Scenarios[1].Failed = 2
+	cur.Scenarios = cur.Scenarios[:2]
+	base := bundle(4, 10000, 20)
+	base.Scenarios = append(base.Scenarios, benchScenario{ID: "E9", Trials: 14, WorkMS: 900})
+	fails, _ := compare(base, cur, 0.20, 5, false)
+	if !hasFailure(fails, "trials failed") {
+		t.Fatalf("failed trials not flagged: %v", fails)
+	}
+	if !hasFailure(fails, "missing from new bundle") {
+		t.Fatalf("missing scenario not flagged: %v", fails)
+	}
+}
+
+func TestCompareWallDisabledByDefault(t *testing.T) {
+	// Without -wall, a uniform absolute slowdown (same shares) passes —
+	// absolute times are not comparable across hosts.
+	fails, notices := compare(bundle(4, 10000, 20), bundle(4, 30000, 20), 0.20, 5, false)
+	if len(fails) != 0 {
+		t.Fatalf("wall checks should be off by default: %v", fails)
+	}
+	if len(notices) == 0 || !strings.Contains(notices[0], "-wall") {
+		t.Fatalf("expected a -wall notice, got %v", notices)
+	}
+}
+
+func TestCompareFlagsWorkShareRegressionAcrossHosts(t *testing.T) {
+	// A scenario that got *relatively* slower is flagged even when the
+	// hosts (and gomaxprocs) differ and wall checks are off: shares are
+	// machine-independent.
+	cur := bundle(8, 99999, 20)
+	cur.Scenarios[1].WorkMS = 500 // C4: 100/1100 -> 500/1500 of total
+	fails, _ := compare(bundle(1, 10000, 20), cur, 0.20, 5, false)
+	if !hasFailure(fails, "scenario C4 work share") {
+		t.Fatalf("work-share regression not flagged: %v", fails)
+	}
+}

@@ -5,9 +5,18 @@
 //	btrplan [-workload avionics|chain|forkjoin|controlloop] [-nodes 6]
 //	        [-topo mesh|ring|line|star|dualbus] [-f 1] [-r 500ms]
 //	        [-speed 1.0] [-verbose]
+//	        [-cache] [-precompute] [-stats]
+//
+// -cache plans through the incremental engine (internal/plan/cache):
+// fault sets are canonicalized up to topology symmetry and solved plans
+// are memoized, so only one synthesis runs per symmetry orbit.
+// -precompute warms the cache with the full fault-set lattice first and
+// reports cold vs. warm strategy-assembly latency. -stats prints the
+// engine's cache counters as JSON.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -17,6 +26,7 @@ import (
 	"btr/internal/flow"
 	"btr/internal/network"
 	"btr/internal/plan"
+	"btr/internal/plan/cache"
 	"btr/internal/sim"
 )
 
@@ -28,6 +38,9 @@ func main() {
 	r := flag.Duration("r", 500*time.Millisecond, "requested recovery bound")
 	speed := flag.Float64("speed", 1.0, "CPU speed factor")
 	verbose := flag.Bool("verbose", false, "print per-mode schedules")
+	useCache := flag.Bool("cache", false, "plan through the incremental engine (symmetry-canonicalized plan cache)")
+	precompute := flag.Bool("precompute", false, "with -cache: warm the cache with every fault set first, report cold vs warm latency")
+	stats := flag.Bool("stats", false, "with -cache: print cache statistics as JSON")
 	flag.Parse()
 
 	period := 25 * sim.Millisecond
@@ -67,14 +80,42 @@ func main() {
 
 	opts := plan.DefaultOptions(*f, sim.Time(r.Microseconds()))
 	opts.Sched.Speed = *speed
+
+	var s *plan.Strategy
+	var err error
+	var eng *cache.Engine
 	start := time.Now()
-	s, err := plan.Build(g, topo, opts)
+	if *useCache {
+		eng = cache.NewEngine(g, topo, opts, nil)
+		if *precompute {
+			n, perr := eng.Precompute()
+			if perr != nil {
+				fmt.Fprintf(os.Stderr, "btrplan: precompute: %v\n", perr)
+				os.Exit(1)
+			}
+			cold := time.Since(start)
+			warmStart := time.Now()
+			s, err = eng.BuildStrategy()
+			if err == nil {
+				fmt.Printf("precomputed %d fault sets in %v; warm assembly %v (%.1fx)\n",
+					n, cold, time.Since(warmStart), float64(cold)/float64(time.Since(warmStart)))
+			}
+		} else {
+			s, err = eng.BuildStrategy()
+		}
+	} else {
+		s, err = plan.Build(g, topo, opts)
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "btrplan: %v\n", err)
 		os.Exit(1)
 	}
 	fmt.Printf("planned %q on %d-node %s in %v\n\n", g.Name, *nodes, *topoKind, time.Since(start))
 	fmt.Print(s.Summary())
+	if eng != nil && *stats {
+		b, _ := json.MarshalIndent(eng.Stats(), "", "  ")
+		fmt.Printf("\ncache stats: %s\n", b)
+	}
 
 	fmt.Println("\ntransitions (worst-case per successor mode):")
 	keys := make([]string, 0, len(s.Trans))

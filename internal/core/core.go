@@ -19,6 +19,7 @@ import (
 	"btr/internal/metrics"
 	"btr/internal/network"
 	"btr/internal/plan"
+	"btr/internal/plan/cache"
 	"btr/internal/runtime"
 	"btr/internal/sig"
 	"btr/internal/sim"
@@ -35,6 +36,13 @@ type Config struct {
 	Topology *network.Topology
 	PlanOpts plan.Options
 	Net      network.Config
+
+	// PlanCache, when set, builds the strategy through the incremental
+	// plan engine instead of plan.Build — solved plans are memoized in
+	// (and reused from) the given cache across deployments — and wires
+	// the engine into the runtime so node failover consults the cache
+	// before any synthesis.
+	PlanCache *cache.Cache
 
 	// Optional semantic overrides (plants install their own).
 	Compute runtime.TaskFunc
@@ -61,6 +69,10 @@ type System struct {
 	Registry *sig.Registry
 	Strategy *plan.Strategy
 	Runtime  *runtime.System
+	// PlanEngine is the incremental plan engine backing this deployment
+	// (nil unless Config.PlanCache was set); tests and tools read its
+	// Stats.
+	PlanEngine *cache.Engine
 
 	oracle Oracle
 	report *Report
@@ -94,9 +106,23 @@ func NewSystem(cfg Config) (*System, error) {
 	if cfg.Net.EvidenceShare == 0 && cfg.Net.LossProb == 0 {
 		cfg.Net = network.DefaultConfig()
 	}
-	strategy, err := plan.Build(cfg.Workload, cfg.Topology, cfg.PlanOpts)
-	if err != nil {
-		return nil, fmt.Errorf("core: planning failed: %w", err)
+	var strategy *plan.Strategy
+	var planner runtime.PlanSource
+	var eng *cache.Engine
+	if cfg.PlanCache != nil {
+		eng = cache.NewEngine(cfg.Workload, cfg.Topology, cfg.PlanOpts, cfg.PlanCache)
+		s, err := eng.BuildStrategy()
+		if err != nil {
+			return nil, fmt.Errorf("core: planning failed: %w", err)
+		}
+		strategy = s
+		planner = eng.Resolve
+	} else {
+		s, err := plan.Build(cfg.Workload, cfg.Topology, cfg.PlanOpts)
+		if err != nil {
+			return nil, fmt.Errorf("core: planning failed: %w", err)
+		}
+		strategy = s
 	}
 	k := sim.NewKernel(cfg.Seed)
 	nw := network.New(k, cfg.Topology, cfg.Net)
@@ -104,6 +130,7 @@ func NewSystem(cfg Config) (*System, error) {
 
 	s := &System{
 		Cfg: cfg, Kernel: k, Net: nw, Registry: reg, Strategy: strategy,
+		PlanEngine: eng,
 	}
 	source := cfg.Source
 	if source == nil {
@@ -131,7 +158,7 @@ func NewSystem(cfg Config) (*System, error) {
 	first := map[string]bool{} // first actuation per (sink, period)
 	got := map[string][]byte{}
 	s.Runtime = runtime.New(runtime.Config{
-		Kernel: k, Net: nw, Registry: reg, Strategy: strategy,
+		Kernel: k, Net: nw, Registry: reg, Strategy: strategy, Planner: planner,
 		Compute: cfg.Compute, Source: source,
 		EvidenceRateLimit: cfg.EvidenceRateLimit,
 		OnActuation: func(node network.NodeID, sink flow.TaskID, period uint64, value []byte, at sim.Time) {

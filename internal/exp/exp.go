@@ -59,6 +59,7 @@ func Scenarios() []campaign.Scenario {
 		c1Colluding(),
 		c2Topology(),
 		c3ClockSkew(),
+		c4PlanCache(),
 	}
 }
 

@@ -44,6 +44,9 @@ type assignOptions struct {
 	// locality prefers placing consumers near their producers
 	// ("putting replicas close to each other may save bandwidth", §4.1).
 	locality bool
+	// hops is an optional precomputed all-pairs hop matrix for topo
+	// (see hopMatrix); nil recomputes it per call.
+	hops [][]int
 }
 
 // hopMatrix precomputes all-pairs hop distances.
@@ -98,7 +101,10 @@ func assign(aug *flow.Graph, topo *network.Topology, o assignOptions) (Assignmen
 		}
 	}
 
-	hops := hopMatrix(topo)
+	hops := o.hops
+	if hops == nil {
+		hops = hopMatrix(topo)
+	}
 	load := make(map[network.NodeID]sim.Time, len(eligible))
 	used := map[flow.TaskID]map[network.NodeID]bool{} // logical -> occupied nodes
 	out := Assignment{}

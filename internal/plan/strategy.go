@@ -112,6 +112,22 @@ type Strategy struct {
 // RFeasible reports whether the achieved bound meets the requested R.
 func (s *Strategy) RFeasible() bool { return s.RNeeded <= s.Opts.R }
 
+// Normalized fills the defaulted Options fields the way Build always
+// has. Callers that fingerprint or compare Options should normalize
+// first so implicit and explicit defaults coincide.
+func (o Options) Normalized() Options {
+	if o.OmissionThreshold == 0 {
+		o.OmissionThreshold = o.F + 1
+	}
+	if o.CheckerWCET == 0 {
+		o.CheckerWCET = 300 * sim.Microsecond
+	}
+	if o.WatchdogMargin == 0 {
+		o.WatchdogMargin = 2 * sim.Millisecond
+	}
+	return o
+}
+
 // Build computes the complete strategy for the workload on the topology.
 func Build(base *flow.Graph, topo *network.Topology, opts Options) (*Strategy, error) {
 	if err := base.Validate(); err != nil {
@@ -120,22 +136,9 @@ func Build(base *flow.Graph, topo *network.Topology, opts Options) (*Strategy, e
 	if opts.F < 0 {
 		return nil, fmt.Errorf("plan: negative fault bound")
 	}
-	if opts.OmissionThreshold == 0 {
-		opts.OmissionThreshold = opts.F + 1
-	}
-	if opts.CheckerWCET == 0 {
-		opts.CheckerWCET = 300 * sim.Microsecond
-	}
-	if opts.WatchdogMargin == 0 {
-		opts.WatchdogMargin = 2 * sim.Millisecond
-	}
-	s := &Strategy{
-		Base:  base,
-		Topo:  topo,
-		Opts:  opts,
-		Plans: map[string]*Plan{},
-		Trans: map[string]Transition{},
-	}
+	opts = opts.Normalized()
+	syn := NewSynth(base, topo, opts)
+	plans := map[string]*Plan{}
 	sets := EnumerateFaultSets(topo.N, opts.F)
 	for _, fs := range sets {
 		var parent Assignment
@@ -144,19 +147,49 @@ func Build(base *flow.Graph, topo *network.Topology, opts Options) (*Strategy, e
 			// exists because sets enumerate in BFS order.
 			preds := fs.Predecessors()
 			canon := preds[len(preds)-1]
-			if pp := s.Plans[canon.Key()]; pp != nil {
+			if pp := plans[canon.Key()]; pp != nil {
 				parent = pp.Assign
 			}
 		}
-		p, err := buildPlan(base, topo, opts, fs, parent)
+		p, err := syn.BuildPlan(fs, parent)
 		if err != nil {
 			return nil, fmt.Errorf("plan: mode %v: %w", fs, err)
 		}
-		s.Plans[fs.Key()] = p
+		plans[fs.Key()] = p
+	}
+	return NewStrategyFromPlans(base, topo, opts, plans, nil), nil
+}
+
+// TransitionFunc computes (or recalls) the transition analysis between
+// two plans. The incremental engine passes a memoizing implementation so
+// warm strategy assembly skips recomputing unchanged transitions.
+type TransitionFunc func(a, b *Plan) Transition
+
+// NewStrategyFromPlans assembles a Strategy from externally synthesized
+// plans — one per fault set of size <= opts.F, keyed by FaultSet.Key —
+// running the transition analysis and deriving the strategy-wide timing
+// bounds. trans overrides the per-pair transition analysis (nil means
+// TransitionBetween). Build uses it internally; the incremental plan
+// engine (internal/plan/cache) uses it to assemble strategies from
+// memoized plans. Options are normalized the same way Build normalizes
+// them.
+func NewStrategyFromPlans(base *flow.Graph, topo *network.Topology, opts Options, plans map[string]*Plan, trans TransitionFunc) *Strategy {
+	opts = opts.Normalized()
+	if trans == nil {
+		trans = func(a, b *Plan) Transition {
+			return TransitionBetween(a, b, topo, opts)
+		}
+	}
+	s := &Strategy{
+		Base:  base,
+		Topo:  topo,
+		Opts:  opts,
+		Plans: plans,
+		Trans: map[string]Transition{},
 	}
 	// Transition analysis: worst-case into each plan over all direct
 	// predecessors.
-	for _, fs := range sets {
+	for _, fs := range EnumerateFaultSets(topo.N, opts.F) {
 		if fs.Len() == 0 {
 			continue
 		}
@@ -164,7 +197,7 @@ func Build(base *flow.Graph, topo *network.Topology, opts Options) (*Strategy, e
 		worst := Transition{From: "?", To: fs.Key()}
 		for _, pred := range fs.Predecessors() {
 			from := s.Plans[pred.Key()]
-			tr := transitionBetween(from, to, topo, opts)
+			tr := trans(from, to)
 			if tr.Bound >= worst.Bound {
 				worst = tr
 			}
@@ -172,37 +205,127 @@ func Build(base *flow.Graph, topo *network.Topology, opts Options) (*Strategy, e
 		s.Trans[fs.Key()] = worst
 	}
 	s.deriveBounds()
-	return s, nil
+	return s
 }
 
-// buildPlan computes one mode's plan, shedding low-criticality sinks until
-// the mode schedules ("the planner removes some of the less critical tasks
-// and retries", §4.1).
-func buildPlan(base *flow.Graph, topo *network.Topology, opts Options,
-	fs FaultSet, parent Assignment) (*Plan, error) {
-	var shed []flow.TaskID
+// Synth is a reusable plan-synthesis context for one (workload, topology,
+// options) triple. It memoizes the fault-set-independent work — the
+// all-pairs hop matrix and the pruned/augmented graphs per shed set — so
+// that building many plans (one per fault set during Build, or many delta
+// repairs in the incremental engine) does not redo it. A Synth is not
+// safe for concurrent use; callers that synthesize from multiple
+// goroutines must serialize (see internal/plan/cache).
+type Synth struct {
+	base *flow.Graph
+	topo *network.Topology
+	opts Options
+	hops [][]int
+	augs map[string]synthGraphs
+}
+
+type synthGraphs struct{ pruned, aug *flow.Graph }
+
+// NewSynth builds a synthesis context. Options are normalized once.
+func NewSynth(base *flow.Graph, topo *network.Topology, opts Options) *Synth {
+	return &Synth{
+		base: base,
+		topo: topo,
+		opts: opts.Normalized(),
+		hops: hopMatrix(topo),
+		augs: map[string]synthGraphs{},
+	}
+}
+
+// graphsFor returns the pruned and replica-augmented graphs for a shed
+// set, memoized. pruned is nil when nothing schedulable remains.
+func (s *Synth) graphsFor(shed []flow.TaskID) (*flow.Graph, *flow.Graph) {
+	key := ""
+	for _, id := range shed {
+		key += string(id) + "\x00"
+	}
+	if g, ok := s.augs[key]; ok {
+		return g.pruned, g.aug
+	}
+	pruned := prune(s.base, shed)
+	var aug *flow.Graph
+	if pruned != nil && len(pruned.Sinks()) > 0 {
+		aug = Augment(pruned, AugmentOptions{
+			F:              s.opts.F,
+			SourceReplicas: s.opts.SourceReplicas,
+			CheckerWCET:    s.opts.CheckerWCET,
+		})
+	}
+	s.augs[key] = synthGraphs{pruned: pruned, aug: aug}
+	return pruned, aug
+}
+
+// BuildPlan computes one mode's plan from scratch, shedding
+// low-criticality sinks until the mode schedules ("the planner removes
+// some of the less critical tasks and retries", §4.1). parent biases
+// placement toward an existing assignment (nil for naive placement).
+func (s *Synth) BuildPlan(fs FaultSet, parent Assignment) (*Plan, error) {
+	return s.buildFrom(fs, parent, nil)
+}
+
+// DeltaPlan repairs prior's plan for fault set fs — intended for the
+// incremental case where fs differs from prior.Faults by a single added
+// or removed fault. The fast path reuses prior's pruned/augmented graphs
+// and shed set verbatim and re-places only the replicas the fault delta
+// displaces (assignment stickiness keeps every still-eligible replica on
+// its node), then rebuilds and re-verifies the schedule table. If the
+// repaired placement cannot schedule, it falls back to the full shedding
+// loop seeded with prior's shed set and placement. The result is always
+// fully verified (deadlines, anti-affinity) — delta derivation is an
+// optimization, never a weakening of the plan contract. Note the repair
+// never un-sheds: a plan derived from a shedding predecessor keeps its
+// shed sinks even if a from-scratch build could avoid them.
+func (s *Synth) DeltaPlan(prior *Plan, fs FaultSet) (*Plan, error) {
+	if prior == nil {
+		return s.BuildPlan(fs, nil)
+	}
+	pruned, aug := s.graphsFor(prior.ShedSinks)
+	if aug != nil {
+		asn, err := assign(aug, s.topo, assignOptions{
+			faults:   fs,
+			parent:   prior.Assign,
+			locality: s.opts.Locality,
+			hops:     s.hops,
+		})
+		if err == nil {
+			table, terr := sched.Build(aug, asn, s.topo, s.opts.Sched)
+			if terr == nil && deadlinesOK(pruned, aug, table) == nil {
+				return &Plan{
+					Faults: fs, Pruned: pruned, Aug: aug,
+					Assign: asn, Table: table,
+					ShedSinks: prior.ShedSinks,
+				}, nil
+			}
+		}
+	}
+	return s.buildFrom(fs, prior.Assign, prior.ShedSinks)
+}
+
+// buildFrom is the shedding loop, starting from an initial shed set.
+func (s *Synth) buildFrom(fs FaultSet, parent Assignment, shed []flow.TaskID) (*Plan, error) {
+	shed = append([]flow.TaskID(nil), shed...)
 	var lastErr error
 	for {
-		pruned := prune(base, shed)
-		if pruned == nil || len(pruned.Sinks()) == 0 {
+		pruned, aug := s.graphsFor(shed)
+		if aug == nil {
 			if lastErr == nil {
 				lastErr = fmt.Errorf("nothing schedulable")
 			}
 			return nil, fmt.Errorf("all sinks shed and still unschedulable: %v", lastErr)
 		}
-		aug := Augment(pruned, AugmentOptions{
-			F:              opts.F,
-			SourceReplicas: opts.SourceReplicas,
-			CheckerWCET:    opts.CheckerWCET,
-		})
-		asn, err := assign(aug, topo, assignOptions{
+		asn, err := assign(aug, s.topo, assignOptions{
 			faults:   fs,
 			parent:   parent,
-			locality: opts.Locality,
+			locality: s.opts.Locality,
+			hops:     s.hops,
 		})
 		if err == nil {
 			var table *sched.Table
-			table, err = sched.Build(aug, asn, topo, opts.Sched)
+			table, err = sched.Build(aug, asn, s.topo, s.opts.Sched)
 			if err == nil {
 				if verr := deadlinesOK(pruned, aug, table); verr != nil {
 					err = verr
@@ -215,7 +338,7 @@ func buildPlan(base *flow.Graph, topo *network.Topology, opts Options,
 			}
 		}
 		lastErr = err
-		next, ok := nextShedSink(base, shed)
+		next, ok := nextShedSink(s.base, shed)
 		if !ok {
 			return nil, fmt.Errorf("unschedulable even after shedding everything sheddable: %v", lastErr)
 		}
@@ -311,8 +434,10 @@ func deadlinesOK(pruned, aug *flow.Graph, table *sched.Table) error {
 	return nil
 }
 
-// transitionBetween analyzes switching from plan a to plan b.
-func transitionBetween(a, b *Plan, topo *network.Topology, opts Options) Transition {
+// TransitionBetween analyzes switching from plan a to plan b: which
+// replicas move, how much state migrates, and the worst-case completion
+// bound of the switch.
+func TransitionBetween(a, b *Plan, topo *network.Topology, opts Options) Transition {
 	moved := a.Assign.Diff(b.Assign)
 	var bytes int64
 	for _, id := range moved {

@@ -44,6 +44,17 @@ type EvidenceFunc func(node network.NodeID, ev evidence.Evidence, at sim.Time)
 // SwitchFunc observes mode changes (for metrics and tests).
 type SwitchFunc func(node network.NodeID, from, to string, at sim.Time)
 
+// PlanSource resolves the plan to activate for a fault set. When set on
+// Config, node failover consults it before falling back to the
+// precomputed Strategy.PlanFor table — this is how the incremental plan
+// engine (internal/plan/cache, Engine.Resolve) plugs in: cached or
+// delta-synthesized plans with a bounded fallback to full synthesis.
+// Returning nil defers to the strategy table. Implementations must be
+// safe for concurrent use and must return plans valid for the given
+// fault set (or a covered subset of it, per the Strategy.PlanFor
+// fallback contract).
+type PlanSource func(fs plan.FaultSet) *plan.Plan
+
 // Behavior is the adversary's hook on a compromised node. Fields are
 // optional; zero value = correct behavior (useful for "compromised but
 // currently dormant" nodes).
@@ -69,6 +80,10 @@ type Config struct {
 	Net      *network.Network
 	Registry *sig.Registry
 	Strategy *plan.Strategy
+	// Planner optionally overrides plan resolution at failover time (see
+	// PlanSource). Strategy is still required for the derived timing
+	// constants (Delta, period, watchdog margin).
+	Planner PlanSource
 
 	Compute TaskFunc   // default: evidence.HashCompute
 	Source  SourceFunc // default: evidence.SourceValue

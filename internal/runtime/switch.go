@@ -3,6 +3,7 @@ package runtime
 import (
 	"btr/internal/evidence"
 	"btr/internal/network"
+	"btr/internal/plan"
 	"btr/internal/sim"
 )
 
@@ -57,12 +58,24 @@ func (n *Node) addFault(x network.NodeID, detectedAt sim.Time) {
 	n.cfg.Kernel.At(at, n.activate)
 }
 
+// planFor resolves the plan for a fault set: the configured PlanSource
+// (the incremental plan engine, when wired) first, the precomputed
+// strategy table as the fallback.
+func (n *Node) planFor(fs plan.FaultSet) *plan.Plan {
+	if n.cfg.Planner != nil {
+		if p := n.cfg.Planner(fs); p != nil {
+			return p
+		}
+	}
+	return n.cfg.Strategy.PlanFor(fs)
+}
+
 // activate swaps to the plan for the current fault set.
 func (n *Node) activate() {
 	if n.crashed {
 		return
 	}
-	next := n.cfg.Strategy.PlanFor(n.faults)
+	next := n.planFor(n.faults)
 	if next == nil || next.Key() == n.cur.Key() {
 		return
 	}
