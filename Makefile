@@ -10,8 +10,10 @@
 
 GO ?= go
 FUZZTIME ?= 30s
+# Minimum total statement coverage `make cover` enforces.
+COVER_MIN ?= 75
 
-.PHONY: all build test vet fmt fmt-check race ci bench bench-json bench-new bench-check fuzz campaign clean
+.PHONY: all build test vet fmt fmt-check race ci cover bench bench-json bench-new bench-check fuzz campaign clean
 
 all: build
 
@@ -42,10 +44,19 @@ race:
 fuzz:
 	$(GO) test ./internal/evidence -fuzz=FuzzRecordRoundTrip -fuzztime=$(FUZZTIME)
 
+# Coverage profile over the whole module plus a threshold gate: total
+# statement coverage must stay at or above COVER_MIN.
+cover:
+	$(GO) test -count=1 -coverprofile=cover.out ./internal/... ./cmd/... .
+	@$(GO) tool cover -func=cover.out | awk '/^total:/ { pct = $$3; sub("%","",pct); \
+		if (pct+0 < $(COVER_MIN)) { printf "coverage %s%% below the $(COVER_MIN)%% floor\n", pct; exit 1 } \
+		else printf "coverage %s%% (floor $(COVER_MIN)%%)\n", pct }'
+
 # One-iteration benchmark smoke: every experiment benchmark, the campaign
-# serial/parallel pair, and the plan-cache cold/warm/delta benchmarks.
+# serial/parallel pair, the plan-cache cold/warm/delta benchmarks, and
+# the kernel-throughput pair (current vs frozen legacy baseline).
 bench:
-	$(GO) test -run='^$$' -bench=. -benchtime=1x .
+	$(GO) test -run='^$$' -bench=. -benchtime=1x . ./internal/sim
 
 # Regenerate the tracked campaign perf bundle (full, non-quick sweep).
 bench-json:
@@ -71,4 +82,4 @@ ci: fmt-check vet build race
 
 clean:
 	$(GO) clean ./...
-	rm -f BENCH_new.json
+	rm -f BENCH_new.json cover.out

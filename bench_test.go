@@ -8,6 +8,7 @@ package btr
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
 	"os"
 	"runtime"
@@ -142,6 +143,44 @@ func BenchmarkPlanDeltaSingleFault(b *testing.B) {
 	}
 }
 
+// measureLiveSoak runs the C5 live wall-clock scenario and folds its
+// per-run rows into per-topology bundle entries.
+func measureLiveSoak(p campaign.Params) []liveBenchRow {
+	res := campaign.Run([]campaign.Scenario{exp.C5Scenario()}, campaign.Options{Workers: 1, Params: p})
+	type agg struct {
+		row liveBenchRow
+		ok  bool
+	}
+	var order []string
+	byTopo := map[string]*agg{}
+	for _, tr := range res[0].Trials {
+		row, ok := campaign.Value[exp.C5Row](tr)
+		if !ok {
+			continue
+		}
+		key := fmt.Sprintf("%s/%d", row.Topology, row.Nodes)
+		a := byTopo[key]
+		if a == nil {
+			a = &agg{row: liveBenchRow{Topology: row.Topology, Nodes: row.Nodes, F: row.F, WithinR: true}}
+			byTopo[key] = a
+			order = append(order, key)
+		}
+		a.row.Runs++
+		if ms := row.Recovery.Millis(); ms > a.row.WorstRecoverMS {
+			a.row.WorstRecoverMS = ms
+		}
+		a.row.BoundMS = row.Bound.Millis()
+		if row.Recovery > row.Bound {
+			a.row.WithinR = false
+		}
+	}
+	out := make([]liveBenchRow, 0, len(order))
+	for _, key := range order {
+		out = append(out, byTopo[key].row)
+	}
+	return out
+}
+
 // runExperiment executes experiment id once in quick mode.
 func runExperiment(b *testing.B, id string) exp.Result {
 	b.Helper()
@@ -202,7 +241,36 @@ type campaignBench struct {
 	// (plan.Build) vs. warm cache-backed strategy assembly.
 	PlanCache planCacheBench `json:"plan_cache"`
 
+	// Kernel tracks simulation-kernel event throughput on the standard
+	// BTR-shaped workload against the frozen pre-refactor closure-heap
+	// baseline compiled into the same binary. The speedup ratio is
+	// machine-independent (same process, same workload) and gated at
+	// >=2x by cmd/btrcheckbench — the typed-kernel acceptance floor.
+	Kernel kernelBench `json:"kernel"`
+
+	// Live records the C5 wall-clock soak: full BTR deployments on the
+	// real-time executor across topology families, measured recovery vs
+	// the provable bound R. within_r is the row-level invariant the
+	// comparator gates.
+	Live []liveBenchRow `json:"live"`
+
 	Scenarios []campaignBenchScenario `json:"scenarios"`
+}
+
+type kernelBench struct {
+	EventsPerSec       float64 `json:"events_per_sec"`
+	LegacyEventsPerSec float64 `json:"legacy_events_per_sec"`
+	Speedup            float64 `json:"speedup"`
+}
+
+type liveBenchRow struct {
+	Topology       string  `json:"topology"`
+	Nodes          int     `json:"nodes"`
+	F              int     `json:"f"`
+	Runs           int     `json:"runs"`
+	WorstRecoverMS float64 `json:"worst_recovery_ms"`
+	BoundMS        float64 `json:"bound_r_ms"`
+	WithinR        bool    `json:"within_r"`
 }
 
 type planCacheBench struct {
@@ -241,8 +309,9 @@ func TestEmitCampaignBench(t *testing.T) {
 	campaign.Run(scens, campaign.Options{Workers: 4, Params: p})
 	par4 := time.Since(start)
 
+	curTP, legacyTP := sim.MeasureKernelThroughput(1 << 19)
 	bench := campaignBench{
-		Schema: "btr-campaign-bench/v2",
+		Schema: "btr-campaign-bench/v3",
 		Seed:   1, Quick: quick,
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		HostCores:  runtime.NumCPU(),
@@ -250,6 +319,12 @@ func TestEmitCampaignBench(t *testing.T) {
 		Par4MS:     float64(par4.Microseconds()) / 1000,
 		Speedup:    float64(serial) / float64(par4),
 		PlanCache:  measurePlanCache(t),
+		Kernel: kernelBench{
+			EventsPerSec:       curTP,
+			LegacyEventsPerSec: legacyTP,
+			Speedup:            curTP / legacyTP,
+		},
+		Live: measureLiveSoak(p),
 	}
 	for _, r := range serialRes {
 		bench.Scenarios = append(bench.Scenarios, campaignBenchScenario{
@@ -279,9 +354,10 @@ func TestEmitCampaignBench(t *testing.T) {
 	if err := enc.Encode(bench); err != nil {
 		t.Fatalf("encode: %v", err)
 	}
-	t.Logf("wrote %s: serial %.0fms, workers=4 %.0fms, speedup %.2fx (GOMAXPROCS=%d, %d host core(s)); plan cache warm %.2fms vs cold %.2fms (%.1fx)",
+	t.Logf("wrote %s: serial %.0fms, workers=4 %.0fms, speedup %.2fx (GOMAXPROCS=%d, %d host core(s)); plan cache warm %.2fms vs cold %.2fms (%.1fx); kernel %.2fx vs legacy; %d live soak row(s)",
 		out, bench.SerialMS, bench.Par4MS, bench.Speedup, bench.GOMAXPROCS, bench.HostCores,
-		bench.PlanCache.WarmMS, bench.PlanCache.ColdMS, bench.PlanCache.Speedup)
+		bench.PlanCache.WarmMS, bench.PlanCache.ColdMS, bench.PlanCache.Speedup,
+		bench.Kernel.Speedup, len(bench.Live))
 }
 
 func BenchmarkE1Recovery(b *testing.B) {

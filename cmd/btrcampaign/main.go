@@ -15,11 +15,53 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
+	"strings"
 	"time"
 
 	"btr/internal/campaign"
 	"btr/internal/exp"
 )
+
+// selectScenarios filters the scenario table by -only and -family. An
+// unknown scenario ID or family name is an error carrying the valid
+// choices — a typo must fail loudly, not silently run nothing.
+func selectScenarios(all []campaign.Scenario, only, family string) ([]campaign.Scenario, error) {
+	families := map[string]bool{}
+	ids := map[string]bool{}
+	for _, sc := range all {
+		families[sc.Family] = true
+		ids[sc.ID] = true
+	}
+	sorted := func(set map[string]bool) string {
+		var out []string
+		for k := range set {
+			out = append(out, k)
+		}
+		sort.Strings(out)
+		return strings.Join(out, ", ")
+	}
+	if family != "" && !families[family] {
+		return nil, fmt.Errorf("unknown family %q (valid families: %s)", family, sorted(families))
+	}
+	if only != "" && !ids[only] {
+		return nil, fmt.Errorf("unknown scenario %q (valid scenarios: %s)", only, sorted(ids))
+	}
+	var selected []campaign.Scenario
+	for _, sc := range all {
+		if only != "" && sc.ID != only {
+			continue
+		}
+		if family != "" && sc.Family != family {
+			continue
+		}
+		selected = append(selected, sc)
+	}
+	if len(selected) == 0 {
+		return nil, fmt.Errorf("no scenario matches -only=%q -family=%q", only, family)
+	}
+	return selected, nil
+}
 
 func main() {
 	workers := flag.Int("workers", runtime.NumCPU(), "worker pool size (output is identical for any value)")
@@ -47,18 +89,9 @@ func main() {
 		return
 	}
 
-	var selected []campaign.Scenario
-	for _, sc := range all {
-		if *only != "" && sc.ID != *only {
-			continue
-		}
-		if *family != "" && sc.Family != *family {
-			continue
-		}
-		selected = append(selected, sc)
-	}
-	if len(selected) == 0 {
-		fmt.Fprintf(os.Stderr, "btrcampaign: no scenario matches -only=%q -family=%q\n", *only, *family)
+	selected, err := selectScenarios(all, *only, *family)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "btrcampaign: %v\n", err)
 		os.Exit(2)
 	}
 

@@ -1,0 +1,67 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"btr/internal/campaign"
+	"btr/internal/exp"
+)
+
+func scenarioIDs(scs []campaign.Scenario) []string {
+	var out []string
+	for _, sc := range scs {
+		out = append(out, sc.ID)
+	}
+	return out
+}
+
+func TestSelectScenariosUnknownFamilyErrors(t *testing.T) {
+	_, err := selectScenarios(exp.Scenarios(), "", "campain") // typo
+	if err == nil {
+		t.Fatal("unknown -family silently accepted")
+	}
+	msg := err.Error()
+	for _, want := range []string{`"campain"`, "valid families", "paper", "campaign", "live"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("error %q does not mention %q", msg, want)
+		}
+	}
+}
+
+func TestSelectScenariosUnknownOnlyErrors(t *testing.T) {
+	_, err := selectScenarios(exp.Scenarios(), "E99", "")
+	if err == nil {
+		t.Fatal("unknown -only silently accepted")
+	}
+	if !strings.Contains(err.Error(), "valid scenarios") || !strings.Contains(err.Error(), "E1") {
+		t.Errorf("error %q does not list valid scenarios", err)
+	}
+}
+
+func TestSelectScenariosFilters(t *testing.T) {
+	all := exp.Scenarios()
+	live, err := selectScenarios(all, "", "live")
+	if err != nil {
+		t.Fatalf("family=live: %v", err)
+	}
+	if ids := scenarioIDs(live); len(ids) != 1 || ids[0] != "C5" {
+		t.Errorf("family=live selected %v, want [C5]", ids)
+	}
+	one, err := selectScenarios(all, "E6", "")
+	if err != nil {
+		t.Fatalf("only=E6: %v", err)
+	}
+	if ids := scenarioIDs(one); len(ids) != 1 || ids[0] != "E6" {
+		t.Errorf("only=E6 selected %v", ids)
+	}
+	everything, err := selectScenarios(all, "", "")
+	if err != nil || len(everything) != len(all) {
+		t.Errorf("no filter selected %d/%d (%v)", len(everything), len(all), err)
+	}
+	// A valid ID in the wrong family matches nothing — that must error
+	// too, not run an empty campaign.
+	if _, err := selectScenarios(all, "E6", "live"); err == nil {
+		t.Error("contradictory -only/-family silently accepted")
+	}
+}

@@ -48,7 +48,25 @@ type benchFile struct {
 		Speedup float64 `json:"speedup_warm"`
 	} `json:"plan_cache"`
 
+	Kernel struct {
+		EventsPerSec       float64 `json:"events_per_sec"`
+		LegacyEventsPerSec float64 `json:"legacy_events_per_sec"`
+		Speedup            float64 `json:"speedup"`
+	} `json:"kernel"`
+
+	Live []liveRow `json:"live"`
+
 	Scenarios []benchScenario `json:"scenarios"`
+}
+
+// liveRow is one C5 live-soak entry of the bundle's live section.
+type liveRow struct {
+	Topology       string  `json:"topology"`
+	Nodes          int     `json:"nodes"`
+	Runs           int     `json:"runs"`
+	WorstRecoverMS float64 `json:"worst_recovery_ms"`
+	BoundMS        float64 `json:"bound_r_ms"`
+	WithinR        bool    `json:"within_r"`
 }
 
 type benchScenario struct {
@@ -68,7 +86,7 @@ const shareSlack = 0.02
 
 // compare returns the list of regressions (empty = pass) and the list
 // of informational notices.
-func compare(base, cur benchFile, tol, minWarmSpeedup float64, wall bool) (failures, notices []string) {
+func compare(base, cur benchFile, tol, minWarmSpeedup, minKernelSpeedup float64, wall bool) (failures, notices []string) {
 	failf := func(format string, args ...any) {
 		failures = append(failures, fmt.Sprintf(format, args...))
 	}
@@ -100,6 +118,31 @@ func compare(base, cur benchFile, tol, minWarmSpeedup float64, wall bool) (failu
 		failf("new bundle carries no plan_cache measurements")
 	} else if cur.PlanCache.Speedup < minWarmSpeedup {
 		failf("plan-cache warm speedup %.2fx below the %.1fx floor", cur.PlanCache.Speedup, minWarmSpeedup)
+	}
+
+	// Kernel throughput vs the frozen legacy baseline: both kernels run
+	// the identical workload in the new bundle's process, so the ratio is
+	// machine-independent and gates everywhere (schema v3+; older
+	// baselines carry no kernel section, which does not matter — the
+	// floor applies to the new bundle alone).
+	if cur.Kernel.Speedup <= 0 {
+		failf("new bundle carries no kernel throughput measurements")
+	} else if cur.Kernel.Speedup < minKernelSpeedup {
+		failf("kernel throughput %.2fx over the legacy baseline, below the %.1fx floor",
+			cur.Kernel.Speedup, minKernelSpeedup)
+	}
+
+	// Live soak: every C5 topology row must have recovered within its
+	// provable bound R — the wall-clock acceptance invariant. Absolute
+	// recovery latencies are machine-dependent and are not compared.
+	if len(cur.Live) == 0 {
+		failf("new bundle carries no live soak rows")
+	}
+	for _, row := range cur.Live {
+		if !row.WithinR {
+			failf("live soak %s/%d: worst recovery %.1fms exceeded bound R=%.1fms",
+				row.Topology, row.Nodes, row.WorstRecoverMS, row.BoundMS)
+		}
 	}
 
 	if base.Quick != cur.Quick {
@@ -177,6 +220,7 @@ func main() {
 	newPath := flag.String("new", "BENCH_new.json", "freshly generated bundle")
 	tol := flag.Float64("tolerance", 0.20, "allowed relative regression (work shares; wall clock with -wall)")
 	minWarm := flag.Float64("min-warm-speedup", 5, "minimum warm-plan-cache speedup (acceptance floor)")
+	minKernel := flag.Float64("min-kernel-speedup", 2, "minimum kernel throughput over the legacy baseline (acceptance floor)")
 	wall := flag.Bool("wall", false, "also gate absolute wall-clock times (same-host comparisons only)")
 	flag.Parse()
 
@@ -190,7 +234,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "btrcheckbench: %v\n", err)
 		os.Exit(2)
 	}
-	failures, notices := compare(base, cur, *tol, *minWarm, *wall)
+	failures, notices := compare(base, cur, *tol, *minWarm, *minKernel, *wall)
 	for _, n := range notices {
 		fmt.Printf("note: %s\n", n)
 	}
@@ -200,6 +244,6 @@ func main() {
 		}
 		os.Exit(1)
 	}
-	fmt.Printf("bench check OK: %d scenario(s), serial %.0fms, plan-cache warm %.2fx\n",
-		len(cur.Scenarios), cur.SerialMS, cur.PlanCache.Speedup)
+	fmt.Printf("bench check OK: %d scenario(s), serial %.0fms, plan-cache warm %.2fx, kernel %.2fx, %d live row(s) within R\n",
+		len(cur.Scenarios), cur.SerialMS, cur.PlanCache.Speedup, cur.Kernel.Speedup, len(cur.Live))
 }

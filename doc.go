@@ -8,11 +8,20 @@
 // detector / evidence distributor / mode switcher, physical plant models,
 // and the baseline protocols BTR is compared against.
 //
+// The runtime is transport-agnostic: every layer above the substrate is
+// written against two seams — sim.Scheduler (discrete-event Kernel or
+// wall-clock WallScheduler) and network.Transport (simulated Network or
+// live channel-based Bus) — so the same node executive that passes the
+// deterministic campaigns also runs as a live wall-clock deployment
+// (internal/live, cmd/btrlive) with recovery measured in real time
+// against the provable bound R.
+//
 // Start with README.md, the runnable examples under examples/, or the
 // experiment harness:
 //
 //	go run ./cmd/btrbench        # regenerate every experiment table
 //	go run ./examples/quickstart # smallest complete deployment
+//	go run ./cmd/btrlive         # live wall-clock deployment + fault injection
 //
 // The library surface lives under internal/ (this is a research
 // reproduction, not a stable API); cmd/ and examples/ show every intended

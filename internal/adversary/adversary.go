@@ -9,7 +9,6 @@ package adversary
 import (
 	"fmt"
 
-	"btr/internal/core"
 	"btr/internal/evidence"
 	"btr/internal/flow"
 	"btr/internal/network"
@@ -27,14 +26,22 @@ type Attack struct {
 	Apply func(rt *runtime.System)
 }
 
-// Install registers the attack on a system (records the fault time for
-// recovery accounting).
-func (a Attack) Install(sys *core.System) {
+// Injector schedules fault injections against a deployment and records
+// their times for recovery attribution. Both execution modes satisfy it —
+// core.System (simulated) and live.Deployment (wall clock) — so the same
+// attack scripts run unchanged against either.
+type Injector interface {
+	InjectAt(t sim.Time, f func(*runtime.System))
+}
+
+// Install registers the attack on a deployment (records the fault time
+// for recovery accounting).
+func (a Attack) Install(sys Injector) {
 	sys.InjectAt(a.At, a.Apply)
 }
 
 // InstallAll registers a batch of attacks.
-func InstallAll(sys *core.System, attacks ...Attack) {
+func InstallAll(sys Injector, attacks ...Attack) {
 	for _, a := range attacks {
 		a.Install(sys)
 	}

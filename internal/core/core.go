@@ -220,7 +220,7 @@ func (s *System) InjectAt(t sim.Time, f func(*runtime.System)) {
 func (s *System) Run() *Report {
 	s.Runtime.Start()
 	s.Kernel.Run(s.report.Horizon)
-	s.report.NetStats = s.Net.Stats
+	s.report.NetStats = s.Net.Snapshot()
 	return s.report
 }
 

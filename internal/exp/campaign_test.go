@@ -7,11 +7,13 @@ import (
 	"btr/internal/campaign"
 )
 
-// renderAll runs every scenario (paper + campaign families) in quick mode
-// with the given worker count and renders the aggregated tables.
+// renderAll runs every deterministic scenario (paper + campaign families;
+// the live family measures real wall-clock timings and is pinned by its
+// own tests instead) in quick mode with the given worker count and
+// renders the aggregated tables.
 func renderAll(t *testing.T, workers int) string {
 	t.Helper()
-	results := campaign.Run(Scenarios(), campaign.Options{
+	results := campaign.Run(DeterministicScenarios(), campaign.Options{
 		Workers: workers,
 		Params:  campaign.Params{Seed: 1, Quick: true, Trials: 1},
 	})
@@ -101,5 +103,30 @@ func TestCampaignSweepsHoldBounds(t *testing.T) {
 		if strings.Contains(b.String(), "NO") {
 			t.Errorf("%s violated its bound:\n%s", r.ID, b.String())
 		}
+	}
+}
+
+// TestC5LiveSmoke boots the quick live soak end to end: every trial must
+// complete without error (bound columns are wall-clock measurements and
+// are asserted in internal/live and the perf bundle, not here, so this
+// stays meaningful under the race detector's ~10x slowdown).
+func TestC5LiveSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live wall-clock soak in -short mode")
+	}
+	results := campaign.Run([]campaign.Scenario{C5Scenario()}, campaign.Options{
+		Workers: 2,
+		Params:  campaign.Params{Seed: 1, Quick: true, Trials: 1},
+	})
+	r := results[0]
+	for _, tr := range r.Trials {
+		if tr.Err != nil {
+			t.Errorf("C5/%s failed: %v", tr.Name, tr.Err)
+		}
+	}
+	var b strings.Builder
+	WriteResult(&b, r)
+	if !strings.Contains(b.String(), "C5: live wall-clock soak") {
+		t.Errorf("C5 table missing:\n%s", b.String())
 	}
 }

@@ -357,7 +357,7 @@ func e10Scenario() campaign.Scenario {
 			}
 			if rows, ok := campaign.Value[[]e10ModelRow](trials[runs]); ok {
 				for _, r := range rows {
-					cells := make([]interface{}, len(r.Cells))
+					cells := make([]any, len(r.Cells))
 					for i, c := range r.Cells {
 						cells[i] = c
 					}

@@ -42,8 +42,11 @@ type Experiment struct {
 	Run func(seed uint64, quick bool) Result
 }
 
-// Scenarios lists every scenario in order: the paper reproductions E1–E10
-// followed by the campaign sweep families C1–C3.
+// Scenarios lists every scenario in order: the paper reproductions E1–E10,
+// the simulated campaign sweep families C1–C4, and the live wall-clock
+// soak family C5. Families: "paper" and "campaign" are deterministic
+// (byte-identical tables for any seed+worker count); "live" runs on the
+// wall clock and its tables carry real measured timings.
 func Scenarios() []campaign.Scenario {
 	return []campaign.Scenario{
 		e1Scenario(),
@@ -60,7 +63,20 @@ func Scenarios() []campaign.Scenario {
 		c2Topology(),
 		c3ClockSkew(),
 		c4PlanCache(),
+		C5Scenario(),
 	}
+}
+
+// DeterministicScenarios returns every scenario whose tables are pinned
+// byte-identical (everything except the live family).
+func DeterministicScenarios() []campaign.Scenario {
+	var out []campaign.Scenario
+	for _, sc := range Scenarios() {
+		if sc.Family != "live" {
+			out = append(out, sc)
+		}
+	}
+	return out
 }
 
 // PaperScenarios returns only the E1–E10 paper reproductions.

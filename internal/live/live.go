@@ -1,0 +1,395 @@
+// Package live boots BTR deployments on the wall clock: the same plan
+// engine, detectors, evidence distribution, and mode switcher that run
+// under the discrete-event simulator execute here on a sim.WallScheduler
+// with the channel-based network.Bus transport. Nothing in the runtime
+// changes between the two modes — that is the point. The paper's claim is
+// that bounded-time recovery is a *runtime* property; this package is
+// where the claim meets real asynchrony: goroutine shaping lanes, timer
+// jitter, and crypto that costs actual CPU, with recovery measured in
+// wall-clock time against the strategy's provable bound R.
+//
+// A Deployment assembles everything, InjectAt schedules fault injections
+// (the adversary package's Attack scripts install unchanged via
+// adversary.Injector), and Run executes the configured horizon and
+// returns a Report with measured wall-clock recovery intervals.
+package live
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"btr/internal/evidence"
+	"btr/internal/flow"
+	"btr/internal/metrics"
+	"btr/internal/network"
+	"btr/internal/plan"
+	"btr/internal/plan/cache"
+	"btr/internal/runtime"
+	"btr/internal/sig"
+	"btr/internal/sim"
+)
+
+// Oracle returns the expected (correct) output value for a sink at a
+// period (same contract as core.Oracle).
+type Oracle func(sink flow.TaskID, period uint64) []byte
+
+// Config describes one live deployment. It mirrors core.Config minus the
+// simulation-only knobs; the Horizon is real wall-clock time
+// (Horizon × workload period).
+type Config struct {
+	Seed     uint64
+	Workload *flow.Graph
+	Topology *network.Topology
+	PlanOpts plan.Options
+	Net      network.Config
+
+	// PlanCache, when set, builds the strategy through the incremental
+	// plan engine and wires it into node failover, exactly as in core.
+	PlanCache *cache.Cache
+
+	// Optional semantic overrides (plants install their own).
+	Compute runtime.TaskFunc
+	Source  runtime.SourceFunc
+	Oracle  Oracle
+
+	// Horizon is the number of periods to run on the wall clock.
+	Horizon uint64
+
+	// EvidenceRateLimit forwards to the runtime (0 = default).
+	EvidenceRateLimit int
+
+	// OnActuation, if set, observes every actuation command.
+	OnActuation runtime.ActuationFunc
+	// OnEvidence and OnSwitch, if set, observe evidence acceptance and
+	// mode switches (for streaming progress; report counters are kept
+	// either way).
+	OnEvidence runtime.EvidenceFunc
+	OnSwitch   runtime.SwitchFunc
+}
+
+// Deployment is an assembled live system ready to Run.
+type Deployment struct {
+	Cfg      Config
+	Sched    *sim.WallScheduler
+	Bus      *network.Bus
+	Registry *sig.Registry
+	Strategy *plan.Strategy
+	Runtime  *runtime.System
+	// PlanEngine is the incremental plan engine backing this deployment
+	// (nil unless Config.PlanCache was set).
+	PlanEngine *cache.Engine
+
+	oracle Oracle
+	report *Report
+
+	// Monitor state, mutated only from scheduler callbacks; the report is
+	// read after Close, so no locking is needed (the executor join in
+	// Close is the synchronization point).
+	first map[string]bool
+	got   map[string][]byte
+
+	// drained closes when the end-of-horizon marker event fires — because
+	// dispatch is in (time, insertion) order, every deadline check has
+	// run by then even if the executor lags the wall clock.
+	drained  chan struct{}
+	startRun sync.Once
+}
+
+// Report aggregates what a live run measured. All times are wall-clock
+// microseconds since the deployment started.
+type Report struct {
+	Horizon sim.Time
+	Period  sim.Time
+	RNeeded sim.Time // the strategy's provable recovery bound
+
+	PerSink    map[flow.TaskID]*metrics.Timeline
+	FaultTimes []sim.Time
+
+	Actuations    int
+	WrongValues   int
+	MissedPeriods int
+
+	EvidenceByKind  map[evidence.Kind]int
+	FirstEvidenceAt sim.Time
+	SwitchTimes     []sim.Time
+	NetStats        network.Stats
+}
+
+// New validates the config, runs the offline planner, and wires a
+// runtime onto a wall scheduler and live bus. Nothing moves until Run.
+func New(cfg Config) (*Deployment, error) {
+	if cfg.Horizon == 0 {
+		cfg.Horizon = 40
+	}
+	if cfg.Net.EvidenceShare == 0 && cfg.Net.LossProb == 0 {
+		cfg.Net = network.DefaultConfig()
+	}
+	var strategy *plan.Strategy
+	var planner runtime.PlanSource
+	var eng *cache.Engine
+	if cfg.PlanCache != nil {
+		eng = cache.NewEngine(cfg.Workload, cfg.Topology, cfg.PlanOpts, cfg.PlanCache)
+		s, err := eng.BuildStrategy()
+		if err != nil {
+			return nil, fmt.Errorf("live: planning failed: %w", err)
+		}
+		strategy = s
+		planner = eng.Resolve
+	} else {
+		s, err := plan.Build(cfg.Workload, cfg.Topology, cfg.PlanOpts)
+		if err != nil {
+			return nil, fmt.Errorf("live: planning failed: %w", err)
+		}
+		strategy = s
+	}
+
+	w := sim.NewWallScheduler(cfg.Seed)
+	bus := network.NewBus(w, cfg.Topology, cfg.Net)
+	reg := sig.NewRegistry(cfg.Seed, cfg.Topology.N)
+
+	d := &Deployment{
+		Cfg: cfg, Sched: w, Bus: bus, Registry: reg, Strategy: strategy,
+		PlanEngine: eng,
+		first:      map[string]bool{},
+		got:        map[string][]byte{},
+		drained:    make(chan struct{}),
+	}
+	source := cfg.Source
+	if source == nil {
+		source = evidence.SourceValue
+	}
+	d.oracle = cfg.Oracle
+	if d.oracle == nil {
+		d.oracle = Oracle(hashOracle(cfg.Workload, source))
+	}
+	rep := &Report{
+		Horizon:         sim.Time(cfg.Horizon) * cfg.Workload.Period,
+		Period:          cfg.Workload.Period,
+		RNeeded:         strategy.RNeeded,
+		PerSink:         map[flow.TaskID]*metrics.Timeline{},
+		EvidenceByKind:  map[evidence.Kind]int{},
+		FirstEvidenceAt: sim.Never,
+	}
+	for _, sk := range cfg.Workload.Sinks() {
+		rep.PerSink[sk] = metrics.NewTimeline(0, true)
+	}
+	d.report = rep
+
+	d.Runtime = runtime.New(runtime.Config{
+		Kernel: w, Net: bus, Registry: reg, Strategy: strategy, Planner: planner,
+		Compute: cfg.Compute, Source: source,
+		EvidenceRateLimit: cfg.EvidenceRateLimit,
+		OnActuation: func(node network.NodeID, sink flow.TaskID, period uint64, value []byte, at sim.Time) {
+			rep.Actuations++
+			if cfg.OnActuation != nil {
+				cfg.OnActuation(node, sink, period, value, at)
+			}
+			key := fmt.Sprintf("%s|%d", sink, period)
+			if d.first[key] {
+				return // the plant acts on the first command only
+			}
+			d.first[key] = true
+			d.got[key] = append([]byte(nil), value...)
+		},
+		OnEvidence: func(node network.NodeID, ev evidence.Evidence, at sim.Time) {
+			rep.EvidenceByKind[ev.Kind]++
+			if at < rep.FirstEvidenceAt {
+				rep.FirstEvidenceAt = at
+			}
+			if cfg.OnEvidence != nil {
+				cfg.OnEvidence(node, ev, at)
+			}
+		},
+		OnSwitch: func(node network.NodeID, from, to string, at sim.Time) {
+			rep.SwitchTimes = append(rep.SwitchTimes, at)
+			if cfg.OnSwitch != nil {
+				cfg.OnSwitch(node, from, to, at)
+			}
+		},
+	})
+
+	// End-of-horizon marker: it sorts after every deadline check below,
+	// so when it fires the run is fully measured.
+	w.At(rep.Horizon+rep.Period, func() { close(d.drained) })
+
+	// Per-period deadline checks for every sink, scheduled on the wall
+	// clock like everything else so they serialize with actuations.
+	period := cfg.Workload.Period
+	for p := uint64(0); p < cfg.Horizon; p++ {
+		p := p
+		for _, sk := range cfg.Workload.Sinks() {
+			sk := sk
+			deadline := sim.Time(p)*period + cfg.Workload.Tasks[sk].Deadline
+			w.At(deadline, func() {
+				key := fmt.Sprintf("%s|%d", sk, p)
+				v, present := d.got[key]
+				ok := present && string(v) == string(d.oracle(sk, p))
+				if !present {
+					rep.MissedPeriods++
+				} else if !ok {
+					rep.WrongValues++
+				}
+				rep.PerSink[sk].Set(deadline, ok)
+			})
+		}
+	}
+	return d, nil
+}
+
+// InjectAt schedules a fault injection at wall time t and records it for
+// recovery attribution (adversary.Injector).
+func (d *Deployment) InjectAt(t sim.Time, f func(*runtime.System)) {
+	d.report.FaultTimes = append(d.report.FaultTimes, t)
+	d.Sched.At(t, func() { f(d.Runtime) })
+}
+
+// Run starts the executive, lets the deployment run its horizon of real
+// wall-clock time, shuts everything down leak-free, and returns the
+// report. Call it once.
+func (d *Deployment) Run() *Report {
+	d.startRun.Do(func() {
+		d.Runtime.Start()
+		d.Sched.Start()
+	})
+	// Wait for the in-order end-of-horizon marker rather than the raw
+	// wall clock: even a lagging executor has run every deadline check by
+	// the time it fires. The timeout is a hung-deployment backstop only.
+	select {
+	case <-d.drained:
+	case <-time.After(time.Duration(d.report.Horizon+d.report.Period)*time.Microsecond + 30*time.Second):
+	}
+	d.Close()
+	d.report.NetStats = d.Bus.Snapshot()
+	return d.report
+}
+
+// Close stops dispatch and joins every goroutine the deployment started
+// (executor and bus lanes). Idempotent; Run calls it automatically.
+func (d *Deployment) Close() {
+	d.Sched.Close()
+	d.Bus.Close()
+}
+
+// FirstSinkNode returns the node hosting the earliest-finishing sink
+// replica in the deployment's base plan (ties broken by lowest node ID)
+// — the externally visible victim attack scripts target, because only
+// the first-actuating replica's corruption shows up at the plant.
+func FirstSinkNode(d *Deployment) network.NodeID {
+	base := d.Strategy.Plans[""]
+	best := network.NodeID(-1)
+	var bestFin sim.Time
+	for _, id := range base.Aug.TaskIDs() {
+		logical, _ := plan.SplitReplica(id)
+		if lt, ok := base.Pruned.Tasks[logical]; !ok || !lt.Sink {
+			continue
+		}
+		fin := base.Table.Finish[id]
+		node := base.Assign[id]
+		if best == -1 || fin < bestFin || (fin == bestFin && node < best) {
+			best, bestFin = node, fin
+		}
+	}
+	return best
+}
+
+// --- Report analysis (mirrors core.Report) ----------------------------------
+
+// BadIntervals returns the merged wall-clock intervals during which any
+// sink produced incorrect output.
+func (r *Report) BadIntervals() []metrics.Interval {
+	var sinks []flow.TaskID
+	for sk := range r.PerSink {
+		sinks = append(sinks, sk)
+	}
+	sort.Slice(sinks, func(i, j int) bool { return sinks[i] < sinks[j] })
+	var all []metrics.Interval
+	for _, sk := range sinks {
+		all = append(all, r.PerSink[sk].FalseIntervals(r.Horizon)...)
+	}
+	return mergeIntervals(all)
+}
+
+// Recoveries pairs the run's fault injections with measured wall-clock
+// bad-output intervals.
+func (r *Report) Recoveries() []metrics.Recovery {
+	return metrics.MatchRecoveries(append([]sim.Time(nil), r.FaultTimes...), r.BadIntervals())
+}
+
+// MaxRecovery returns the worst measured wall-clock recovery.
+func (r *Report) MaxRecovery() sim.Time {
+	var max sim.Time
+	for _, rec := range r.Recoveries() {
+		if rec.Duration() > max {
+			max = rec.Duration()
+		}
+	}
+	return max
+}
+
+// WithinBound reports whether every measured recovery met the strategy's
+// provable bound R.
+func (r *Report) WithinBound() bool { return r.MaxRecovery() <= r.RNeeded }
+
+// EvidenceTotal counts all evidence observations.
+func (r *Report) EvidenceTotal() int {
+	n := 0
+	for _, c := range r.EvidenceByKind {
+		n += c
+	}
+	return n
+}
+
+func mergeIntervals(ivs []metrics.Interval) []metrics.Interval {
+	if len(ivs) == 0 {
+		return nil
+	}
+	sorted := append([]metrics.Interval(nil), ivs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Start < sorted[j].Start })
+	out := []metrics.Interval{sorted[0]}
+	for _, iv := range sorted[1:] {
+		last := &out[len(out)-1]
+		if iv.Start <= last.End {
+			if iv.End > last.End {
+				last.End = iv.End
+			}
+			continue
+		}
+		out = append(out, iv)
+	}
+	return out
+}
+
+// hashOracle recursively evaluates the base dataflow graph on the
+// deterministic environment samples (same construction as core.HashOracle;
+// duplicated to keep live free of a core dependency, so core and live
+// stay sibling drivers over the same runtime).
+func hashOracle(g *flow.Graph, source runtime.SourceFunc) func(flow.TaskID, uint64) []byte {
+	type key struct {
+		task   flow.TaskID
+		period uint64
+	}
+	memo := map[key][]byte{}
+	var eval func(task flow.TaskID, p uint64) []byte
+	eval = func(task flow.TaskID, p uint64) []byte {
+		k := key{task, p}
+		if v, ok := memo[k]; ok {
+			return v
+		}
+		t := g.Tasks[task]
+		var v []byte
+		if t.Source {
+			v = source(task, p)
+		} else {
+			var ins []evidence.Record
+			for _, e := range g.Inputs(task) {
+				ins = append(ins, evidence.Record{Logical: e.From, Value: eval(e.From, p)})
+			}
+			v = evidence.HashCompute(task, p, ins)
+		}
+		memo[k] = v
+		return v
+	}
+	return func(sink flow.TaskID, p uint64) []byte { return eval(sink, p) }
+}

@@ -1,0 +1,9 @@
+//go:build !race
+
+package live
+
+// raceDetectorEnabled reports whether this test binary was built with
+// -race. Wall-clock bounds are asserted strictly only without the race
+// detector: its ~10x crypto slowdown makes absolute timing meaningless,
+// while recovery itself must still happen.
+const raceDetectorEnabled = false

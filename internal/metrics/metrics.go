@@ -238,7 +238,7 @@ func NewTable(title string, cols ...string) *Table {
 }
 
 // AddRow appends a row; values are formatted with %v.
-func (t *Table) AddRow(cells ...interface{}) {
+func (t *Table) AddRow(cells ...any) {
 	row := make([]string, len(cells))
 	for i, c := range cells {
 		switch v := c.(type) {
@@ -254,7 +254,7 @@ func (t *Table) AddRow(cells ...interface{}) {
 }
 
 // Note appends a footnote line.
-func (t *Table) Note(format string, args ...interface{}) {
+func (t *Table) Note(format string, args ...any) {
 	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
 }
 

@@ -1,0 +1,354 @@
+package network
+
+import (
+	"sync"
+	"time"
+
+	"btr/internal/sim"
+)
+
+// Bus is the live, in-process, channel-based transport: the second
+// Transport implementation, used by wall-clock deployments
+// (internal/live, cmd/btrlive).
+//
+// Architecture: every directed link direction (and, when an evidence
+// share is reserved, every class on it) owns a lane — a FIFO channel
+// drained by a shaping goroutine. The lane worker sleeps each frame's
+// serialization time on the wall clock (bandwidth shaping; queueing
+// behind a busy lane emerges from channel FIFO order, the live analogue
+// of Network's busy-until bookkeeping) and then hands delivery back to
+// the scheduler after the link's propagation delay. Because deliveries
+// re-enter through the scheduler, handlers run serialized with every
+// other runtime callback — the Transport contract — while transmission
+// itself is genuinely concurrent across lanes, like real link hardware.
+//
+// Concurrency discipline: Send/SendDirect/SetDown/IsDown/
+// SetForwardFilter/Handle must be called from scheduler callbacks (or
+// before dispatch starts), exactly as with the simulated Network; lane
+// workers never touch that state. Snapshot is safe from any goroutine.
+// Close drains and joins every lane worker — the leak-free shutdown path
+// the live tests pin.
+type Bus struct {
+	sched sim.Scheduler
+	topo  *Topology
+	cfg   Config
+
+	handlers []Handler
+	filters  []ForwardFilter
+	down     []bool
+
+	lanes  map[chanKey]*busLane
+	nextID uint64
+	rng    *sim.RNG
+	// wallNow is the pacing clock for lane throttling: the scheduler's
+	// raw wall clock when available (see wallClocked), else Now.
+	wallNow func() sim.Time
+
+	statsMu sync.Mutex
+	stats   Stats
+
+	mu     sync.Mutex // guards closed and lane sends vs Close
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// busLane is one shaped FIFO pipe: a directed link direction carrying one
+// traffic class.
+type busLane struct {
+	ch       chan busFrame
+	capacity int64
+	prop     sim.Time
+}
+
+// busFrame is one queued transmission: the message plus the modeled
+// instant its hop-send was issued (the sending event's logical time).
+// Serialization is accounted from that instant, not from the wall clock
+// at dequeue time, so a momentarily lagging executor does not inflate
+// modeled link delays and break the schedule's arrival windows.
+type busFrame struct {
+	m     *Message
+	start sim.Time
+}
+
+// laneDepth bounds each lane's queue; a full lane drops (the live
+// analogue of unbounded busy-until growth would be unbounded memory).
+const laneDepth = 1024
+
+// wallClocked is the optional scheduler capability lanes use for pacing:
+// the raw wall clock, immune to the logical-time view Now presents
+// while a callback is dispatching (sim.WallScheduler implements it).
+// Pacing from Now would oversleep by the executor's catch-up lag.
+type wallClocked interface {
+	WallElapsed() sim.Time
+}
+
+// Bus implements Transport.
+var _ Transport = (*Bus)(nil)
+
+// NewBus creates the live transport over topo, delivering through sched.
+// Call Close when the deployment shuts down.
+func NewBus(sched sim.Scheduler, topo *Topology, cfg Config) *Bus {
+	if cfg.EvidenceShare < 0 || cfg.EvidenceShare >= 1 {
+		panic("network: EvidenceShare must be in [0,1)")
+	}
+	b := &Bus{
+		sched:    sched,
+		topo:     topo,
+		cfg:      cfg,
+		handlers: make([]Handler, topo.N),
+		filters:  make([]ForwardFilter, topo.N),
+		down:     make([]bool, topo.N),
+		lanes:    map[chanKey]*busLane{},
+		rng:      sched.RNG().Fork(),
+	}
+	b.wallNow = sched.Now
+	if wc, ok := sched.(wallClocked); ok {
+		b.wallNow = wc.WallElapsed
+	}
+	classes := []Class{ClassForeground, ClassEvidence}
+	if cfg.EvidenceShare == 0 {
+		classes = []Class{ClassForeground} // single shared channel
+	}
+	for _, l := range topo.Links {
+		for _, dir := range [2][2]NodeID{{l.A, l.B}, {l.B, l.A}} {
+			for _, class := range classes {
+				lane := &busLane{
+					ch:       make(chan busFrame, laneDepth),
+					capacity: b.capacity(l, class),
+					prop:     l.Prop,
+				}
+				b.lanes[chanKey{dir[0], dir[1], class}] = lane
+				b.wg.Add(1)
+				go b.shape(lane)
+			}
+		}
+	}
+	return b
+}
+
+// capacity mirrors Network's static per-class share split.
+func (b *Bus) capacity(l Link, class Class) int64 {
+	share := b.cfg.EvidenceShare
+	if share == 0 {
+		return l.Bandwidth
+	}
+	frac := share
+	if class == ClassForeground {
+		frac = 1 - share
+	}
+	c := int64(float64(l.Bandwidth) * frac)
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+// shapeSleepSlack is the minimum backlog worth sleeping for. OS timers on
+// a non-realtime kernel overshoot by ~1ms, so sleeping per micro-frame
+// would inflate every serialization delay a thousandfold; instead the
+// lane keeps a busy-until credit and only sleeps once the modeled backlog
+// exceeds the slack. Sub-slack serialization still shapes delivery times
+// (they are scheduled at the modeled instant), it just does not block the
+// worker.
+const shapeSleepSlack = 500 * sim.Microsecond
+
+// shape is the lane worker: serialize (account the tx time against the
+// lane's busy-until credit, sleeping only when genuinely backlogged),
+// then schedule delivery at the modeled arrival instant. Exits when the
+// lane channel closes.
+func (b *Bus) shape(lane *busLane) {
+	defer b.wg.Done()
+	var busyUntil sim.Time
+	for f := range lane.ch {
+		tx := txTime(f.m.Size(), lane.capacity)
+		if busyUntil < f.start {
+			busyUntil = f.start
+		}
+		busyUntil += tx
+		// Throttle only when the modeled backlog runs ahead of the wall
+		// clock by more than the slack; modeled arrival times stay exact
+		// either way. Pacing uses the raw wall clock: the logical Now can
+		// lag it while the executor catches up, and sleeping that lag too
+		// would hold modeled-time deliveries out of the heap.
+		if wait := busyUntil - b.wallNow(); wait > shapeSleepSlack {
+			time.Sleep(time.Duration(wait) * time.Microsecond)
+		}
+		m := f.m
+		b.sched.At(busyUntil+lane.prop, func() { b.arrive(m) })
+	}
+}
+
+// Topology returns the static wiring.
+func (b *Bus) Topology() *Topology { return b.topo }
+
+// Handle installs the delivery handler for node id.
+func (b *Bus) Handle(id NodeID, h Handler) { b.handlers[id] = h }
+
+// SetForwardFilter installs a Byzantine relay filter on node id.
+func (b *Bus) SetForwardFilter(id NodeID, f ForwardFilter) { b.filters[id] = f }
+
+// SetDown marks node id as crashed or repaired.
+func (b *Bus) SetDown(id NodeID, down bool) { b.down[id] = down }
+
+// IsDown reports whether id is crashed.
+func (b *Bus) IsDown(id NodeID) bool { return b.down[id] }
+
+// Snapshot returns the traffic counters accumulated so far.
+func (b *Bus) Snapshot() Stats {
+	b.statsMu.Lock()
+	defer b.statsMu.Unlock()
+	return b.stats
+}
+
+func (b *Bus) countSent(class Class, size int64) {
+	b.statsMu.Lock()
+	b.stats.MsgsSent[class]++
+	b.stats.BytesSent[class] += uint64(size)
+	b.statsMu.Unlock()
+}
+
+func (b *Bus) countDropped(class Class) {
+	b.statsMu.Lock()
+	b.stats.MsgsDropped[class]++
+	b.statsMu.Unlock()
+}
+
+func (b *Bus) countDelivered(class Class) {
+	b.statsMu.Lock()
+	b.stats.MsgsDelivered[class]++
+	b.statsMu.Unlock()
+}
+
+// SendDirect transmits payload one hop to an adjacent neighbor.
+func (b *Bus) SendDirect(from, to NodeID, class Class, payload []byte) bool {
+	m := b.newMessage(from, to, class, payload)
+	m.From, m.To = from, to
+	return b.transmit(m)
+}
+
+// Send routes payload from src to dst along the static shortest path with
+// store-and-forward at intermediate hops.
+func (b *Bus) Send(src, dst NodeID, class Class, payload []byte) bool {
+	if src == dst {
+		panic("network: Send to self")
+	}
+	path, ok := b.topo.Path(src, dst)
+	if !ok {
+		return false
+	}
+	m := b.newMessage(src, dst, class, payload)
+	m.From, m.To = path[0], path[1]
+	return b.transmit(m)
+}
+
+func (b *Bus) newMessage(src, dst NodeID, class Class, payload []byte) *Message {
+	b.nextID++
+	return &Message{
+		ID:      b.nextID,
+		Src:     src,
+		Dst:     dst,
+		Class:   class,
+		Payload: payload,
+		Sent:    b.sched.Now(),
+	}
+}
+
+// transmit enqueues m on its hop's lane. A full lane drops the message
+// (bounded queueing; the counters make the loss visible).
+func (b *Bus) transmit(m *Message) bool {
+	if b.down[m.From] {
+		b.countDropped(m.Class)
+		return false
+	}
+	key := chanKey{m.From, m.To, m.Class}
+	if b.cfg.EvidenceShare == 0 {
+		key.class = ClassForeground // single shared channel
+	}
+	lane, ok := b.lanes[key]
+	if !ok {
+		b.countDropped(m.Class)
+		return false
+	}
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return false
+	}
+	select {
+	case lane.ch <- busFrame{m: m, start: b.sched.Now()}:
+		b.mu.Unlock()
+		b.countSent(m.Class, m.Size())
+		return true
+	default:
+		b.mu.Unlock()
+		b.countDropped(m.Class)
+		return false
+	}
+}
+
+// arrive runs on the scheduler: deliver if final, else forward — the same
+// semantics as the simulated Network, including Byzantine relay filters
+// and residual loss.
+func (b *Bus) arrive(m *Message) {
+	if b.down[m.To] {
+		b.countDropped(m.Class)
+		return
+	}
+	if b.cfg.LossProb > 0 && b.rng.Bool(b.cfg.LossProb) {
+		b.countDropped(m.Class)
+		return
+	}
+	m.Hops++
+	if m.To == m.Dst {
+		b.countDelivered(m.Class)
+		if h := b.handlers[m.To]; h != nil {
+			h(m)
+		}
+		return
+	}
+	relay := m.To
+	if f := b.filters[relay]; f != nil {
+		fm, delay, fwd := f(m)
+		if !fwd {
+			b.countDropped(m.Class)
+			return
+		}
+		m = fm
+		if delay > 0 {
+			b.sched.After(delay, func() { b.forward(relay, m) })
+			return
+		}
+	}
+	b.forward(relay, m)
+}
+
+// forward advances m one hop along the current shortest path from relay,
+// avoiding known-down intermediates when an alternative exists.
+func (b *Bus) forward(relay NodeID, m *Message) {
+	path, ok := b.topo.PathAvoiding(relay, m.Dst, func(x NodeID) bool { return b.down[x] })
+	if !ok || len(path) < 2 {
+		b.countDropped(m.Class)
+		return
+	}
+	m.From, m.To = relay, path[1]
+	b.transmit(m)
+}
+
+// Close shuts the transport down: no further sends are accepted, every
+// lane drains, and all shaping goroutines are joined before Close
+// returns. Call it after the driving scheduler has stopped dispatching
+// (late deliveries the lanes hand to a stopped scheduler are discarded
+// there).
+func (b *Bus) Close() {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return
+	}
+	b.closed = true
+	for _, lane := range b.lanes {
+		close(lane.ch)
+	}
+	b.mu.Unlock()
+	b.wg.Wait()
+}

@@ -1,0 +1,176 @@
+package network
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"btr/internal/sim"
+)
+
+// busFixture boots a wall scheduler plus a live bus over topo and returns
+// a cleanup that asserts leak-free shutdown.
+func busFixture(t *testing.T, topo *Topology, cfg Config) (*sim.WallScheduler, *Bus) {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	w := sim.NewWallScheduler(1)
+	b := NewBus(w, topo, cfg)
+	t.Cleanup(func() {
+		w.Close()
+		b.Close()
+		deadline := time.Now().Add(2 * time.Second)
+		for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+			time.Sleep(10 * time.Millisecond)
+		}
+		if g := runtime.NumGoroutine(); g > before {
+			t.Errorf("goroutine leak after bus shutdown: %d before, %d after", before, g)
+		}
+	})
+	return w, b
+}
+
+func TestBusDeliversDirect(t *testing.T) {
+	topo := FullMesh(3, 20_000_000, 50*sim.Microsecond)
+	w, b := busFixture(t, topo, DefaultConfig())
+	var mu sync.Mutex
+	var got []*Message
+	done := make(chan struct{}, 8)
+	b.Handle(1, func(m *Message) {
+		mu.Lock()
+		got = append(got, m)
+		mu.Unlock()
+		done <- struct{}{}
+	})
+	w.At(0, func() {
+		if !b.SendDirect(0, 1, ClassForeground, []byte("hello")) {
+			t.Error("SendDirect failed")
+		}
+	})
+	w.Start()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("bus never delivered")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 1 || string(got[0].Payload) != "hello" || got[0].Src != 0 {
+		t.Fatalf("delivery wrong: %+v", got)
+	}
+	st := b.Snapshot()
+	if st.MsgsSent[ClassForeground] != 1 || st.MsgsDelivered[ClassForeground] != 1 {
+		t.Errorf("stats wrong: %+v", st)
+	}
+}
+
+func TestBusRoutesMultiHop(t *testing.T) {
+	// Ring of 4: 0 -> 2 must store-and-forward through an intermediate.
+	topo := Ring(4, 20_000_000, 50*sim.Microsecond)
+	w, b := busFixture(t, topo, DefaultConfig())
+	done := make(chan *Message, 1)
+	b.Handle(2, func(m *Message) { done <- m })
+	w.At(0, func() {
+		if !b.Send(0, 2, ClassForeground, []byte("x")) {
+			t.Error("Send failed")
+		}
+	})
+	w.Start()
+	select {
+	case m := <-done:
+		if m.Hops < 2 {
+			t.Errorf("expected multi-hop delivery, got %d hops", m.Hops)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("multi-hop delivery never arrived")
+	}
+}
+
+func TestBusDropsForDownNodes(t *testing.T) {
+	topo := FullMesh(2, 20_000_000, 50*sim.Microsecond)
+	w, b := busFixture(t, topo, DefaultConfig())
+	delivered := make(chan struct{}, 1)
+	b.Handle(1, func(m *Message) { delivered <- struct{}{} })
+	sentinel := make(chan struct{})
+	w.At(0, func() {
+		b.SetDown(1, true)
+		if b.SendDirect(0, 1, ClassForeground, []byte("x")) {
+			// Accepted at the sender: the receiver drops on arrival.
+			t.Log("send accepted; receiver-side drop expected")
+		}
+	})
+	// The sentinel also repairs the node and checks IsDown, so the
+	// assertion is synchronized with the select below rather than racing
+	// the cleanup's Close.
+	w.At(20*sim.Millisecond, func() {
+		b.SetDown(1, false)
+		if b.IsDown(1) {
+			t.Error("IsDown after repair")
+		}
+		close(sentinel)
+	})
+	w.Start()
+	select {
+	case <-delivered:
+		t.Fatal("down node received a message")
+	case <-sentinel:
+	case <-time.After(5 * time.Second):
+		t.Fatal("sentinel never fired")
+	}
+}
+
+func TestBusSerializationOrderPerLane(t *testing.T) {
+	// Two frames down the same lane must arrive in send order (FIFO
+	// shaping), even with zero propagation sorting to the same instant.
+	topo := FullMesh(2, 1_000_000, 0)
+	w, b := busFixture(t, topo, Config{EvidenceShare: 0.2})
+	var mu sync.Mutex
+	var order []byte
+	done := make(chan struct{}, 16)
+	b.Handle(1, func(m *Message) {
+		mu.Lock()
+		order = append(order, m.Payload[0])
+		mu.Unlock()
+		done <- struct{}{}
+	})
+	const frames = 8
+	w.At(0, func() {
+		for i := byte(0); i < frames; i++ {
+			b.SendDirect(0, 1, ClassForeground, []byte{i})
+		}
+	})
+	w.Start()
+	for i := 0; i < frames; i++ {
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			t.Fatalf("only %d/%d frames arrived", i, frames)
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for i := byte(0); i < frames; i++ {
+		if order[i] != i {
+			t.Fatalf("lane reordered frames: %v", order)
+		}
+	}
+}
+
+func TestBusCloseIsIdempotentAndRefusesSends(t *testing.T) {
+	topo := FullMesh(2, 20_000_000, 50*sim.Microsecond)
+	w := sim.NewWallScheduler(1)
+	b := NewBus(w, topo, DefaultConfig())
+	w.Start()
+	w.Close()
+	b.Close()
+	b.Close()
+	if b.transmitAfterCloseAccepted() {
+		t.Error("send accepted after Close")
+	}
+}
+
+// transmitAfterCloseAccepted exercises the post-Close send guard without
+// racing the executor (the scheduler is already closed here).
+func (b *Bus) transmitAfterCloseAccepted() bool {
+	return b.SendDirect(0, 1, ClassForeground, []byte("late"))
+}

@@ -1,3 +1,12 @@
+// Package network provides BTR's communication substrate behind a single
+// seam: the Transport interface. Two implementations exist — the
+// deterministic simulated Network (single-threaded, driven by any
+// sim.Scheduler, historically the discrete-event kernel) and the live Bus
+// (bus.go), a channel-based in-process transport whose per-link shaping
+// goroutines model serialization on the wall clock. Runtime code depends
+// only on Transport, so the same node executive runs under simulation and
+// live deployment unchanged. Topology (topology.go) describes the static
+// wiring both implementations share.
 package network
 
 import (
@@ -5,6 +14,37 @@ import (
 
 	"btr/internal/sim"
 )
+
+// Transport is the seam between the node runtime and whatever carries its
+// messages. Implementations deliver asynchronously — via scheduler events
+// (Network) or shaping goroutines feeding back into the scheduler (Bus) —
+// and must invoke handlers serially, never concurrently, preserving the
+// runtime's no-locking discipline.
+//
+// All methods except Snapshot must be called from scheduler callbacks (or
+// before dispatch starts); Snapshot is safe at any time.
+type Transport interface {
+	// Topology returns the static wiring.
+	Topology() *Topology
+	// Handle installs the delivery handler for node id.
+	Handle(id NodeID, h Handler)
+	// Send routes payload from src to dst along the (dynamic) shortest
+	// path with store-and-forward at intermediate hops. It reports false
+	// if no path exists or the sender is down.
+	Send(src, dst NodeID, class Class, payload []byte) bool
+	// SendDirect transmits payload one hop to an adjacent neighbor,
+	// reporting false if the nodes are not adjacent or the sender is down.
+	SendDirect(from, to NodeID, class Class, payload []byte) bool
+	// SetDown marks node id as crashed (true) or repaired (false). A down
+	// node does not receive, send, or forward.
+	SetDown(id NodeID, down bool)
+	// IsDown reports whether id is crashed.
+	IsDown(id NodeID) bool
+	// SetForwardFilter installs a Byzantine relay filter on node id.
+	SetForwardFilter(id NodeID, f ForwardFilter)
+	// Snapshot returns the traffic counters accumulated so far.
+	Snapshot() Stats
+}
 
 // Class selects which statically-allocated share of link capacity a
 // message uses. The evidence class exists so that fault evidence (§4.3)
@@ -90,9 +130,9 @@ type chanKey struct {
 }
 
 // Network is the simulated transport. It is single-goroutine (driven by
-// the sim kernel) and therefore needs no locking.
+// its scheduler's serialized callbacks) and therefore needs no locking.
 type Network struct {
-	k    *sim.Kernel
+	k    sim.Scheduler
 	topo *Topology
 	cfg  Config
 
@@ -107,8 +147,12 @@ type Network struct {
 	Stats Stats
 }
 
-// New creates a transport over topo driven by kernel k.
-func New(k *sim.Kernel, topo *Topology, cfg Config) *Network {
+// Network implements Transport.
+var _ Transport = (*Network)(nil)
+
+// New creates a transport over topo driven by scheduler k (usually the
+// discrete-event kernel; any sim.Scheduler works).
+func New(k sim.Scheduler, topo *Topology, cfg Config) *Network {
 	if cfg.EvidenceShare < 0 || cfg.EvidenceShare >= 1 {
 		panic("network: EvidenceShare must be in [0,1)")
 	}
@@ -139,6 +183,9 @@ func (n *Network) SetDown(id NodeID, down bool) { n.down[id] = down }
 
 // IsDown reports whether id is crashed.
 func (n *Network) IsDown(id NodeID) bool { return n.down[id] }
+
+// Snapshot returns the traffic counters accumulated so far.
+func (n *Network) Snapshot() Stats { return n.Stats }
 
 // capacity returns the bytes/second available to class on one direction of
 // link l.

@@ -56,10 +56,11 @@ func NewLoop(p Plant, period sim.Time, horizon uint64) *Loop {
 	return l
 }
 
-// kernel is the subset of sim.Kernel the loop needs (keeps the package
-// decoupled and trivially testable).
+// kernel is the subset of sim.Scheduler the loop needs (keeps the package
+// decoupled and trivially testable); any Scheduler — discrete-event or
+// wall-clock — satisfies it.
 type kernel interface {
-	At(t sim.Time, fn func())
+	At(t sim.Time, fn func()) sim.Handle
 	Now() sim.Time
 }
 

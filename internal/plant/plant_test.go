@@ -180,11 +180,12 @@ type fakeKernel struct {
 	}
 }
 
-func (f *fakeKernel) At(t sim.Time, fn func()) {
+func (f *fakeKernel) At(t sim.Time, fn func()) sim.Handle {
 	f.events = append(f.events, struct {
 		at sim.Time
 		fn func()
 	}{t, fn})
+	return sim.Handle(len(f.events))
 }
 func (f *fakeKernel) Now() sim.Time { return f.now }
 

@@ -155,6 +155,7 @@ func (n *Node) auditSinkRecords(cur *plan.Plan, p uint64, task flow.TaskID) {}
 // "allow both the sender and the recipient to declare a problem with the
 // path between them").
 func (n *Node) checkArrived(cur *plan.Plan, p uint64, e flow.Edge, w sched.MsgWindow) {
+	delete(n.watchdogs, watchKey{p, e.From, e.To}) // fired; drop the handle
 	if n.crashed || n.cur != cur {
 		return
 	}

@@ -31,6 +31,13 @@ type slotKey struct {
 	logical  flow.TaskID
 }
 
+// watchKey names one armed arrival watchdog: the edge it guards plus the
+// period it covers.
+type watchKey struct {
+	period   uint64
+	from, to flow.TaskID // producer replica -> consumer replica
+}
+
 // Node is one BTR runtime node.
 type Node struct {
 	id  network.NodeID
@@ -57,6 +64,12 @@ type Node struct {
 	evBudget map[network.NodeID]int
 	// accusedSlots dedups locally-generated accusations.
 	accusedSlots map[string]bool
+	// watchdogs holds the armed arrival-watchdog handles. When the
+	// awaited record arrives, the watchdog is cancelled immediately —
+	// dead watchdog closures no longer sit in the event heap until their
+	// timestamp drains (they used to dominate the pending set: one per
+	// consumed edge per period, almost all of them no-ops).
+	watchdogs map[watchKey]sim.Handle
 
 	// Stats.
 	EvidenceAccepted int
@@ -77,6 +90,7 @@ func newNode(id network.NodeID, cfg *Config) *Node {
 		attributor:   evidence.NewAttributor(cfg.Strategy.Opts.OmissionThreshold),
 		evBudget:     map[network.NodeID]int{},
 		accusedSlots: map[string]bool{},
+		watchdogs:    map[watchKey]sim.Handle{},
 	}
 }
 
@@ -118,14 +132,17 @@ func (n *Node) schedulePeriod(p uint64) {
 		k.At(base+slot.End, func() { n.finishTask(cur, p, slot.Task) })
 	}
 	// Arm arrival watchdogs for edges whose consumer lives here (local
-	// handoffs included: a colocated producer replica can omit too).
+	// handoffs included: a colocated producer replica can omit too). The
+	// handle is kept so the watchdog can be disarmed the moment the
+	// record arrives.
 	margin := n.cfg.Strategy.Opts.WatchdogMargin
 	for e, w := range cur.Table.Msgs {
 		if cur.Assign[e.To] != n.id {
 			continue
 		}
 		e, w := e, w
-		k.At(base+w.Arrive+margin, func() { n.checkArrived(cur, p, e, w) })
+		h := k.At(base+w.Arrive+margin, func() { n.checkArrived(cur, p, e, w) })
+		n.watchdogs[watchKey{p, e.From, e.To}] = h
 	}
 	// Garbage-collect old inbox periods (keep two).
 	if p >= 2 {
@@ -406,6 +423,14 @@ func (n *Node) acceptRecord(env sig.Envelope, atts []sig.Envelope, m *network.Me
 		}
 		if !dup {
 			per[key] = append(per[key], a)
+		}
+		// The awaited record is here: disarm the edge's watchdog instead
+		// of letting a dead closure fire later (checkArrived would only
+		// have found the arrival and returned).
+		wk := watchKey{rec.Period, rec.Producer, c}
+		if h, ok := n.watchdogs[wk]; ok {
+			n.cfg.Kernel.Cancel(h)
+			delete(n.watchdogs, wk)
 		}
 	}
 }

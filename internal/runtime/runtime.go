@@ -75,9 +75,15 @@ type Behavior struct {
 }
 
 // Config assembles a runtime system.
+//
+// Kernel and Net are seams, not concrete engines: any sim.Scheduler
+// (discrete-event kernel or wall-clock WallScheduler) and any
+// network.Transport (simulated Network or live Bus) work, and the runtime
+// behaves identically on either — that is the transport-agnostic contract
+// internal/live and cmd/btrlive build on.
 type Config struct {
-	Kernel   *sim.Kernel
-	Net      *network.Network
+	Kernel   sim.Scheduler
+	Net      network.Transport
 	Registry *sig.Registry
 	Strategy *plan.Strategy
 	// Planner optionally overrides plan resolution at failover time (see

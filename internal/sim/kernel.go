@@ -1,25 +1,30 @@
-// Package sim provides a deterministic discrete-event simulation kernel.
+// Package sim provides BTR's executive seam: a Scheduler interface over
+// virtual or wall-clock time, a deterministic discrete-event Kernel
+// implementing it, and a real-time WallScheduler for live deployments.
 //
-// All of BTR's substrates (network, node runtimes, plants, adversaries) run
-// on top of a single Kernel that advances a virtual clock from event to
-// event. Determinism is guaranteed by (a) a total order on events — primary
-// key virtual time, tie-break by insertion sequence number — and (b) a
-// seeded PRNG (see RNG) instead of any ambient source of randomness.
+// Every substrate above this package (network, node runtimes, plants,
+// adversaries) is written against Scheduler only, so the same runtime code
+// executes in two modes:
 //
-// Time is measured in microseconds of virtual time (type Time). One
+//   - Simulation: Kernel advances a virtual clock from event to event.
+//     Determinism is guaranteed by (a) a total order on events — primary
+//     key virtual time, tie-break by insertion sequence number — and (b) a
+//     seeded PRNG (see RNG) instead of any ambient source of randomness.
+//   - Live: WallScheduler dispatches the same callbacks at real wall-clock
+//     deadlines on a single executor goroutine (see wall.go), which is how
+//     cmd/btrlive measures recovery in wall time rather than virtual time.
+//
+// Time is measured in microseconds (type Time) in both modes. One
 // microsecond granularity is fine enough for the CAN-bus / avionics-style
 // networks the paper targets and coarse enough to avoid overflow: int64
 // microseconds cover ~292k years.
 package sim
 
-import (
-	"container/heap"
-	"fmt"
-)
+import "fmt"
 
-// Time is a point in virtual time, in microseconds since simulation start.
-// It doubles as a duration; helper constructors Millisecond etc. make
-// call sites readable.
+// Time is a point in virtual (or live-run wall) time, in microseconds
+// since execution start. It doubles as a duration; helper constructors
+// Millisecond etc. make call sites readable.
 type Time int64
 
 // Convenient units for constructing Time values.
@@ -59,47 +64,69 @@ func (t Time) Millis() float64 { return float64(t) / float64(Millisecond) }
 // nearest microsecond.
 func FromSeconds(s float64) Time { return Time(s*float64(Second) + 0.5) }
 
-// event is a scheduled callback.
-type event struct {
-	at  Time
-	seq uint64 // insertion order; total-order tie-break
-	fn  func()
-}
-
-// eventHeap is a min-heap over (at, seq).
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return ev
+// Scheduler is the executive seam between BTR's runtime layers and
+// whatever drives them. The discrete-event Kernel implements it on virtual
+// time; WallScheduler implements it on the wall clock. Code written
+// against Scheduler (the network transports, the node runtime, the plants)
+// runs unchanged in both modes.
+//
+// Contract shared by all implementations:
+//
+//   - Callbacks are dispatched one at a time in (time, insertion) order;
+//     no two callbacks ever run concurrently, so runtime state needs no
+//     locking.
+//   - At/After return a Handle; Cancel(h) prevents the callback from
+//     running if it has not fired yet and reports whether it did so.
+//     Cancelling an already-fired or already-cancelled event returns
+//     false.
+//   - RNG returns the executive's deterministic random source. It is not
+//     synchronized: use it only from event callbacks (or before the
+//     executive starts dispatching).
+type Scheduler interface {
+	// Now returns the current time.
+	Now() Time
+	// At schedules fn at absolute time t.
+	At(t Time, fn func()) Handle
+	// After schedules fn d after the current time. Negative d panics.
+	After(d Time, fn func()) Handle
+	// Cancel revokes a scheduled event; see the interface contract.
+	Cancel(h Handle) bool
+	// RNG returns the executive's deterministic random source.
+	RNG() *RNG
 }
 
 // Kernel is the discrete-event simulation engine. The zero value is not
 // usable; construct with NewKernel.
+//
+// The hot path is allocation-free at steady state: events are typed
+// records in a pooled 4-ary index heap (see eventQueue), and same-
+// timestamp runs dispatch as one batch — a single clock advance and heap
+// drain per distinct instant instead of a full pop cycle per event.
 type Kernel struct {
 	now     Time
-	seq     uint64
-	pq      eventHeap
+	q       eventQueue
 	rng     *RNG
 	stopped bool
+
+	// batch is the reusable same-timestamp dispatch buffer. It is
+	// detached while in use so a callback that re-enters Run/RunAll
+	// (unusual but legal) gets a fresh buffer instead of clobbering the
+	// in-flight one.
+	batch []batchEvent
 
 	// Executed counts events dispatched so far (for diagnostics and as a
 	// runaway guard in tests).
 	Executed uint64
 }
+
+// batchEvent is one popped event awaiting dispatch in the current batch.
+type batchEvent struct {
+	seq uint64
+	fn  func()
+}
+
+// Kernel implements Scheduler.
+var _ Scheduler = (*Kernel)(nil)
 
 // NewKernel returns a kernel whose clock reads zero and whose PRNG is
 // seeded with seed. Two kernels constructed with the same seed and fed the
@@ -117,33 +144,78 @@ func (k *Kernel) RNG() *RNG { return k.rng }
 // At schedules fn to run at absolute virtual time t. Scheduling in the past
 // (t < Now) panics: it indicates a logic bug, and silently clamping would
 // hide causality violations.
-func (k *Kernel) At(t Time, fn func()) {
+func (k *Kernel) At(t Time, fn func()) Handle {
 	if t < k.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, k.now))
 	}
-	k.seq++
-	heap.Push(&k.pq, &event{at: t, seq: k.seq, fn: fn})
+	return k.q.schedule(t, fn)
 }
 
 // After schedules fn to run d after the current time.
-func (k *Kernel) After(d Time, fn func()) {
+func (k *Kernel) After(d Time, fn func()) Handle {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: negative delay %v", d))
 	}
-	k.At(k.now+d, fn)
+	return k.At(k.now+d, fn)
 }
+
+// Cancel revokes a scheduled event. It reports false when the handle is
+// zero, stale, or the event already fired or was cancelled.
+func (k *Kernel) Cancel(h Handle) bool { return k.q.cancel(h) }
 
 // Step dispatches the single earliest pending event. It reports false when
 // no events remain or Stop has been called.
 func (k *Kernel) Step() bool {
-	if k.stopped || len(k.pq) == 0 {
+	if k.stopped || k.q.len() == 0 {
 		return false
 	}
-	ev := heap.Pop(&k.pq).(*event)
-	k.now = ev.at
+	at, _, fn := k.q.pop()
+	k.now = at
 	k.Executed++
-	ev.fn()
+	fn()
 	return true
+}
+
+// dispatchBatch advances the clock to t and runs every event scheduled at
+// exactly t in insertion order, popping them all before running any — one
+// heap drain per instant. Events a callback schedules at the same t land
+// back in the heap and are picked up by the caller's next batch (their
+// sequence numbers are larger, so insertion order is preserved). If a
+// callback calls Stop mid-batch, the unexecuted remainder is requeued with
+// its original sequence numbers, matching the one-event-at-a-time
+// semantics (stopped events stay pending).
+func (k *Kernel) dispatchBatch(t Time) uint64 {
+	k.now = t
+	_, seq0, fn := k.q.pop()
+	if k.q.len() == 0 || k.q.topAt() != t {
+		// Fast path: the instant holds a single event.
+		k.Executed++
+		fn()
+		return 1
+	}
+	batch := k.batch[:0]
+	k.batch = nil
+	batch = append(batch, batchEvent{seq0, fn})
+	for k.q.len() > 0 && k.q.topAt() == t {
+		_, seq, fn := k.q.pop()
+		batch = append(batch, batchEvent{seq, fn})
+	}
+	var n uint64
+	for i := range batch {
+		if k.stopped {
+			for _, rest := range batch[i:] {
+				k.q.scheduleSeq(t, rest.seq, rest.fn)
+			}
+			break
+		}
+		fn := batch[i].fn
+		batch[i].fn = nil // release the closure before running it
+		k.Executed++
+		n++
+		fn()
+	}
+	k.batch = batch[:0]
+	return n
 }
 
 // Run dispatches events until the queue is empty, Stop is called, or the
@@ -152,9 +224,12 @@ func (k *Kernel) Step() bool {
 // It returns the number of events dispatched by this call.
 func (k *Kernel) Run(until Time) uint64 {
 	var n uint64
-	for !k.stopped && len(k.pq) > 0 && k.pq[0].at <= until {
-		k.Step()
-		n++
+	for !k.stopped && k.q.len() > 0 {
+		t := k.q.topAt()
+		if t > until {
+			break
+		}
+		n += k.dispatchBatch(t)
 	}
 	if k.now < until && !k.stopped {
 		k.now = until
@@ -165,27 +240,28 @@ func (k *Kernel) Run(until Time) uint64 {
 // RunAll dispatches events until none remain or Stop is called.
 func (k *Kernel) RunAll() uint64 {
 	var n uint64
-	for k.Step() {
-		n++
+	for !k.stopped && k.q.len() > 0 {
+		n += k.dispatchBatch(k.q.topAt())
 	}
 	return n
 }
 
 // Stop halts the simulation: subsequent Step/Run calls do nothing. Safe to
-// call from inside an event callback.
+// call from inside an event callback; events not yet dispatched (including
+// later events of the current same-timestamp batch) stay pending.
 func (k *Kernel) Stop() { k.stopped = true }
 
 // Stopped reports whether Stop has been called.
 func (k *Kernel) Stopped() bool { return k.stopped }
 
 // Pending returns the number of events waiting in the queue.
-func (k *Kernel) Pending() int { return len(k.pq) }
+func (k *Kernel) Pending() int { return k.q.len() }
 
 // NextEventTime returns the time of the earliest pending event, or Never if
 // the queue is empty.
 func (k *Kernel) NextEventTime() Time {
-	if len(k.pq) == 0 {
+	if k.q.len() == 0 {
 		return Never
 	}
-	return k.pq[0].at
+	return k.q.topAt()
 }

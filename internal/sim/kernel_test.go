@@ -274,3 +274,224 @@ func BenchmarkRNGUint64(b *testing.B) {
 		r.Uint64()
 	}
 }
+
+// --- Handle / cancellation edge cases ---------------------------------------
+
+func TestKernelCancelPending(t *testing.T) {
+	k := NewKernel(1)
+	var fired []int
+	k.At(10, func() { fired = append(fired, 1) })
+	h := k.At(20, func() { fired = append(fired, 2) })
+	k.At(30, func() { fired = append(fired, 3) })
+	if !k.Cancel(h) {
+		t.Fatal("Cancel of a pending event returned false")
+	}
+	if k.Pending() != 2 {
+		t.Fatalf("Pending() = %d after cancel, want 2", k.Pending())
+	}
+	k.RunAll()
+	if len(fired) != 2 || fired[0] != 1 || fired[1] != 3 {
+		t.Fatalf("cancelled event ran: fired = %v", fired)
+	}
+}
+
+func TestKernelCancelAlreadyFired(t *testing.T) {
+	k := NewKernel(1)
+	h := k.At(5, func() {})
+	k.RunAll()
+	if k.Cancel(h) {
+		t.Error("Cancel of an already-fired event returned true")
+	}
+	// A second cancel of the same stale handle must also be a no-op.
+	if k.Cancel(h) {
+		t.Error("double Cancel returned true")
+	}
+}
+
+func TestKernelCancelZeroHandle(t *testing.T) {
+	k := NewKernel(1)
+	if k.Cancel(0) {
+		t.Error("Cancel(0) returned true")
+	}
+	if k.Cancel(Handle(1<<40 | 7)) {
+		t.Error("Cancel of a never-issued handle returned true")
+	}
+}
+
+func TestKernelStaleHandleAfterSlotReuse(t *testing.T) {
+	// A handle whose pool slot was recycled must not cancel the new
+	// occupant (generation guard).
+	k := NewKernel(1)
+	h := k.At(1, func() {})
+	k.Step() // fires h; its slot returns to the pool
+	ran := false
+	k.At(2, func() { ran = true }) // reuses the slot
+	if k.Cancel(h) {
+		t.Error("stale handle cancelled a recycled slot")
+	}
+	k.RunAll()
+	if !ran {
+		t.Error("recycled-slot event did not run")
+	}
+}
+
+func TestKernelAtExactlyNow(t *testing.T) {
+	// Scheduling at exactly Now must run (not panic), after already-queued
+	// same-instant events, in insertion order.
+	k := NewKernel(1)
+	var order []int
+	k.At(10, func() {
+		order = append(order, 1)
+		k.At(k.Now(), func() { order = append(order, 3) })
+	})
+	k.At(10, func() { order = append(order, 2) })
+	k.RunAll()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("At(Now) ordering wrong: %v", order)
+	}
+	if k.Now() != 10 {
+		t.Errorf("Now() = %v, want 10", k.Now())
+	}
+}
+
+func TestKernelRunUntilClockSemantics(t *testing.T) {
+	// Run(until) with an empty queue advances the clock to until; with a
+	// later event pending, the clock stops at until and the event stays.
+	k := NewKernel(1)
+	k.Run(50)
+	if k.Now() != 50 {
+		t.Fatalf("Run on empty queue left clock at %v, want 50", k.Now())
+	}
+	fired := false
+	k.At(100, func() { fired = true })
+	if n := k.Run(70); n != 0 {
+		t.Fatalf("Run(70) dispatched %d events, want 0", n)
+	}
+	if k.Now() != 70 || fired {
+		t.Fatalf("clock %v fired=%v, want 70/false", k.Now(), fired)
+	}
+	// An event exactly at until is dispatched and the clock lands on it.
+	if n := k.Run(100); n != 1 || !fired || k.Now() != 100 {
+		t.Fatalf("Run(100): n=%d fired=%v now=%v", n, fired, k.Now())
+	}
+	// Running backwards-in-time bounds is a no-op that never rewinds.
+	k.Run(10)
+	if k.Now() != 100 {
+		t.Errorf("Run(10) rewound the clock to %v", k.Now())
+	}
+}
+
+func TestKernelStopMidBatchKeepsRemainderPending(t *testing.T) {
+	// Stop inside a same-timestamp batch: later events of the batch must
+	// not run and must stay pending (matching one-at-a-time semantics).
+	k := NewKernel(1)
+	var order []int
+	k.At(5, func() { order = append(order, 1); k.Stop() })
+	k.At(5, func() { order = append(order, 2) })
+	k.At(5, func() { order = append(order, 3) })
+	k.RunAll()
+	if len(order) != 1 || order[0] != 1 {
+		t.Fatalf("events ran after Stop: %v", order)
+	}
+	if k.Pending() != 2 {
+		t.Fatalf("Pending() = %d after mid-batch Stop, want 2", k.Pending())
+	}
+}
+
+func TestKernelCancelInterleavedWithDispatch(t *testing.T) {
+	// A callback cancelling a same-timestamp later event: the event was
+	// already popped into the batch, so cancellation reports false and the
+	// event still runs — Cancel only covers events still in the queue.
+	// Cancelling a *later-timestamp* event from a callback works.
+	k := NewKernel(1)
+	var fired []int
+	var hLater Handle
+	k.At(5, func() {
+		fired = append(fired, 1)
+		if k.Cancel(hLater) != true {
+			t.Error("cancel of later-timestamp event from callback failed")
+		}
+	})
+	hLater = k.At(9, func() { fired = append(fired, 9) })
+	k.RunAll()
+	if len(fired) != 1 || fired[0] != 1 {
+		t.Fatalf("fired = %v, want [1]", fired)
+	}
+}
+
+func TestKernelHeapStressOrdering(t *testing.T) {
+	// Random schedule/cancel interleavings must still dispatch in strict
+	// (time, seq) order with no event lost or duplicated.
+	k := NewKernel(7)
+	rng := NewRNG(99)
+	type rec struct {
+		at  Time
+		seq int
+	}
+	var got []rec
+	n := 0
+	var handles []Handle
+	for i := 0; i < 5000; i++ {
+		at := Time(rng.Intn(1000))
+		i := i
+		h := k.At(at, func() { got = append(got, rec{k.Now(), i}) })
+		n++
+		handles = append(handles, h)
+		if rng.Bool(0.3) && len(handles) > 0 {
+			j := rng.Intn(len(handles))
+			if k.Cancel(handles[j]) {
+				n--
+			}
+		}
+	}
+	k.RunAll()
+	if len(got) != n {
+		t.Fatalf("dispatched %d events, want %d", len(got), n)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].at < got[i-1].at {
+			t.Fatalf("time order violated at %d: %v after %v", i, got[i].at, got[i-1].at)
+		}
+	}
+}
+
+func BenchmarkKernelThroughput(b *testing.B) {
+	// The headline kernel benchmark: one op = one useful (work) event of
+	// the standard BTR-shaped workload — 1024 self-rescheduling chains,
+	// each arming an arrival watchdog per round and cancelling it when the
+	// "record" arrives (1/64 rounds omit, letting the watchdog fire). The
+	// acceptance criterion pins this at >=2x the frozen legacy
+	// closure-heap kernel (BenchmarkKernelThroughputLegacy, which cannot
+	// cancel and therefore dispatches every dead watchdog), gated
+	// continuously via BENCH_campaign.json and cmd/btrcheckbench.
+	b.ReportAllocs()
+	k := NewKernel(1)
+	throughputLoad(throughputExec{after: k.After, cancel: k.Cancel}, b.N)
+	b.ResetTimer()
+	k.RunAll()
+}
+
+func BenchmarkKernelThroughputLegacy(b *testing.B) {
+	b.ReportAllocs()
+	k := &legacyKernel{}
+	throughputLoad(throughputExec{after: func(d Time, fn func()) Handle {
+		k.After(d, fn)
+		return 0
+	}}, b.N)
+	b.ResetTimer()
+	k.runAll()
+}
+
+func BenchmarkKernelWatchdogArmCancel(b *testing.B) {
+	// The watchdog pattern the runtime uses: arm a timer, cancel it before
+	// it fires (the old kernel had no Cancel and let dead closures fire).
+	b.ReportAllocs()
+	k := NewKernel(1)
+	for i := 0; i < b.N; i++ {
+		h := k.After(1000, func() { b.Fatal("cancelled watchdog fired") })
+		k.Cancel(h)
+		if i%64 == 0 {
+			k.Run(k.Now() + 1) // keep the clock moving
+		}
+	}
+}

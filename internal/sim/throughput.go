@@ -1,0 +1,160 @@
+package sim
+
+import (
+	"container/heap"
+	"time"
+)
+
+// This file carries the kernel-throughput measurement used by the perf
+// bundle (BENCH_campaign.json) and its frozen baseline: a copy of the
+// pre-refactor closure-heap kernel (container/heap over boxed *event
+// records, no cancellation, no batching). The baseline is deliberately
+// kept in-tree so the throughput gate is machine-independent — both
+// kernels run the identical logical workload in the same process and
+// cmd/btrcheckbench gates on their ratio, the way the warm-plan-cache
+// speedup is gated.
+
+// legacyEvent / legacyHeap / legacyKernel are the old implementation,
+// verbatim modulo renames. Do not "improve" them: they are the yardstick.
+type legacyEvent struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type legacyHeap []*legacyEvent
+
+func (h legacyHeap) Len() int { return len(h) }
+func (h legacyHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h legacyHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *legacyHeap) Push(x any)   { *h = append(*h, x.(*legacyEvent)) }
+func (h *legacyHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+type legacyKernel struct {
+	now Time
+	seq uint64
+	pq  legacyHeap
+}
+
+func (k *legacyKernel) At(t Time, fn func()) {
+	k.seq++
+	heap.Push(&k.pq, &legacyEvent{at: t, seq: k.seq, fn: fn})
+}
+
+func (k *legacyKernel) After(d Time, fn func()) { k.At(k.now+d, fn) }
+
+func (k *legacyKernel) runAll() {
+	for len(k.pq) > 0 {
+		ev := heap.Pop(&k.pq).(*legacyEvent)
+		k.now = ev.at
+		ev.fn()
+	}
+}
+
+// throughputChains is the fan-in of the standard workload: enough
+// concurrent activity to keep a realistic pending-set depth (a BTR
+// deployment keeps hundreds-to-thousands of events in flight — slot
+// starts/ends, arrival watchdogs, and network deliveries per period).
+const throughputChains = 1024
+
+// watchdogHoldoff is how far past its work event each chain's watchdog is
+// armed, mirroring the runtime's arrival-watchdog margin.
+const watchdogHoldoff = 1000 * Microsecond
+
+// throughputExec abstracts the executive under test. cancel is nil for
+// executives without cancellation (the legacy kernel): their watchdogs
+// cannot be revoked and fire as dead closures — exactly the pre-refactor
+// runtime behavior the typed kernel eliminates.
+type throughputExec struct {
+	after  func(d Time, fn func()) Handle
+	cancel func(h Handle) bool
+}
+
+// throughputLoad seeds the standard kernel workload: per chain, a
+// self-rescheduling work event (pseudo-random delay, cheap LCG, identical
+// across implementations) that arms an arrival watchdog each round and —
+// where the executive supports it — cancels the previous round's watchdog,
+// the way the runtime disarms a watchdog when the awaited record arrives.
+// One chain in 64 "omits": its watchdog is left to fire, so both
+// executives also exercise the firing path. The returned counter is the
+// number of useful (work) events dispatched; read it after the run drains.
+func throughputLoad(e throughputExec, events int) *int {
+	useful := new(int)
+	remaining := events
+	for c := 0; c < throughputChains; c++ {
+		state := uint64(c)*0x9e3779b97f4a7c15 + 1
+		var armed Handle
+		var tick func()
+		tick = func() {
+			*useful++
+			if remaining <= 0 {
+				return
+			}
+			remaining--
+			if e.cancel != nil && armed != 0 {
+				e.cancel(armed)
+			}
+			state = state*6364136223846793005 + 1442695040888963407
+			delay := Time(state>>54) + 1 // [1, 1024] us
+			if state&63 != 0 {           // the omission case leaves no watchdog to cancel
+				armed = e.after(delay+watchdogHoldoff, func() {})
+			} else {
+				armed = 0
+			}
+			e.after(delay, tick)
+		}
+		e.after(Time(c+1), tick)
+	}
+	return useful
+}
+
+// MeasureKernelThroughput runs the standard workload for the given event
+// budget on the current Kernel and on the frozen legacy closure-heap
+// kernel, returning useful (work) events per second for each. The ratio
+// eventsPerSec/legacyEventsPerSec is the machine-independent kernel
+// speedup the perf bundle records and cmd/btrcheckbench gates (the
+// acceptance floor is 2x).
+func MeasureKernelThroughput(events int) (eventsPerSec, legacyEventsPerSec float64) {
+	if events <= 0 {
+		events = 1 << 20
+	}
+	best := func(run func() int) float64 {
+		var b float64
+		for i := 0; i < 3; i++ {
+			start := time.Now()
+			n := run()
+			if s := float64(n) / time.Since(start).Seconds(); s > b {
+				b = s
+			}
+		}
+		return b
+	}
+	cur := best(func() int {
+		k := NewKernel(1)
+		n := throughputLoad(throughputExec{after: k.After, cancel: k.Cancel}, events)
+		k.RunAll()
+		return *n
+	})
+	legacy := best(func() int {
+		k := &legacyKernel{}
+		n := throughputLoad(throughputExec{after: func(d Time, fn func()) Handle {
+			k.After(d, fn)
+			return 0
+		}}, events)
+		k.runAll()
+		return *n
+	})
+	return cur, legacy
+}
