@@ -53,10 +53,11 @@ cover:
 		else printf "coverage %s%% (floor $(COVER_MIN)%%)\n", pct }'
 
 # One-iteration benchmark smoke: every experiment benchmark, the campaign
-# serial/parallel pair, the plan-cache cold/warm/delta benchmarks, and
-# the kernel-throughput pair (current vs frozen legacy baseline).
+# serial/parallel pair, the plan-cache cold/warm/delta benchmarks, the
+# kernel-throughput pair (current vs frozen legacy baseline), the
+# verify/seal memo pairs, and the evidence-flood encode-once/legacy pair.
 bench:
-	$(GO) test -run='^$$' -bench=. -benchtime=1x . ./internal/sim
+	$(GO) test -run='^$$' -bench=. -benchtime=1x . ./internal/sim ./internal/sig ./internal/evidence
 
 # Regenerate the tracked campaign perf bundle (full, non-quick sweep).
 bench-json:

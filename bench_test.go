@@ -23,6 +23,7 @@ import (
 	"btr/internal/network"
 	"btr/internal/plan"
 	"btr/internal/plan/cache"
+	"btr/internal/sig"
 	"btr/internal/sim"
 )
 
@@ -254,7 +255,35 @@ type campaignBench struct {
 	// comparator gates.
 	Live []liveBenchRow `json:"live"`
 
+	// Crypto tracks the verification/seal memo fast path (schema v4):
+	// memoized vs uncached verification ns/op (same process, same
+	// working set — the ratio is machine-independent and gated >=2x by
+	// cmd/btrcheckbench -min-crypto-speedup), the shared-memo hit rate
+	// over the cached serial campaign, and the serial campaign wall
+	// measured with the memos disabled vs enabled (the before/after of
+	// this subsystem; the ratio is gated >=1.5x). serial_wall_ms above
+	// is the cached (production-path) number.
+	Crypto cryptoBench `json:"crypto"`
+
 	Scenarios []campaignBenchScenario `json:"scenarios"`
+}
+
+type cryptoBench struct {
+	VerifyCachedNsOp   float64 `json:"verify_cached_ns_op"`
+	VerifyUncachedNsOp float64 `json:"verify_uncached_ns_op"`
+	VerifySpeedup      float64 `json:"speedup_verify"`
+
+	MemoHits    uint64  `json:"memo_hits"`
+	MemoMisses  uint64  `json:"memo_misses"`
+	MemoHitRate float64 `json:"memo_hit_rate"`
+
+	UncachedSerialMS float64 `json:"campaign_serial_uncached_ms"`
+	CachedSerialMS   float64 `json:"campaign_serial_cached_ms"`
+	CampaignSpeedup  float64 `json:"speedup_campaign"`
+
+	// E4WorkShare is the crypto-bound scenario's share of total serial
+	// compute — the canary btrcheckbench regression-gates.
+	E4WorkShare float64 `json:"e4_work_share"`
 }
 
 type kernelBench struct {
@@ -302,16 +331,52 @@ func TestEmitCampaignBench(t *testing.T) {
 	scens := exp.PaperScenarios()
 	p := campaign.Params{Seed: 1, Quick: quick}
 
+	// Crypto before/after: the same serial campaign with the sig memos
+	// disabled, then enabled. Registries capture the setting at
+	// construction, so the toggle cleanly splits the two runs. The table
+	// comparison below doubles as a determinism assertion: memoization
+	// must not change a single output byte.
+	renderTables := func(rs []campaign.ScenarioResult) string {
+		var sb strings.Builder
+		for _, r := range rs {
+			for _, tbl := range r.Tables {
+				sb.WriteString(tbl.String())
+			}
+		}
+		return sb.String()
+	}
+	sig.SetMemos(false)
 	start := time.Now()
+	uncachedRes := campaign.Run(scens, campaign.Options{Workers: 1, Params: p})
+	uncachedSerial := time.Since(start)
+	sig.SetMemos(true)
+
+	// Both timed runs start with empty memos: serial measures the
+	// cold-start production path (intra-run sharing only), and the
+	// workers=4 run must not inherit the serial run's warmth — otherwise
+	// speedup_4w would conflate cache reuse with parallelism.
+	sig.ResetMemos()
+	vh0, vm0, sh0, sm0 := sig.MemoStats()
+	start = time.Now()
 	serialRes := campaign.Run(scens, campaign.Options{Workers: 1, Params: p})
 	serial := time.Since(start)
+	vh1, vm1, sh1, sm1 := sig.MemoStats()
+	hits := (vh1 - vh0) + (sh1 - sh0)
+	misses := (vm1 - vm0) + (sm1 - sm0)
+
+	if renderTables(uncachedRes) != renderTables(serialRes) {
+		t.Fatal("memoized serial campaign tables differ from the uncached run")
+	}
+
+	sig.ResetMemos()
 	start = time.Now()
 	campaign.Run(scens, campaign.Options{Workers: 4, Params: p})
 	par4 := time.Since(start)
 
+	cachedNs, uncachedNs := sig.MeasureVerifySpeedup(64)
 	curTP, legacyTP := sim.MeasureKernelThroughput(1 << 19)
 	bench := campaignBench{
-		Schema: "btr-campaign-bench/v3",
+		Schema: "btr-campaign-bench/v4",
 		Seed:   1, Quick: quick,
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		HostCores:  runtime.NumCPU(),
@@ -325,6 +390,17 @@ func TestEmitCampaignBench(t *testing.T) {
 			Speedup:            curTP / legacyTP,
 		},
 		Live: measureLiveSoak(p),
+		Crypto: cryptoBench{
+			VerifyCachedNsOp:   cachedNs,
+			VerifyUncachedNsOp: uncachedNs,
+			VerifySpeedup:      uncachedNs / cachedNs,
+			MemoHits:           hits,
+			MemoMisses:         misses,
+			MemoHitRate:        float64(hits) / float64(hits+misses),
+			UncachedSerialMS:   float64(uncachedSerial.Microseconds()) / 1000,
+			CachedSerialMS:     float64(serial.Microseconds()) / 1000,
+			CampaignSpeedup:    float64(uncachedSerial) / float64(serial),
+		},
 	}
 	for _, r := range serialRes {
 		bench.Scenarios = append(bench.Scenarios, campaignBenchScenario{
@@ -344,6 +420,17 @@ func TestEmitCampaignBench(t *testing.T) {
 			WorkMS: float64(res[0].Work.Microseconds()) / 1000,
 		})
 	}
+	// E4's recorded share uses the same denominator the btrcheckbench
+	// canary gate does: every scenario row in the bundle, C4 included.
+	var totalMS float64
+	for _, sc := range bench.Scenarios {
+		totalMS += sc.WorkMS
+	}
+	for _, sc := range bench.Scenarios {
+		if sc.ID == "E4" && totalMS > 0 {
+			bench.Crypto.E4WorkShare = sc.WorkMS / totalMS
+		}
+	}
 	f, err := os.Create(out)
 	if err != nil {
 		t.Fatalf("create %s: %v", out, err)
@@ -354,10 +441,11 @@ func TestEmitCampaignBench(t *testing.T) {
 	if err := enc.Encode(bench); err != nil {
 		t.Fatalf("encode: %v", err)
 	}
-	t.Logf("wrote %s: serial %.0fms, workers=4 %.0fms, speedup %.2fx (GOMAXPROCS=%d, %d host core(s)); plan cache warm %.2fms vs cold %.2fms (%.1fx); kernel %.2fx vs legacy; %d live soak row(s)",
-		out, bench.SerialMS, bench.Par4MS, bench.Speedup, bench.GOMAXPROCS, bench.HostCores,
+	t.Logf("wrote %s: serial %.0fms (uncached %.0fms, crypto %.2fx, memo hit rate %.1f%%), workers=4 %.0fms, speedup %.2fx (GOMAXPROCS=%d, %d host core(s)); plan cache warm %.2fms vs cold %.2fms (%.1fx); kernel %.2fx vs legacy; verify memo %.1fx; %d live soak row(s)",
+		out, bench.SerialMS, bench.Crypto.UncachedSerialMS, bench.Crypto.CampaignSpeedup,
+		bench.Crypto.MemoHitRate*100, bench.Par4MS, bench.Speedup, bench.GOMAXPROCS, bench.HostCores,
 		bench.PlanCache.WarmMS, bench.PlanCache.ColdMS, bench.PlanCache.Speedup,
-		bench.Kernel.Speedup, len(bench.Live))
+		bench.Kernel.Speedup, bench.Crypto.VerifySpeedup, len(bench.Live))
 }
 
 func BenchmarkE1Recovery(b *testing.B) {

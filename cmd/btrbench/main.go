@@ -4,6 +4,7 @@
 // value. Usage:
 //
 //	btrbench [-seed N] [-quick] [-only E6] [-workers N]
+//	         [-cpuprofile out.pprof] [-memprofile out.pprof]
 package main
 
 import (
@@ -13,6 +14,7 @@ import (
 	"runtime"
 
 	"btr/internal/exp"
+	"btr/internal/prof"
 )
 
 func main() {
@@ -20,7 +22,15 @@ func main() {
 	quick := flag.Bool("quick", false, "smaller sweeps (for smoke runs)")
 	only := flag.String("only", "", "run a single experiment (e.g. E6)")
 	workers := flag.Int("workers", runtime.NumCPU(), "trial worker pool size (does not affect output)")
+	profFlags := prof.Register()
 	flag.Parse()
+
+	stopProf, err := profFlags.Start()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "btrbench: %v\n", err)
+		os.Exit(2)
+	}
+	defer stopProf()
 
 	if *only != "" {
 		for _, e := range exp.All() {
@@ -34,6 +44,7 @@ func main() {
 			}
 		}
 		fmt.Fprintf(os.Stderr, "btrbench: unknown experiment %q\n", *only)
+		stopProf()
 		os.Exit(2)
 	}
 	exp.RunAllWorkers(os.Stdout, *seed, *quick, *workers)

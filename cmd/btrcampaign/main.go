@@ -5,9 +5,12 @@
 //
 //	btrcampaign [-workers N] [-trials N] [-seed N] [-quick] [-json]
 //	            [-only E6] [-family campaign] [-list] [-v]
+//	            [-cpuprofile out.pprof] [-memprofile out.pprof]
 //
 // With -json, the full machine-readable result bundle (tables, per-trial
 // status and timing, campaign metadata) is written to stdout.
+// -cpuprofile/-memprofile write pprof profiles covering the campaign run
+// (including the parallel worker path), for profiling perf work directly.
 package main
 
 import (
@@ -21,6 +24,7 @@ import (
 
 	"btr/internal/campaign"
 	"btr/internal/exp"
+	"btr/internal/prof"
 )
 
 // selectScenarios filters the scenario table by -only and -family. An
@@ -73,6 +77,7 @@ func main() {
 	family := flag.String("family", "", "run one scenario family (paper | campaign)")
 	list := flag.Bool("list", false, "list scenarios and exit")
 	verbose := flag.Bool("v", false, "print per-trial progress to stderr")
+	profFlags := prof.Register()
 	flag.Parse()
 	if *workers < 1 {
 		*workers = 1
@@ -94,6 +99,13 @@ func main() {
 		fmt.Fprintf(os.Stderr, "btrcampaign: %v\n", err)
 		os.Exit(2)
 	}
+
+	stopProf, err := profFlags.Start()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "btrcampaign: %v\n", err)
+		os.Exit(2)
+	}
+	defer stopProf()
 
 	opts := campaign.Options{
 		Workers: *workers,
@@ -121,6 +133,7 @@ func main() {
 	if *jsonOut {
 		if err := campaign.NewBundle(opts, wall, results).WriteJSON(os.Stdout); err != nil {
 			fmt.Fprintf(os.Stderr, "btrcampaign: %v\n", err)
+			stopProf()
 			os.Exit(1)
 		}
 	} else {
@@ -131,6 +144,7 @@ func main() {
 	}
 	if failed > 0 {
 		fmt.Fprintf(os.Stderr, "btrcampaign: %d trial(s) failed\n", failed)
+		stopProf()
 		os.Exit(1)
 	}
 }

@@ -4,17 +4,22 @@
 //
 //	btrcheckbench -baseline BENCH_campaign.json -new BENCH_new.json
 //	              [-tolerance 0.20] [-min-warm-speedup 5]
+//	              [-min-kernel-speedup 2] [-min-crypto-speedup 2]
 //
 // Rules:
 //
 //   - structure always checked: every baseline scenario must still run,
 //     and no trial may fail in the new bundle;
 //   - ratio metrics always checked, because they are machine-independent
-//     to first order: the warm-plan-cache speedup must stay above the
-//     acceptance floor, and no scenario's share of the total serial
-//     compute may grow by more than the tolerance (a subsystem that got
-//     relatively slower shows up in its share no matter how fast the
-//     host is);
+//     to first order: the warm-plan-cache speedup, the kernel-vs-legacy
+//     throughput ratio, the cached-vs-uncached verify ratio
+//     (-min-crypto-speedup) and the memo-on vs memo-off campaign ratio
+//     must stay above their acceptance floors, and no scenario's share
+//     of the total serial compute may grow by more than the tolerance (a
+//     subsystem that got relatively slower shows up in its share no
+//     matter how fast the host is). E4, the crypto-bound scenario, is
+//     the fast path's canary: its share is gated without the absolute
+//     slack;
 //   - absolute wall-clock comparisons (campaign serial wall,
 //     per-scenario work, plan-cache cold synthesis) are meaningful only
 //     between runs on the same host at the same parallelism, so they
@@ -54,6 +59,13 @@ type benchFile struct {
 		Speedup            float64 `json:"speedup"`
 	} `json:"kernel"`
 
+	Crypto struct {
+		VerifySpeedup   float64 `json:"speedup_verify"`
+		MemoHitRate     float64 `json:"memo_hit_rate"`
+		CampaignSpeedup float64 `json:"speedup_campaign"`
+		E4WorkShare     float64 `json:"e4_work_share"`
+	} `json:"crypto"`
+
 	Live []liveRow `json:"live"`
 
 	Scenarios []benchScenario `json:"scenarios"`
@@ -84,9 +96,15 @@ const workSlackMS = 25.0
 // work-share comparison for the same reason.
 const shareSlack = 0.02
 
+// minCampaignCryptoSpeedup is the acceptance floor for the memo-on vs
+// memo-off serial campaign wall ratio (same process, so the ratio is
+// machine-independent): the crypto fast path must keep the campaign at
+// least 1.5x faster than recomputing every signature.
+const minCampaignCryptoSpeedup = 1.5
+
 // compare returns the list of regressions (empty = pass) and the list
 // of informational notices.
-func compare(base, cur benchFile, tol, minWarmSpeedup, minKernelSpeedup float64, wall bool) (failures, notices []string) {
+func compare(base, cur benchFile, tol, minWarmSpeedup, minKernelSpeedup, minCryptoSpeedup float64, wall bool) (failures, notices []string) {
 	failf := func(format string, args ...any) {
 		failures = append(failures, fmt.Sprintf(format, args...))
 	}
@@ -132,6 +150,23 @@ func compare(base, cur benchFile, tol, minWarmSpeedup, minKernelSpeedup float64,
 			cur.Kernel.Speedup, minKernelSpeedup)
 	}
 
+	// Crypto fast path (schema v4+): the cached-vs-uncached verify ratio
+	// is same-process/same-working-set and therefore machine-independent;
+	// so is the memo-on vs memo-off serial campaign ratio. Both gate
+	// everywhere. The 1.5x campaign floor is the tentpole acceptance
+	// criterion; the verify floor is configurable via -min-crypto-speedup.
+	if cur.Crypto.VerifySpeedup <= 0 {
+		failf("new bundle carries no crypto fast-path measurements")
+	} else {
+		if cur.Crypto.VerifySpeedup < minCryptoSpeedup {
+			failf("verify memo speedup %.2fx below the %.1fx floor", cur.Crypto.VerifySpeedup, minCryptoSpeedup)
+		}
+		if cur.Crypto.CampaignSpeedup < minCampaignCryptoSpeedup {
+			failf("memoized serial campaign only %.2fx over the uncached run, below the %.1fx floor",
+				cur.Crypto.CampaignSpeedup, minCampaignCryptoSpeedup)
+		}
+	}
+
 	// Live soak: every C5 topology row must have recovered within its
 	// provable bound R — the wall-clock acceptance invariant. Absolute
 	// recovery latencies are machine-dependent and are not compared.
@@ -168,7 +203,14 @@ func compare(base, cur benchFile, tol, minWarmSpeedup, minKernelSpeedup float64,
 			}
 			baseShare := bsc.WorkMS / baseTotal
 			curShare := cur.Scenarios[i].WorkMS / curTotal
-			if curShare > baseShare*(1+tol)+shareSlack {
+			// E4 is the crypto-bound canary: its share is gated without
+			// the absolute slack, so creep back toward crypto-dominated
+			// campaigns fails even when E4's share is small.
+			slack := shareSlack
+			if bsc.ID == "E4" {
+				slack = 0
+			}
+			if curShare > baseShare*(1+tol)+slack {
 				failf("scenario %s work share regressed >%.0f%%: %.1f%% -> %.1f%% of total serial compute",
 					bsc.ID, tol*100, baseShare*100, curShare*100)
 			}
@@ -221,6 +263,7 @@ func main() {
 	tol := flag.Float64("tolerance", 0.20, "allowed relative regression (work shares; wall clock with -wall)")
 	minWarm := flag.Float64("min-warm-speedup", 5, "minimum warm-plan-cache speedup (acceptance floor)")
 	minKernel := flag.Float64("min-kernel-speedup", 2, "minimum kernel throughput over the legacy baseline (acceptance floor)")
+	minCrypto := flag.Float64("min-crypto-speedup", 2, "minimum cached-vs-uncached verify speedup (acceptance floor)")
 	wall := flag.Bool("wall", false, "also gate absolute wall-clock times (same-host comparisons only)")
 	flag.Parse()
 
@@ -234,7 +277,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "btrcheckbench: %v\n", err)
 		os.Exit(2)
 	}
-	failures, notices := compare(base, cur, *tol, *minWarm, *minKernel, *wall)
+	failures, notices := compare(base, cur, *tol, *minWarm, *minKernel, *minCrypto, *wall)
 	for _, n := range notices {
 		fmt.Printf("note: %s\n", n)
 	}
@@ -244,6 +287,7 @@ func main() {
 		}
 		os.Exit(1)
 	}
-	fmt.Printf("bench check OK: %d scenario(s), serial %.0fms, plan-cache warm %.2fx, kernel %.2fx, %d live row(s) within R\n",
-		len(cur.Scenarios), cur.SerialMS, cur.PlanCache.Speedup, cur.Kernel.Speedup, len(cur.Live))
+	fmt.Printf("bench check OK: %d scenario(s), serial %.0fms, plan-cache warm %.2fx, kernel %.2fx, verify memo %.2fx, crypto campaign %.2fx (E4 share %.1f%%), %d live row(s) within R\n",
+		len(cur.Scenarios), cur.SerialMS, cur.PlanCache.Speedup, cur.Kernel.Speedup,
+		cur.Crypto.VerifySpeedup, cur.Crypto.CampaignSpeedup, cur.Crypto.E4WorkShare*100, len(cur.Live))
 }

@@ -16,6 +16,13 @@
 // (internal/live, cmd/btrlive) with recovery measured in real time
 // against the provable bound R.
 //
+// Host-side crypto cost is amortized by the internal/sig memo fast path:
+// verification and sealing are deterministic, so they are memoized
+// (positive entries only, full-triple keys) and evidence blobs are
+// encoded once and forwarded by slice reuse — campaign wall clock drops
+// >2x while every simulated-time result, including the virtual
+// sig.CostModel charges, stays byte-identical.
+//
 // Start with README.md, the runnable examples under examples/, or the
 // experiment harness:
 //

@@ -111,6 +111,12 @@ func DecodeAccusation(b []byte) (Accusation, error) {
 }
 
 // Evidence is one typed, transportable piece of evidence.
+//
+// Decoded evidence retains its original wire bytes and its ID (see
+// Decode), so re-encoding a received blob — the flood-forwarding hot path
+// — is a slice reuse instead of a re-serialization. Evidence must be
+// treated as immutable once decoded or canonicalized; code that needs a
+// modified copy must build a fresh value field by field.
 type Evidence struct {
 	Kind     Kind
 	Accused  network.NodeID // -1 for path accusations (not yet attributed)
@@ -128,27 +134,76 @@ type Evidence struct {
 	// Attachments carry the committed input envelopes (wrong-output /
 	// bad-input re-execution).
 	Attachments []sig.Envelope
+
+	// wire is the retained original encoding (set by Decode/Canon) and id
+	// its memoized identifier. Both ride along in value copies.
+	wire  []byte
+	id    [16]byte
+	hasID bool
 }
 
-// Encode serializes evidence for transport.
+// EncodedSize returns len(Encode()) without encoding.
+func (e Evidence) EncodedSize() int {
+	n := 1 + 4 + 4 + 8 + 4 + e.Primary.EncodedSize() + 4
+	if e.Secondary.Sig != nil {
+		n += e.Secondary.EncodedSize()
+	}
+	return n + EnvelopesSize(e.Attachments)
+}
+
+// Encode serializes evidence for transport. For decoded (or Canon'd)
+// evidence this returns the retained wire bytes — callers must not mutate
+// the result.
 func (e Evidence) Encode() []byte {
-	var w buf
+	if e.wire != nil {
+		return e.wire
+	}
+	return e.AppendTo(make([]byte, 0, e.EncodedSize()))
+}
+
+// AppendTo appends the evidence encoding to dst and returns the extended
+// slice (zero allocations when dst has capacity).
+func (e Evidence) AppendTo(dst []byte) []byte {
+	if e.wire != nil {
+		return append(dst, e.wire...)
+	}
+	w := buf{b: dst}
 	w.u8(uint8(e.Kind))
 	w.u32(uint32(e.Accused))
 	w.u32(uint32(e.Reporter))
 	w.i64(int64(e.DetectedAt))
-	w.bytes(e.Primary.Encode())
-	var secBytes []byte
+	w.u32(uint32(e.Primary.EncodedSize()))
+	w.b = e.Primary.AppendTo(w.b)
 	if e.Secondary.Sig != nil { // absent Secondary encodes as empty
-		secBytes = e.Secondary.Encode()
+		w.u32(uint32(e.Secondary.EncodedSize()))
+		w.b = e.Secondary.AppendTo(w.b)
+	} else {
+		w.u32(0)
 	}
-	w.bytes(secBytes)
-	w.raw(EncodeEnvelopes(e.Attachments))
+	w.b = AppendEnvelopes(w.b, e.Attachments)
 	return w.b
 }
 
+// Canon returns e with its encoding and ID memoized, so subsequent
+// Encode/ID calls are slice reuses. Locally raised evidence is Canon'd
+// once before flooding; decoded evidence is already canonical.
+func (e Evidence) Canon() Evidence {
+	if e.wire == nil {
+		e.wire = e.AppendTo(make([]byte, 0, e.EncodedSize()))
+	}
+	if !e.hasID {
+		h := sha256.Sum256(e.wire)
+		copy(e.id[:], h[:16])
+		e.hasID = true
+	}
+	return e
+}
+
 // Decode parses encoded evidence; it is strict about framing so bogus
-// blobs are rejected before any signature verification.
+// blobs are rejected before any signature verification. The returned
+// Evidence retains b as its canonical wire form (callers hand over
+// ownership of b) and carries a precomputed ID, so forwarding a received
+// blob re-encodes nothing.
 func Decode(b []byte) (Evidence, error) {
 	rd := &reader{b: b}
 	var e Evidence
@@ -174,12 +229,19 @@ func Decode(b []byte) (Evidence, error) {
 		return Evidence{}, err
 	}
 	rd.b = nil
+	e.wire = b
+	h := sha256.Sum256(b)
+	copy(e.id[:], h[:16])
+	e.hasID = true
 	return e, nil
 }
 
 // ID returns a stable 16-byte identifier (for dedup) derived from the
-// encoded bytes.
+// encoded bytes. Decoded/Canon'd evidence returns the memoized value.
 func (e Evidence) ID() [16]byte {
+	if e.hasID {
+		return e.id
+	}
 	h := sha256.Sum256(e.Encode())
 	var id [16]byte
 	copy(id[:], h[:16])
@@ -280,13 +342,18 @@ func (v *Validator) validateWrongOutput(e Evidence) error {
 	if DigestEnvelopes(e.Attachments) != r.InputsDigest {
 		return fmt.Errorf("%w: attachments do not match the record's input digest", ErrMalformed)
 	}
+	// Wrong-output proofs need every attachment valid (an invalid one
+	// under a matching digest is a *bad-input* proof; demand the right
+	// kind). All-or-nothing, so one memoized batch sweep checks the
+	// signatures and the loop below only decodes.
+	if i, ok := v.Reg.CheckBatch(e.Attachments); !ok {
+		return fmt.Errorf("%w: attachment %d invalid (use bad-input): %v", ErrMalformed, i, ErrBadSignature)
+	}
 	inputs := make([]Record, 0, len(e.Attachments))
 	for _, env := range e.Attachments {
-		ir, err := v.checkedRecord(env)
-		if err != nil {
-			// Invalid attachment under a matching digest is a *bad-input*
-			// proof, not a wrong-output proof; demand the right kind.
-			return fmt.Errorf("%w: attachment invalid (use bad-input): %v", ErrMalformed, err)
+		ir, err := DecodeRecord(env.Body)
+		if err != nil || ir.Node != env.Signer {
+			return fmt.Errorf("%w: attachment record invalid (use bad-input)", ErrMalformed)
 		}
 		inputs = append(inputs, ir)
 	}

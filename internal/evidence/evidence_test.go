@@ -452,3 +452,59 @@ func BenchmarkValidateEquivocation(b *testing.B) {
 		}
 	}
 }
+
+func TestDecodeRetainsWire(t *testing.T) {
+	reg := sig.NewRegistry(31, 4)
+	ev := floodEvidence(t, reg) // decoded: wire + ID memoized
+	wire := ev.Encode()
+	// Re-encoding a decoded blob is a slice reuse, not a re-serialization.
+	if &wire[0] != &ev.Encode()[0] {
+		t.Error("Encode of decoded evidence re-serialized instead of reusing the wire")
+	}
+	// The retained wire and ID agree with a from-scratch re-encode.
+	fresh := Evidence{
+		Kind: ev.Kind, Accused: ev.Accused, Reporter: ev.Reporter,
+		DetectedAt: ev.DetectedAt, Primary: ev.Primary,
+		Secondary: ev.Secondary, Attachments: ev.Attachments,
+	}
+	if !bytes.Equal(fresh.Encode(), wire) {
+		t.Error("retained wire differs from field-wise encoding")
+	}
+	if fresh.ID() != ev.ID() {
+		t.Error("memoized ID differs from recomputed ID")
+	}
+	// Canon on fresh evidence memoizes without changing anything.
+	canon := fresh.Canon()
+	if !bytes.Equal(canon.Encode(), wire) || canon.ID() != ev.ID() {
+		t.Error("Canon changed the encoding or ID")
+	}
+	if &canon.Encode()[0] != &canon.Encode()[0] {
+		t.Error("Canon did not retain a stable wire")
+	}
+}
+
+func TestAppendEnvelopesMatchesEncode(t *testing.T) {
+	reg := sig.NewRegistry(32, 3)
+	envs := []sig.Envelope{
+		reg.Seal(0, []byte("a")),
+		reg.Seal(1, []byte("bb")),
+		reg.Seal(2, []byte("ccc")),
+	}
+	enc := EncodeEnvelopes(envs)
+	if len(enc) != EnvelopesSize(envs) {
+		t.Errorf("EnvelopesSize = %d, encoded = %d", EnvelopesSize(envs), len(enc))
+	}
+	app := AppendEnvelopes([]byte{0xAA}, envs)
+	if app[0] != 0xAA || !bytes.Equal(app[1:], enc) {
+		t.Error("AppendEnvelopes diverges from EncodeEnvelopes")
+	}
+	back, err := DecodeEnvelopes(enc)
+	if err != nil || len(back) != 3 {
+		t.Fatalf("round trip failed: %v", err)
+	}
+	for i := range back {
+		if !bytes.Equal(back[i].Body, envs[i].Body) || !bytes.Equal(back[i].Sig, envs[i].Sig) {
+			t.Errorf("envelope %d mangled", i)
+		}
+	}
+}

@@ -32,6 +32,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
 
 	"btr/internal/flow"
 	"btr/internal/network"
@@ -169,30 +170,59 @@ func DecodeRecord(b []byte) (Record, error) {
 	return r, nil
 }
 
+// scratchPool recycles encoding scratch buffers so steady-state digest
+// and marshaling work allocates nothing (the PR 3 kernel's pooled-record
+// pattern, applied to the codec).
+var scratchPool = sync.Pool{
+	New: func() any { b := make([]byte, 0, 512); return &b },
+}
+
 // DigestEnvelopes computes the commitment over an ordered set of input
-// envelopes.
+// envelopes. Envelope encodings are streamed through a pooled scratch
+// buffer; no per-call allocations in steady state.
 func DigestEnvelopes(envs []sig.Envelope) [32]byte {
 	h := sha256.New()
+	sp := scratchPool.Get().(*[]byte)
+	scratch := (*sp)[:0]
 	for _, e := range envs {
-		enc := e.Encode()
 		var lenb [4]byte
-		binary.LittleEndian.PutUint32(lenb[:], uint32(len(enc)))
+		binary.LittleEndian.PutUint32(lenb[:], uint32(e.EncodedSize()))
 		h.Write(lenb[:])
-		h.Write(enc)
+		scratch = e.AppendTo(scratch[:0])
+		h.Write(scratch)
 	}
+	*sp = scratch
+	scratchPool.Put(sp)
 	var out [32]byte
 	h.Sum(out[:0])
 	return out
 }
 
-// EncodeEnvelopes serializes a list of envelopes (count-prefixed).
-func EncodeEnvelopes(envs []sig.Envelope) []byte {
-	var w buf
+// EnvelopesSize returns len(EncodeEnvelopes(envs)) without encoding.
+func EnvelopesSize(envs []sig.Envelope) int {
+	n := 4
+	for _, e := range envs {
+		n += 4 + e.EncodedSize()
+	}
+	return n
+}
+
+// AppendEnvelopes appends the count-prefixed envelope-list encoding to
+// dst and returns the extended slice (zero allocations when dst has
+// capacity).
+func AppendEnvelopes(dst []byte, envs []sig.Envelope) []byte {
+	w := buf{b: dst}
 	w.u32(uint32(len(envs)))
 	for _, e := range envs {
-		w.bytes(e.Encode())
+		w.u32(uint32(e.EncodedSize()))
+		w.b = e.AppendTo(w.b)
 	}
 	return w.b
+}
+
+// EncodeEnvelopes serializes a list of envelopes (count-prefixed).
+func EncodeEnvelopes(envs []sig.Envelope) []byte {
+	return AppendEnvelopes(make([]byte, 0, EnvelopesSize(envs)), envs)
 }
 
 // DecodeEnvelopes parses a count-prefixed envelope list.

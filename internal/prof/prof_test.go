@@ -1,0 +1,61 @@
+package prof
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestProfilesWritten(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	fs := flag.NewFlagSet("t", flag.PanicOnError)
+	f := RegisterOn(fs)
+	if err := fs.Parse([]string{"-cpuprofile", cpu, "-memprofile", mem}); err != nil {
+		t.Fatal(err)
+	}
+	stop, err := f.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		_ = filepath.Join(dir, "spin") // some work for the profiler to see
+	}
+	stop()
+	stop() // idempotent
+	for _, p := range []string{cpu, mem} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		if st.Size() == 0 {
+			t.Fatalf("profile %s is empty", p)
+		}
+	}
+}
+
+func TestNoFlagsNoFiles(t *testing.T) {
+	fs := flag.NewFlagSet("t", flag.PanicOnError)
+	f := RegisterOn(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	stop, err := f.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop()
+}
+
+func TestCPUProfileBadPath(t *testing.T) {
+	fs := flag.NewFlagSet("t", flag.PanicOnError)
+	f := RegisterOn(fs)
+	if err := fs.Parse([]string{"-cpuprofile", filepath.Join(t.TempDir(), "no", "such", "dir", "x")}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Start(); err == nil {
+		t.Fatal("expected error for uncreatable profile path")
+	}
+}

@@ -12,10 +12,14 @@ import (
 	"btr/internal/sim"
 )
 
-// validator builds this node's evidence validator against its current
-// mode's schedule.
+// validator returns this node's evidence validator. It is built once per
+// node lifetime (no per-message allocation): the closures read the node's
+// current plan dynamically, so mode switches need no rebuild.
 func (n *Node) validator() *evidence.Validator {
-	return &evidence.Validator{
+	if n.val != nil {
+		return n.val
+	}
+	n.val = &evidence.Validator{
 		Reg: n.cfg.Registry,
 		Recompute: func(task flow.TaskID, period uint64, inputs []evidence.Record) ([]byte, bool) {
 			if n.isSourceTask(task) {
@@ -31,6 +35,7 @@ func (n *Node) validator() *evidence.Validator {
 			return slot.Start, slot.End, true
 		},
 	}
+	return n.val
 }
 
 func (n *Node) isSourceTask(logical flow.TaskID) bool {
@@ -216,6 +221,7 @@ func (n *Node) raiseEvidence(ev evidence.Evidence) {
 	if b := n.behavior; b != nil && b.SuppressDetection {
 		return
 	}
+	ev = ev.Canon() // encode once: ID and the flood below reuse the wire
 	id := ev.ID()
 	if n.seenEvidence[id] {
 		return

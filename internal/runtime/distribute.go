@@ -15,26 +15,35 @@ import (
 // and (c) a flooding adversary cannot exhaust verification capacity.
 
 // forwardEvidence floods ev to all neighbors, endorsed by this node.
+//
+// This is the encode-once fast path: decoded (or Canon'd) evidence
+// returns its retained wire bytes from Encode, and the endorsement seal +
+// frame come from the registry's seal memo — so re-flooding a blob this
+// node (or a same-seed trial anywhere in the process) has sealed before
+// allocates nothing and performs no signing.
 func (n *Node) forwardEvidence(ev evidence.Evidence) {
 	if b := n.behavior; b != nil && b.SuppressForwarding {
 		return
 	}
-	wrapper := n.cfg.Registry.Seal(n.id, ev.Encode())
-	payload := evidencePayload(wrapper)
+	payload := n.cfg.Registry.SealedPayload(n.id, msgEvidence, ev.Encode())
 	for _, nb := range n.cfg.Net.Topology().Neighbors(n.id) {
 		n.cfg.Net.SendDirect(n.id, nb, network.ClassEvidence, payload)
 	}
 }
 
 // floodBogus implements the DoS adversary: invalid evidence blobs signed
-// by this node, sprayed at every neighbor.
+// by this node, sprayed at every neighbor. The "re-sent identical
+// payload" amortization is local: the junk is sealed and framed once and
+// sprayed count x neighbors times. It deliberately does NOT go through
+// the seal memo — every period's junk is fresh random bytes, so each
+// entry would be dead weight whose only effect is churning honest cached
+// seals out of the capped shards. The attacker pays for its own spray.
 func (n *Node) floodBogus(count int) {
 	junk := make([]byte, 200)
 	for i := range junk {
 		junk[i] = byte(n.cfg.Kernel.RNG().Uint64())
 	}
-	wrapper := n.cfg.Registry.Seal(n.id, junk)
-	payload := evidencePayload(wrapper)
+	payload := evidencePayload(n.cfg.Registry.Seal(n.id, junk))
 	for i := 0; i < count; i++ {
 		for _, nb := range n.cfg.Net.Topology().Neighbors(n.id) {
 			n.cfg.Net.SendDirect(n.id, nb, network.ClassEvidence, payload)

@@ -70,6 +70,9 @@ type Node struct {
 	// timestamp drains (they used to dominate the pending set: one per
 	// consumed edge per period, almost all of them no-ops).
 	watchdogs map[watchKey]sim.Handle
+	// val is the lazily built, node-lifetime evidence validator (see
+	// validator() in detect.go).
+	val *evidence.Validator
 
 	// Stats.
 	EvidenceAccepted int
@@ -118,9 +121,10 @@ func (n *Node) schedulePeriod(p uint64) {
 	base := n.periodStart(p)
 	cur := n.cur // capture: activation may swap plans mid-period
 
-	// Reset per-period evidence budgets and flood bogus evidence if the
-	// adversary asked for it.
-	n.evBudget = map[network.NodeID]int{}
+	// Reset per-period evidence budgets (clear keeps the map's storage
+	// instead of re-growing a fresh one every period) and flood bogus
+	// evidence if the adversary asked for it.
+	clear(n.evBudget)
 	if b := n.behavior; b != nil && b.BogusEvidencePerPeriod > 0 {
 		n.floodBogus(b.BogusEvidencePerPeriod)
 	}

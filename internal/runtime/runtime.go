@@ -195,14 +195,14 @@ const (
 )
 
 // dataPayload frames a dataflow record: kind byte, record envelope,
-// attached input envelopes.
+// attached input envelopes. One exact-size allocation; the envelope and
+// attachment encodings are appended in place.
 func dataPayload(env sig.Envelope, attachments []sig.Envelope) []byte {
-	out := []byte{msgData}
-	eb := env.Encode()
-	out = append(out, byte(len(eb)), byte(len(eb)>>8), byte(len(eb)>>16), byte(len(eb)>>24))
-	out = append(out, eb...)
-	out = append(out, evidence.EncodeEnvelopes(attachments)...)
-	return out
+	eb := env.EncodedSize()
+	out := make([]byte, 0, 5+eb+evidence.EnvelopesSize(attachments))
+	out = append(out, msgData, byte(eb), byte(eb>>8), byte(eb>>16), byte(eb>>24))
+	out = env.AppendTo(out)
+	return evidence.AppendEnvelopes(out, attachments)
 }
 
 // parseDataPayload reverses dataPayload.
