@@ -38,11 +38,13 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Short fuzz pass over the evidence codec (the seed corpus always runs as
-# part of `go test`; this digs further). Override the budget with
+# Short fuzz pass over the wire codecs (the seed corpora always run as
+# part of `go test`; this digs further): the evidence record codec and
+# the membership epoch-record codec. Override the budget with
 # `make fuzz FUZZTIME=10s` (CI does).
 fuzz:
 	$(GO) test ./internal/evidence -fuzz=FuzzRecordRoundTrip -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/member -fuzz=FuzzEpochRoundTrip -fuzztime=$(FUZZTIME)
 
 # Coverage profile over the whole module plus a threshold gate: total
 # statement coverage must stay at or above COVER_MIN.

@@ -255,6 +255,14 @@ type campaignBench struct {
 	// comparator gates.
 	Live []liveBenchRow `json:"live"`
 
+	// Churn records the C6 membership-churn family (schema v5): per
+	// topology, the epoch count, worst epoch-switch latency vs the worst
+	// per-epoch bound R, the within-R / clean-churn invariants, and the
+	// cold-vs-warm replan counts of running the same churn script twice
+	// against a shared plan cache (warm must be zero — warm churn
+	// re-plans nothing). btrcheckbench gates all of it.
+	Churn []churnBenchRow `json:"churn"`
+
 	// Crypto tracks the verification/seal memo fast path (schema v4):
 	// memoized vs uncached verification ns/op (same process, same
 	// working set — the ratio is machine-independent and gated >=2x by
@@ -290,6 +298,46 @@ type kernelBench struct {
 	EventsPerSec       float64 `json:"events_per_sec"`
 	LegacyEventsPerSec float64 `json:"legacy_events_per_sec"`
 	Speedup            float64 `json:"speedup"`
+}
+
+type churnBenchRow struct {
+	Topology      string  `json:"topology"`
+	Epochs        int     `json:"epochs"`
+	WorstSwitchMS float64 `json:"worst_switch_ms"`
+	BoundMS       float64 `json:"bound_r_ms"`
+	WithinR       bool    `json:"within_r"`
+	CleanChurn    bool    `json:"clean_churn"`
+	ColdReplans   uint64  `json:"cold_replans"`
+	WarmReplans   uint64  `json:"warm_replans"`
+}
+
+// measureChurn runs every C6 churn topology twice against a shared plan
+// cache: the first pass measures cold replans, the second proves warm
+// churn synthesizes nothing while reproducing identical epochs.
+func measureChurn(t *testing.T) []churnBenchRow {
+	var rows []churnBenchRow
+	for _, kind := range exp.ChurnKinds() {
+		shared := cache.New()
+		cold, err := exp.RunChurnBench(kind, 1, shared)
+		if err != nil {
+			t.Fatalf("churn bench %s (cold): %v", kind, err)
+		}
+		warm, err := exp.RunChurnBench(kind, 1, shared)
+		if err != nil {
+			t.Fatalf("churn bench %s (warm): %v", kind, err)
+		}
+		rows = append(rows, churnBenchRow{
+			Topology:      kind,
+			Epochs:        warm.Epochs,
+			WorstSwitchMS: warm.WorstSwitch.Millis(),
+			BoundMS:       warm.WorstBound.Millis(),
+			WithinR:       warm.WithinR,
+			CleanChurn:    warm.CleanChurn,
+			ColdReplans:   cold.Replans,
+			WarmReplans:   warm.Replans,
+		})
+	}
+	return rows
 }
 
 type liveBenchRow struct {
@@ -376,7 +424,7 @@ func TestEmitCampaignBench(t *testing.T) {
 	cachedNs, uncachedNs := sig.MeasureVerifySpeedup(64)
 	curTP, legacyTP := sim.MeasureKernelThroughput(1 << 19)
 	bench := campaignBench{
-		Schema: "btr-campaign-bench/v4",
+		Schema: "btr-campaign-bench/v5",
 		Seed:   1, Quick: quick,
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		HostCores:  runtime.NumCPU(),
@@ -389,7 +437,8 @@ func TestEmitCampaignBench(t *testing.T) {
 			LegacyEventsPerSec: legacyTP,
 			Speedup:            curTP / legacyTP,
 		},
-		Live: measureLiveSoak(p),
+		Live:  measureLiveSoak(p),
+		Churn: measureChurn(t),
 		Crypto: cryptoBench{
 			VerifyCachedNsOp:   cachedNs,
 			VerifyUncachedNsOp: uncachedNs,
@@ -408,10 +457,11 @@ func TestEmitCampaignBench(t *testing.T) {
 			WorkMS: float64(r.Work.Microseconds()) / 1000,
 		})
 	}
-	// The C4 plan-cache sweep rides along outside the timed serial/par4
-	// pair so the historical wall-clock trajectory stays comparable.
+	// The C4 plan-cache and C6 churn sweeps ride along outside the timed
+	// serial/par4 pair so the historical wall-clock trajectory stays
+	// comparable.
 	for _, sc := range exp.Scenarios() {
-		if sc.ID != "C4" {
+		if sc.ID != "C4" && sc.ID != "C6" {
 			continue
 		}
 		res := campaign.Run([]campaign.Scenario{sc}, campaign.Options{Workers: 1, Params: p})
@@ -441,11 +491,11 @@ func TestEmitCampaignBench(t *testing.T) {
 	if err := enc.Encode(bench); err != nil {
 		t.Fatalf("encode: %v", err)
 	}
-	t.Logf("wrote %s: serial %.0fms (uncached %.0fms, crypto %.2fx, memo hit rate %.1f%%), workers=4 %.0fms, speedup %.2fx (GOMAXPROCS=%d, %d host core(s)); plan cache warm %.2fms vs cold %.2fms (%.1fx); kernel %.2fx vs legacy; verify memo %.1fx; %d live soak row(s)",
+	t.Logf("wrote %s: serial %.0fms (uncached %.0fms, crypto %.2fx, memo hit rate %.1f%%), workers=4 %.0fms, speedup %.2fx (GOMAXPROCS=%d, %d host core(s)); plan cache warm %.2fms vs cold %.2fms (%.1fx); kernel %.2fx vs legacy; verify memo %.1fx; %d live soak row(s); %d churn row(s)",
 		out, bench.SerialMS, bench.Crypto.UncachedSerialMS, bench.Crypto.CampaignSpeedup,
 		bench.Crypto.MemoHitRate*100, bench.Par4MS, bench.Speedup, bench.GOMAXPROCS, bench.HostCores,
 		bench.PlanCache.WarmMS, bench.PlanCache.ColdMS, bench.PlanCache.Speedup,
-		bench.Kernel.Speedup, bench.Crypto.VerifySpeedup, len(bench.Live))
+		bench.Kernel.Speedup, bench.Crypto.VerifySpeedup, len(bench.Live), len(bench.Churn))
 }
 
 func BenchmarkE1Recovery(b *testing.B) {

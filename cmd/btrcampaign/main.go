@@ -18,18 +18,18 @@ import (
 	"fmt"
 	"os"
 	"runtime"
-	"sort"
-	"strings"
 	"time"
 
 	"btr/internal/campaign"
+	"btr/internal/cliflag"
 	"btr/internal/exp"
 	"btr/internal/prof"
 )
 
 // selectScenarios filters the scenario table by -only and -family. An
 // unknown scenario ID or family name is an error carrying the valid
-// choices — a typo must fail loudly, not silently run nothing.
+// choices (the shared internal/cliflag format every btr command uses) —
+// a typo must fail loudly, not silently run nothing.
 func selectScenarios(all []campaign.Scenario, only, family string) ([]campaign.Scenario, error) {
 	families := map[string]bool{}
 	ids := map[string]bool{}
@@ -37,19 +37,15 @@ func selectScenarios(all []campaign.Scenario, only, family string) ([]campaign.S
 		families[sc.Family] = true
 		ids[sc.ID] = true
 	}
-	sorted := func(set map[string]bool) string {
-		var out []string
-		for k := range set {
-			out = append(out, k)
+	if family != "" {
+		if err := cliflag.OneOfSet("family", family, families); err != nil {
+			return nil, err
 		}
-		sort.Strings(out)
-		return strings.Join(out, ", ")
 	}
-	if family != "" && !families[family] {
-		return nil, fmt.Errorf("unknown family %q (valid families: %s)", family, sorted(families))
-	}
-	if only != "" && !ids[only] {
-		return nil, fmt.Errorf("unknown scenario %q (valid scenarios: %s)", only, sorted(ids))
+	if only != "" {
+		if err := cliflag.OneOfSet("only", only, ids); err != nil {
+			return nil, err
+		}
 	}
 	var selected []campaign.Scenario
 	for _, sc := range all {
@@ -74,7 +70,7 @@ func main() {
 	quick := flag.Bool("quick", false, "smaller sweeps (for smoke runs)")
 	jsonOut := flag.Bool("json", false, "emit the machine-readable result bundle as JSON")
 	only := flag.String("only", "", "run a single scenario (e.g. E6 or C1)")
-	family := flag.String("family", "", "run one scenario family (paper | campaign)")
+	family := flag.String("family", "", "run one scenario family (paper | campaign | churn | live)")
 	list := flag.Bool("list", false, "list scenarios and exit")
 	verbose := flag.Bool("v", false, "print per-trial progress to stderr")
 	profFlags := prof.Register()

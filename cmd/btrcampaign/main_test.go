@@ -22,7 +22,7 @@ func TestSelectScenariosUnknownFamilyErrors(t *testing.T) {
 		t.Fatal("unknown -family silently accepted")
 	}
 	msg := err.Error()
-	for _, want := range []string{`"campain"`, "valid families", "paper", "campaign", "live"} {
+	for _, want := range []string{`-family`, `"campain"`, "valid:", "paper", "campaign", "churn", "live"} {
 		if !strings.Contains(msg, want) {
 			t.Errorf("error %q does not mention %q", msg, want)
 		}
@@ -34,7 +34,7 @@ func TestSelectScenariosUnknownOnlyErrors(t *testing.T) {
 	if err == nil {
 		t.Fatal("unknown -only silently accepted")
 	}
-	if !strings.Contains(err.Error(), "valid scenarios") || !strings.Contains(err.Error(), "E1") {
+	if !strings.Contains(err.Error(), "-only") || !strings.Contains(err.Error(), "valid:") || !strings.Contains(err.Error(), "E1") {
 		t.Errorf("error %q does not list valid scenarios", err)
 	}
 }

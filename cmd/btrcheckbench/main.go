@@ -5,6 +5,7 @@
 //	btrcheckbench -baseline BENCH_campaign.json -new BENCH_new.json
 //	              [-tolerance 0.20] [-min-warm-speedup 5]
 //	              [-min-kernel-speedup 2] [-min-crypto-speedup 2]
+//	              [-max-warm-replans 0]
 //
 // Rules:
 //
@@ -68,7 +69,22 @@ type benchFile struct {
 
 	Live []liveRow `json:"live"`
 
+	Churn []churnRow `json:"churn"`
+
 	Scenarios []benchScenario `json:"scenarios"`
+}
+
+// churnRow is one C6 membership-churn entry of the bundle's churn
+// section (schema v5).
+type churnRow struct {
+	Topology      string  `json:"topology"`
+	Epochs        int     `json:"epochs"`
+	WorstSwitchMS float64 `json:"worst_switch_ms"`
+	BoundMS       float64 `json:"bound_r_ms"`
+	WithinR       bool    `json:"within_r"`
+	CleanChurn    bool    `json:"clean_churn"`
+	ColdReplans   uint64  `json:"cold_replans"`
+	WarmReplans   uint64  `json:"warm_replans"`
 }
 
 // liveRow is one C5 live-soak entry of the bundle's live section.
@@ -104,7 +120,7 @@ const minCampaignCryptoSpeedup = 1.5
 
 // compare returns the list of regressions (empty = pass) and the list
 // of informational notices.
-func compare(base, cur benchFile, tol, minWarmSpeedup, minKernelSpeedup, minCryptoSpeedup float64, wall bool) (failures, notices []string) {
+func compare(base, cur benchFile, tol, minWarmSpeedup, minKernelSpeedup, minCryptoSpeedup float64, maxWarmReplans int, wall bool) (failures, notices []string) {
 	failf := func(format string, args ...any) {
 		failures = append(failures, fmt.Sprintf(format, args...))
 	}
@@ -177,6 +193,36 @@ func compare(base, cur benchFile, tol, minWarmSpeedup, minKernelSpeedup, minCryp
 		if !row.WithinR {
 			failf("live soak %s/%d: worst recovery %.1fms exceeded bound R=%.1fms",
 				row.Topology, row.Nodes, row.WorstRecoverMS, row.BoundMS)
+		}
+	}
+
+	// Membership churn (schema v5): every C6 topology must complete all
+	// three epochs with recovery within the per-epoch bound and no bad
+	// output from churn itself; the epoch-switch latency (simulated time,
+	// machine-independent) must stay within the epoch bound R; and warm
+	// churn — replaying the same reconfiguration sequence against a warm
+	// plan cache — must synthesize at most -max-warm-replans plans
+	// (default zero: warm churn re-plans nothing).
+	if len(cur.Churn) == 0 {
+		failf("new bundle carries no membership-churn rows")
+	}
+	for _, row := range cur.Churn {
+		if row.Epochs != 3 {
+			failf("churn %s: %d epochs activated, want 3", row.Topology, row.Epochs)
+		}
+		if !row.WithinR {
+			failf("churn %s: recovery exceeded the per-epoch bound R=%.1fms", row.Topology, row.BoundMS)
+		}
+		if !row.CleanChurn {
+			failf("churn %s: reconfiguration alone produced bad output", row.Topology)
+		}
+		if row.WorstSwitchMS <= 0 || row.WorstSwitchMS > row.BoundMS {
+			failf("churn %s: epoch-switch latency %.3fms outside (0, R=%.1fms]",
+				row.Topology, row.WorstSwitchMS, row.BoundMS)
+		}
+		if row.WarmReplans > uint64(maxWarmReplans) {
+			failf("churn %s: warm churn synthesized %d plan(s) (cold %d), above the %d floor",
+				row.Topology, row.WarmReplans, row.ColdReplans, maxWarmReplans)
 		}
 	}
 
@@ -264,6 +310,7 @@ func main() {
 	minWarm := flag.Float64("min-warm-speedup", 5, "minimum warm-plan-cache speedup (acceptance floor)")
 	minKernel := flag.Float64("min-kernel-speedup", 2, "minimum kernel throughput over the legacy baseline (acceptance floor)")
 	minCrypto := flag.Float64("min-crypto-speedup", 2, "minimum cached-vs-uncached verify speedup (acceptance floor)")
+	maxWarmReplans := flag.Int("max-warm-replans", 0, "maximum plan syntheses a warm churn replay may perform (acceptance ceiling)")
 	wall := flag.Bool("wall", false, "also gate absolute wall-clock times (same-host comparisons only)")
 	flag.Parse()
 
@@ -277,7 +324,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "btrcheckbench: %v\n", err)
 		os.Exit(2)
 	}
-	failures, notices := compare(base, cur, *tol, *minWarm, *minKernel, *minCrypto, *wall)
+	failures, notices := compare(base, cur, *tol, *minWarm, *minKernel, *minCrypto, *maxWarmReplans, *wall)
 	for _, n := range notices {
 		fmt.Printf("note: %s\n", n)
 	}
@@ -287,7 +334,7 @@ func main() {
 		}
 		os.Exit(1)
 	}
-	fmt.Printf("bench check OK: %d scenario(s), serial %.0fms, plan-cache warm %.2fx, kernel %.2fx, verify memo %.2fx, crypto campaign %.2fx (E4 share %.1f%%), %d live row(s) within R\n",
+	fmt.Printf("bench check OK: %d scenario(s), serial %.0fms, plan-cache warm %.2fx, kernel %.2fx, verify memo %.2fx, crypto campaign %.2fx (E4 share %.1f%%), %d live row(s) within R, %d churn row(s) within R (warm replans 0)\n",
 		len(cur.Scenarios), cur.SerialMS, cur.PlanCache.Speedup, cur.Kernel.Speedup,
-		cur.Crypto.VerifySpeedup, cur.Crypto.CampaignSpeedup, cur.Crypto.E4WorkShare*100, len(cur.Live))
+		cur.Crypto.VerifySpeedup, cur.Crypto.CampaignSpeedup, cur.Crypto.E4WorkShare*100, len(cur.Live), len(cur.Churn))
 }

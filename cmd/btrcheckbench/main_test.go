@@ -22,6 +22,8 @@ func bundle(gomaxprocs int, serial float64, warmSpeedup float64) benchFile {
 	f.Crypto.CampaignSpeedup = 2.2
 	f.Crypto.E4WorkShare = 0.2
 	f.Live = []liveRow{{Topology: "full-mesh", Nodes: 6, Runs: 2, WorstRecoverMS: 210, BoundMS: 600, WithinR: true}}
+	f.Churn = []churnRow{{Topology: "full-mesh", Epochs: 3, WorstSwitchMS: 25, BoundMS: 103,
+		WithinR: true, CleanChurn: true, ColdReplans: 4, WarmReplans: 0}}
 	f.Scenarios = []benchScenario{
 		{ID: "E1", Trials: 6, WorkMS: 1000},
 		{ID: "C4", Trials: 7, WorkMS: 100},
@@ -39,14 +41,14 @@ func hasFailure(fails []string, substr string) bool {
 }
 
 func TestCompareCleanRunPasses(t *testing.T) {
-	fails, _ := compare(bundle(4, 10000, 20), bundle(4, 10500, 21), 0.20, 5, 2, 2, true)
+	fails, _ := compare(bundle(4, 10000, 20), bundle(4, 10500, 21), 0.20, 5, 2, 2, 0, true)
 	if len(fails) != 0 {
 		t.Fatalf("unexpected failures: %v", fails)
 	}
 }
 
 func TestCompareFlagsWallRegression(t *testing.T) {
-	fails, _ := compare(bundle(4, 10000, 20), bundle(4, 13000, 20), 0.20, 5, 2, 2, true)
+	fails, _ := compare(bundle(4, 10000, 20), bundle(4, 13000, 20), 0.20, 5, 2, 2, 0, true)
 	if !hasFailure(fails, "serial wall") {
 		t.Fatalf("30%% serial regression not flagged: %v", fails)
 	}
@@ -55,7 +57,7 @@ func TestCompareFlagsWallRegression(t *testing.T) {
 func TestCompareFlagsScenarioWorkRegression(t *testing.T) {
 	cur := bundle(4, 10000, 20)
 	cur.Scenarios[0].WorkMS = 1400 // +40% and beyond the absolute slack
-	fails, _ := compare(bundle(4, 10000, 20), cur, 0.20, 5, 2, 2, true)
+	fails, _ := compare(bundle(4, 10000, 20), cur, 0.20, 5, 2, 2, 0, true)
 	if !hasFailure(fails, "scenario E1") {
 		t.Fatalf("scenario work regression not flagged: %v", fails)
 	}
@@ -63,7 +65,7 @@ func TestCompareFlagsScenarioWorkRegression(t *testing.T) {
 
 func TestCompareSkipsTimingAcrossCoreCounts(t *testing.T) {
 	// A 1-core container baseline must not gate a 4-core CI runner.
-	fails, notices := compare(bundle(1, 5000, 20), bundle(4, 30000, 20), 0.20, 5, 2, 2, true)
+	fails, notices := compare(bundle(1, 5000, 20), bundle(4, 30000, 20), 0.20, 5, 2, 2, 0, true)
 	if len(fails) != 0 {
 		t.Fatalf("cross-core timing comparison should be skipped, got %v", fails)
 	}
@@ -75,7 +77,7 @@ func TestCompareSkipsTimingAcrossCoreCounts(t *testing.T) {
 func TestCompareV1BaselineSkipsTiming(t *testing.T) {
 	base := bundle(0, 17000, 0) // v1 bundles decode with gomaxprocs 0
 	base.Schema = "btr-campaign-bench/v1"
-	fails, notices := compare(base, bundle(4, 99999, 20), 0.20, 5, 2, 2, true)
+	fails, notices := compare(base, bundle(4, 99999, 20), 0.20, 5, 2, 2, 0, true)
 	if len(fails) != 0 {
 		t.Fatalf("v1 baseline must skip timing, got %v", fails)
 	}
@@ -85,13 +87,13 @@ func TestCompareV1BaselineSkipsTiming(t *testing.T) {
 }
 
 func TestCompareEnforcesWarmSpeedupFloor(t *testing.T) {
-	fails, _ := compare(bundle(4, 10000, 20), bundle(4, 10000, 3.5), 0.20, 5, 2, 2, false)
+	fails, _ := compare(bundle(4, 10000, 20), bundle(4, 10000, 3.5), 0.20, 5, 2, 2, 0, false)
 	if !hasFailure(fails, "warm speedup") {
 		t.Fatalf("speedup floor not enforced: %v", fails)
 	}
 	// A new bundle with no plan_cache section must fail, not silently
 	// waive the floor.
-	fails, _ = compare(bundle(4, 10000, 20), bundle(4, 10000, 0), 0.20, 5, 2, 2, false)
+	fails, _ = compare(bundle(4, 10000, 20), bundle(4, 10000, 0), 0.20, 5, 2, 2, 0, false)
 	if !hasFailure(fails, "no plan_cache") {
 		t.Fatalf("missing plan_cache section not flagged: %v", fails)
 	}
@@ -103,7 +105,7 @@ func TestCompareFlagsFailedTrialsAndMissingScenarios(t *testing.T) {
 	cur.Scenarios = cur.Scenarios[:2]
 	base := bundle(4, 10000, 20)
 	base.Scenarios = append(base.Scenarios, benchScenario{ID: "E9", Trials: 14, WorkMS: 900})
-	fails, _ := compare(base, cur, 0.20, 5, 2, 2, false)
+	fails, _ := compare(base, cur, 0.20, 5, 2, 2, 0, false)
 	if !hasFailure(fails, "trials failed") {
 		t.Fatalf("failed trials not flagged: %v", fails)
 	}
@@ -115,7 +117,7 @@ func TestCompareFlagsFailedTrialsAndMissingScenarios(t *testing.T) {
 func TestCompareWallDisabledByDefault(t *testing.T) {
 	// Without -wall, a uniform absolute slowdown (same shares) passes —
 	// absolute times are not comparable across hosts.
-	fails, notices := compare(bundle(4, 10000, 20), bundle(4, 30000, 20), 0.20, 5, 2, 2, false)
+	fails, notices := compare(bundle(4, 10000, 20), bundle(4, 30000, 20), 0.20, 5, 2, 2, 0, false)
 	if len(fails) != 0 {
 		t.Fatalf("wall checks should be off by default: %v", fails)
 	}
@@ -130,7 +132,7 @@ func TestCompareFlagsWorkShareRegressionAcrossHosts(t *testing.T) {
 	// machine-independent.
 	cur := bundle(8, 99999, 20)
 	cur.Scenarios[1].WorkMS = 500 // C4: 100/1100 -> 500/1500 of total
-	fails, _ := compare(bundle(1, 10000, 20), cur, 0.20, 5, 2, 2, false)
+	fails, _ := compare(bundle(1, 10000, 20), cur, 0.20, 5, 2, 2, 0, false)
 	if !hasFailure(fails, "scenario C4 work share") {
 		t.Fatalf("work-share regression not flagged: %v", fails)
 	}
@@ -139,12 +141,12 @@ func TestCompareFlagsWorkShareRegressionAcrossHosts(t *testing.T) {
 func TestCompareEnforcesKernelSpeedupFloor(t *testing.T) {
 	cur := bundle(4, 10000, 20)
 	cur.Kernel.Speedup = 1.4
-	fails, _ := compare(bundle(4, 10000, 20), cur, 0.20, 5, 2, 2, false)
+	fails, _ := compare(bundle(4, 10000, 20), cur, 0.20, 5, 2, 2, 0, false)
 	if !hasFailure(fails, "kernel throughput") {
 		t.Fatalf("kernel speedup floor not enforced: %v", fails)
 	}
 	cur.Kernel.Speedup = 0
-	fails, _ = compare(bundle(4, 10000, 20), cur, 0.20, 5, 2, 2, false)
+	fails, _ = compare(bundle(4, 10000, 20), cur, 0.20, 5, 2, 2, 0, false)
 	if !hasFailure(fails, "no kernel throughput") {
 		t.Fatalf("missing kernel section not flagged: %v", fails)
 	}
@@ -153,19 +155,19 @@ func TestCompareEnforcesKernelSpeedupFloor(t *testing.T) {
 func TestCompareEnforcesCryptoFloors(t *testing.T) {
 	cur := bundle(4, 10000, 20)
 	cur.Crypto.VerifySpeedup = 1.3
-	fails, _ := compare(bundle(4, 10000, 20), cur, 0.20, 5, 2, 2, false)
+	fails, _ := compare(bundle(4, 10000, 20), cur, 0.20, 5, 2, 2, 0, false)
 	if !hasFailure(fails, "verify memo speedup") {
 		t.Fatalf("verify memo floor not enforced: %v", fails)
 	}
 	cur = bundle(4, 10000, 20)
 	cur.Crypto.CampaignSpeedup = 1.1
-	fails, _ = compare(bundle(4, 10000, 20), cur, 0.20, 5, 2, 2, false)
+	fails, _ = compare(bundle(4, 10000, 20), cur, 0.20, 5, 2, 2, 0, false)
 	if !hasFailure(fails, "uncached run") {
 		t.Fatalf("crypto campaign floor not enforced: %v", fails)
 	}
 	cur = bundle(4, 10000, 20)
 	cur.Crypto.VerifySpeedup = 0
-	fails, _ = compare(bundle(4, 10000, 20), cur, 0.20, 5, 2, 2, false)
+	fails, _ = compare(bundle(4, 10000, 20), cur, 0.20, 5, 2, 2, 0, false)
 	if !hasFailure(fails, "no crypto fast-path") {
 		t.Fatalf("missing crypto section not flagged: %v", fails)
 	}
@@ -173,7 +175,7 @@ func TestCompareEnforcesCryptoFloors(t *testing.T) {
 	base := bundle(4, 10000, 20)
 	base.Crypto.VerifySpeedup = 0
 	base.Crypto.CampaignSpeedup = 0
-	fails, _ = compare(base, bundle(4, 10000, 20), 0.20, 5, 2, 2, false)
+	fails, _ = compare(base, bundle(4, 10000, 20), 0.20, 5, 2, 2, 0, false)
 	if len(fails) != 0 {
 		t.Fatalf("v3 baseline should not fail a healthy v4 bundle: %v", fails)
 	}
@@ -187,7 +189,7 @@ func TestCompareGatesE4WorkShareTightly(t *testing.T) {
 	base.Scenarios = append(base.Scenarios, benchScenario{ID: "E4", Trials: 3, WorkMS: 275})
 	cur := bundle(4, 10000, 20)
 	cur.Scenarios = append(cur.Scenarios, benchScenario{ID: "E4", Trials: 3, WorkMS: 370})
-	fails, _ := compare(base, cur, 0.20, 5, 2, 2, false)
+	fails, _ := compare(base, cur, 0.20, 5, 2, 2, 0, false)
 	if !hasFailure(fails, "scenario E4 work share") {
 		t.Fatalf("E4 share creep not flagged: %v", fails)
 	}
@@ -196,13 +198,55 @@ func TestCompareGatesE4WorkShareTightly(t *testing.T) {
 func TestCompareEnforcesLiveWithinR(t *testing.T) {
 	cur := bundle(4, 10000, 20)
 	cur.Live[0] = liveRow{Topology: "ring", Nodes: 8, Runs: 2, WorstRecoverMS: 950, BoundMS: 600, WithinR: false}
-	fails, _ := compare(bundle(4, 10000, 20), cur, 0.20, 5, 2, 2, false)
+	fails, _ := compare(bundle(4, 10000, 20), cur, 0.20, 5, 2, 2, 0, false)
 	if !hasFailure(fails, "live soak ring/8") {
 		t.Fatalf("live bound violation not flagged: %v", fails)
 	}
 	cur.Live = nil
-	fails, _ = compare(bundle(4, 10000, 20), cur, 0.20, 5, 2, 2, false)
+	fails, _ = compare(bundle(4, 10000, 20), cur, 0.20, 5, 2, 2, 0, false)
 	if !hasFailure(fails, "no live soak") {
 		t.Fatalf("missing live section not flagged: %v", fails)
+	}
+}
+
+func TestCompareGatesChurn(t *testing.T) {
+	base := bundle(4, 10000, 20)
+	// Missing churn section fails.
+	cur := bundle(4, 10000, 20)
+	cur.Churn = nil
+	if fails, _ := compare(base, cur, 0.20, 5, 2, 2, 0, false); !hasFailure(fails, "no membership-churn rows") {
+		t.Fatalf("missing churn rows not flagged: %v", fails)
+	}
+	// A warm replay that synthesized plans fails at the default ceiling.
+	cur = bundle(4, 10000, 20)
+	cur.Churn[0].WarmReplans = 2
+	if fails, _ := compare(base, cur, 0.20, 5, 2, 2, 0, false); !hasFailure(fails, "warm churn synthesized") {
+		t.Fatalf("warm replans not gated: %v", fails)
+	}
+	// ...but passes under a raised ceiling.
+	if fails, _ := compare(base, cur, 0.20, 5, 2, 2, 2, false); hasFailure(fails, "warm churn synthesized") {
+		t.Fatalf("raised warm-replan ceiling not honored: %v", fails)
+	}
+	// Out-of-bound recovery, dirty churn, missing epochs, and a switch
+	// latency beyond R all fail.
+	cur = bundle(4, 10000, 20)
+	cur.Churn[0].WithinR = false
+	if fails, _ := compare(base, cur, 0.20, 5, 2, 2, 0, false); !hasFailure(fails, "exceeded the per-epoch bound") {
+		t.Fatalf("within-R violation not gated: %v", fails)
+	}
+	cur = bundle(4, 10000, 20)
+	cur.Churn[0].CleanChurn = false
+	if fails, _ := compare(base, cur, 0.20, 5, 2, 2, 0, false); !hasFailure(fails, "produced bad output") {
+		t.Fatalf("dirty churn not gated: %v", fails)
+	}
+	cur = bundle(4, 10000, 20)
+	cur.Churn[0].Epochs = 2
+	if fails, _ := compare(base, cur, 0.20, 5, 2, 2, 0, false); !hasFailure(fails, "epochs activated") {
+		t.Fatalf("missing epoch not gated: %v", fails)
+	}
+	cur = bundle(4, 10000, 20)
+	cur.Churn[0].WorstSwitchMS = 500
+	if fails, _ := compare(base, cur, 0.20, 5, 2, 2, 0, false); !hasFailure(fails, "epoch-switch latency") {
+		t.Fatalf("switch latency beyond R not gated: %v", fails)
 	}
 }

@@ -7,17 +7,24 @@
 // clock" demonstrator: the same runtime code that passes the simulated
 // campaigns, executing under genuine asynchrony.
 //
+// With -members (and the churn flags) it also demonstrates online
+// membership: the deployment starts with a subset of the node slots
+// active and joins, retires, or replaces slots at scripted periods via
+// the two-phase epoch switch — Bus lanes come and go at runtime, and
+// recovery is judged against the per-epoch bound.
+//
 // Usage:
 //
 //	btrlive [-topo full-mesh|dual-bus|ring|grid] [-nodes N] [-f N]
 //	        [-period D] [-margin D] [-horizon N] [-seed N]
 //	        [-fault corrupt-all|corrupt-sink|crash|omit|flood|none]
-//	        [-at N] [-v]
+//	        [-at N] [-members K] [-join n@p[,n@p...]]
+//	        [-retire n@p[,n@p...]] [-replace new:old@p[,...]] [-v]
 //
 // Flags:
 //
 //	-topo     topology family (default full-mesh)
-//	-nodes    node count (default 6; grid is fixed 3x3)
+//	-nodes    node slot count (default 6; grid is fixed 3x3)
 //	-f        fault bound the planner covers (default 1)
 //	-period   control period (default 100ms; raise on slow hosts)
 //	-margin   arrival-watchdog margin (default 20ms; covers executor and
@@ -25,30 +32,45 @@
 //	-horizon  number of periods to run (default 20)
 //	-seed     deployment seed (default 1)
 //	-fault    behavior to inject (default corrupt-all); none = soak only
-//	-at       injection period index (default 3)
+//	-at       injection period index (default 3; must be < -horizon)
+//	-members  number of initially active slots (slots 0..K-1); 0 = all
+//	          slots active with membership epochs off unless churn flags
+//	          are given
+//	-join     scripted join events, "slot@period" comma-separated
+//	-retire   scripted retire events, "slot@period"
+//	-replace  scripted replace events, "new:old@period"
 //	-v        stream evidence and mode switches to stderr as they happen
 //
-// Exit status: 0 when every measured recovery met the bound R (or no
-// fault was injected and output stayed clean), 1 on a violation, 2 on
-// usage or planning errors.
+// Exit status: 0 when every measured recovery met the (per-epoch) bound
+// R and every scripted epoch activated, 1 on a violation, 2 on usage or
+// planning errors.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"btr/internal/adversary"
+	"btr/internal/cliflag"
 	"btr/internal/evidence"
 	"btr/internal/flow"
 	"btr/internal/live"
+	"btr/internal/member"
 	"btr/internal/network"
 	"btr/internal/plan"
 	"btr/internal/sim"
 )
 
+var topoKinds = []string{"full-mesh", "dual-bus", "ring", "grid"}
+
 func buildTopology(kind string, nodes int) (*network.Topology, error) {
+	if err := cliflag.OneOf("topo", kind, topoKinds); err != nil {
+		return nil, err
+	}
 	const bw, prop = 20_000_000, 50 * sim.Microsecond
 	switch kind {
 	case "full-mesh":
@@ -57,14 +79,17 @@ func buildTopology(kind string, nodes int) (*network.Topology, error) {
 		return network.DualBus(nodes, bw, prop), nil
 	case "ring":
 		return network.Ring(nodes, bw, prop), nil
-	case "grid":
+	default: // grid
 		return network.Grid(3, 3, bw, prop), nil
-	default:
-		return nil, fmt.Errorf("unknown -topo %q (valid: full-mesh, dual-bus, ring, grid)", kind)
 	}
 }
 
+var faultKinds = []string{"corrupt-all", "corrupt-sink", "crash", "omit", "flood", "none"}
+
 func buildFault(kind string, victim network.NodeID, sink flow.TaskID, at sim.Time) (adversary.Attack, bool, error) {
+	if err := cliflag.OneOf("fault", kind, faultKinds); err != nil {
+		return adversary.Attack{}, false, err
+	}
 	switch kind {
 	case "none":
 		return adversary.Attack{}, false, nil
@@ -76,24 +101,97 @@ func buildFault(kind string, victim network.NodeID, sink flow.TaskID, at sim.Tim
 		return adversary.Crash(victim, at), true, nil
 	case "omit":
 		return adversary.Omit(victim, sink, at), true, nil
-	case "flood":
+	default: // flood
 		return adversary.FloodBogus(victim, 8, at), true, nil
-	default:
-		return adversary.Attack{}, false,
-			fmt.Errorf("unknown -fault %q (valid: corrupt-all, corrupt-sink, crash, omit, flood, none)", kind)
 	}
 }
 
+// churnEvent is one scripted reconfiguration.
+type churnEvent struct {
+	at    uint64
+	delta member.Delta
+	desc  string
+}
+
+// parseChurn parses "slot@period" (join/retire) or "new:old@period"
+// (replace) comma-separated event lists, validating slot and period
+// ranges the same way the other flags validate theirs.
+func parseChurn(flagName, spec string, slots int, horizon uint64) ([]churnEvent, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var out []churnEvent
+	for _, part := range strings.Split(spec, ",") {
+		lhs, atStr, ok := strings.Cut(part, "@")
+		if !ok {
+			return nil, fmt.Errorf("invalid -%s event %q (want %s@period)", flagName, part, flagName)
+		}
+		at, err := strconv.ParseUint(atStr, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("invalid -%s period in %q: %v", flagName, part, err)
+		}
+		if err := cliflag.InRange(flagName+" period", int64(at), 1, int64(horizon)-1); err != nil {
+			return nil, err
+		}
+		ev := churnEvent{at: at, desc: flagName + " " + part}
+		switch flagName {
+		case "replace":
+			newStr, oldStr, ok := strings.Cut(lhs, ":")
+			if !ok {
+				return nil, fmt.Errorf("invalid -replace event %q (want new:old@period)", part)
+			}
+			j, err := parseSlot("replace", newStr, slots)
+			if err != nil {
+				return nil, err
+			}
+			r, err := parseSlot("replace", oldStr, slots)
+			if err != nil {
+				return nil, err
+			}
+			ev.delta = member.Delta{Join: []network.NodeID{j}, Retire: []network.NodeID{r}}
+		case "join":
+			j, err := parseSlot(flagName, lhs, slots)
+			if err != nil {
+				return nil, err
+			}
+			ev.delta = member.Delta{Join: []network.NodeID{j}}
+		default: // retire
+			r, err := parseSlot(flagName, lhs, slots)
+			if err != nil {
+				return nil, err
+			}
+			ev.delta = member.Delta{Retire: []network.NodeID{r}}
+		}
+		out = append(out, ev)
+	}
+	return out, nil
+}
+
+func parseSlot(flagName, s string, slots int) (network.NodeID, error) {
+	v, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, fmt.Errorf("invalid -%s slot %q: %v", flagName, s, err)
+	}
+	if err := cliflag.InRange(flagName+" slot", int64(v), 0, int64(slots)-1); err != nil {
+		return 0, err
+	}
+	return network.NodeID(v), nil
+}
+
 func main() {
-	topoKind := flag.String("topo", "full-mesh", "topology family: full-mesh, dual-bus, ring, grid")
-	nodes := flag.Int("nodes", 6, "node count (grid is fixed 3x3)")
+	topoKind := flag.String("topo", "full-mesh", "topology family: "+strings.Join(topoKinds, ", "))
+	nodes := flag.Int("nodes", 6, "node slot count (grid is fixed 3x3)")
 	f := flag.Int("f", 1, "fault bound the planner covers")
 	period := flag.Duration("period", 100*time.Millisecond, "control period")
 	margin := flag.Duration("margin", 20*time.Millisecond, "arrival-watchdog margin (jitter budget)")
 	horizon := flag.Uint64("horizon", 20, "periods to run")
 	seed := flag.Uint64("seed", 1, "deployment seed")
-	faultKind := flag.String("fault", "corrupt-all", "fault to inject: corrupt-all, corrupt-sink, crash, omit, flood, none")
-	atPeriod := flag.Uint64("at", 3, "injection period index")
+	faultKind := flag.String("fault", "corrupt-all", "fault to inject: "+strings.Join(faultKinds, ", "))
+	atPeriod := flag.Uint64("at", 3, "injection period index (must be < -horizon)")
+	membersN := flag.Int("members", 0, "initially active slots 0..K-1 (0 = all)")
+	joinSpec := flag.String("join", "", "scripted joins, slot@period[,slot@period...]")
+	retireSpec := flag.String("retire", "", "scripted retires, slot@period[,...]")
+	replaceSpec := flag.String("replace", "", "scripted replaces, new:old@period[,...]")
 	verbose := flag.Bool("v", false, "stream evidence and mode switches to stderr")
 	flag.Parse()
 
@@ -106,6 +204,29 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+	// Validate the remaining flags up front — before any planning output
+	// — with the same loud listing the -topo check gives.
+	if err := cliflag.OneOf("fault", *faultKind, faultKinds); err != nil {
+		fail(err)
+	}
+	// -at must land inside the run.
+	if err := cliflag.InRange("at", int64(*atPeriod), 0, int64(*horizon)-1); err != nil {
+		fail(err)
+	}
+	if err := cliflag.InRange("members", int64(*membersN), 0, int64(topo.N)); err != nil {
+		fail(err)
+	}
+	var events []churnEvent
+	for _, spec := range []struct{ name, val string }{
+		{"join", *joinSpec}, {"retire", *retireSpec}, {"replace", *replaceSpec},
+	} {
+		evs, err := parseChurn(spec.name, spec.val, topo.N, *horizon)
+		if err != nil {
+			fail(err)
+		}
+		events = append(events, evs...)
+	}
+
 	p := sim.Time(*period / time.Microsecond)
 	opts := plan.DefaultOptions(*f, 100*p) // generous request; R is reported
 	opts.WatchdogMargin = sim.Time(*margin / time.Microsecond)
@@ -116,6 +237,17 @@ func main() {
 		Topology: topo,
 		PlanOpts: opts,
 		Horizon:  *horizon,
+	}
+	// Membership epochs engage when an initial membership or any churn
+	// event is scripted.
+	if *membersN > 0 || len(events) > 0 {
+		k := *membersN
+		if k == 0 {
+			k = topo.N
+		}
+		for i := 0; i < k; i++ {
+			cfg.Members = append(cfg.Members, network.NodeID(i))
+		}
 	}
 	if *verbose {
 		cfg.OnEvidence = func(node network.NodeID, ev evidence.Evidence, t sim.Time) {
@@ -129,10 +261,19 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	fmt.Printf("btrlive: %s on %s/%d nodes, f=%d, period %v, horizon %d periods (%v wall)\n",
+	fmt.Printf("btrlive: %s on %s/%d slots, f=%d, period %v, horizon %d periods (%v wall)\n",
 		cfg.Workload.Name, *topoKind, topo.N, *f, p, *horizon, time.Duration(*horizon)*(*period))
+	if cfg.Members != nil {
+		fmt.Printf("membership: %d of %d slots active at genesis; %d scripted epoch event(s)\n",
+			len(cfg.Members), topo.N, len(events))
+	}
 	fmt.Printf("strategy: %d plans, provable recovery bound R = %v\n",
 		len(d.Strategy.Plans), d.Strategy.RNeeded)
+
+	for _, ev := range events {
+		d.Reconfigure(sim.Time(ev.at)*p, ev.delta)
+		fmt.Printf("schedule: %s (t=%v)\n", ev.desc, sim.Time(ev.at)*p)
+	}
 
 	sink := cfg.Workload.Sinks()[0]
 	victim := live.FirstSinkNode(d)
@@ -152,13 +293,33 @@ func main() {
 
 	fmt.Printf("ran %v wall; %d actuations, %d evidence, %d mode switches, %d missed, %d wrong\n",
 		wall, rep.Actuations, rep.EvidenceTotal(), len(rep.SwitchTimes), rep.MissedPeriods, rep.WrongValues)
+	epochsOK := true
+	for _, e := range rep.Epochs {
+		if e.Err != "" {
+			epochsOK = false
+			fmt.Printf("epoch %d: REJECTED at %v — %s\n", e.Num, e.ProposedAt, e.Err)
+			continue
+		}
+		if e.ActivatedAt == 0 {
+			epochsOK = false
+			fmt.Printf("epoch %d -> %s: proposed %v, NEVER ACTIVATED\n", e.Num, e.Members, e.ProposedAt)
+			continue
+		}
+		fmt.Printf("epoch %d -> %s: proposed %v, committed %v (%d acks), activated %v (switch latency %v, R=%v)\n",
+			e.Num, e.Members, e.ProposedAt, e.CommittedAt, e.Acks, e.ActivatedAt,
+			e.ActivatedAt-e.ProposedAt, e.R)
+	}
+	if len(rep.Epochs) != len(events) {
+		epochsOK = false
+		fmt.Printf("only %d of %d scripted epoch events were proposed\n", len(rep.Epochs), len(events))
+	}
 	for _, rec := range rep.Recoveries() {
 		fmt.Printf("fault at %v: measured wall-clock recovery %v\n", rec.FaultAt, rec.Duration())
 	}
 	// Bad output is attributable only from the injection onward; anything
 	// before it (or any bad output at all on an uninjected soak) is
 	// spurious and a violation in its own right — recovery accounting
-	// must not launder it.
+	// must not launder it. Epoch switches must never corrupt output.
 	spurious := false
 	for _, iv := range rep.BadIntervals() {
 		if !injected || iv.Start < at {
@@ -167,18 +328,22 @@ func main() {
 		}
 	}
 	max := rep.MaxRecovery()
+	bound := rep.MaxEpochR()
 	switch {
 	case spurious:
 		fmt.Printf("verdict: VIOLATION — bad output outside any injected fault's window (missed=%d wrong=%d)\n",
 			rep.MissedPeriods, rep.WrongValues)
 		os.Exit(1)
+	case !epochsOK:
+		fmt.Println("verdict: VIOLATION — scripted membership epochs did not all activate")
+		os.Exit(1)
 	case !injected:
 		fmt.Println("verdict: clean soak, no faults injected")
-	case max <= rep.RNeeded:
-		fmt.Printf("verdict: recovered within bound — %v <= R=%v\n", max, rep.RNeeded)
+	case max <= bound:
+		fmt.Printf("verdict: recovered within bound — %v <= R=%v\n", max, bound)
 	default:
 		fmt.Printf("verdict: VIOLATION — recovery %v vs R=%v (missed=%d wrong=%d)\n",
-			max, rep.RNeeded, rep.MissedPeriods, rep.WrongValues)
+			max, bound, rep.MissedPeriods, rep.WrongValues)
 		os.Exit(1)
 	}
 }

@@ -1,0 +1,81 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"btr/internal/network"
+)
+
+func TestBuildTopologyListsValidChoices(t *testing.T) {
+	if _, err := buildTopology("full-mesh", 6); err != nil {
+		t.Fatalf("valid topo rejected: %v", err)
+	}
+	_, err := buildTopology("mesh", 6)
+	if err == nil {
+		t.Fatal("unknown -topo silently accepted")
+	}
+	for _, want := range []string{"-topo", `"mesh"`, "valid:", "full-mesh", "dual-bus", "ring", "grid"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q missing %q", err, want)
+		}
+	}
+}
+
+func TestBuildFaultListsValidChoices(t *testing.T) {
+	if _, injected, err := buildFault("crash", 0, "c2", 100); err != nil || !injected {
+		t.Fatalf("valid fault rejected: %v", err)
+	}
+	if _, injected, err := buildFault("none", 0, "c2", 100); err != nil || injected {
+		t.Fatalf("none fault mishandled: %v injected=%v", err, injected)
+	}
+	_, _, err := buildFault("corupt-all", 0, "c2", 100)
+	if err == nil {
+		t.Fatal("unknown -fault silently accepted")
+	}
+	// The satellite fix: like btrcampaign -family, the error must name
+	// the flag and list every valid choice.
+	for _, want := range []string{"-fault", `"corupt-all"`, "valid:", "corrupt-all", "corrupt-sink", "crash", "omit", "flood", "none"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q missing %q", err, want)
+		}
+	}
+}
+
+func TestParseChurnEvents(t *testing.T) {
+	evs, err := parseChurn("join", "6@5,7@9", 8, 20)
+	if err != nil {
+		t.Fatalf("valid join spec rejected: %v", err)
+	}
+	if len(evs) != 2 || evs[0].at != 5 || evs[0].delta.Join[0] != network.NodeID(6) {
+		t.Fatalf("join spec parsed wrong: %+v", evs)
+	}
+	evs, err = parseChurn("replace", "7:2@9", 8, 20)
+	if err != nil {
+		t.Fatalf("valid replace spec rejected: %v", err)
+	}
+	if len(evs) != 1 || evs[0].delta.Join[0] != 7 || evs[0].delta.Retire[0] != 2 {
+		t.Fatalf("replace spec parsed wrong: %+v", evs)
+	}
+	if evs, err := parseChurn("retire", "", 8, 20); err != nil || evs != nil {
+		t.Fatalf("empty spec should parse to nothing: %v %v", evs, err)
+	}
+	for name, spec := range map[string]string{
+		"missing @":         "6",
+		"bad period":        "6@x",
+		"period >= horizon": "6@20",
+		"period zero":       "6@0",
+		"slot out of range": "9@5",
+		"replace without :": "7@5",
+		"replace bad old":   "7:9@5",
+		"garbage slot":      "x@5",
+	} {
+		flagName := "join"
+		if strings.HasPrefix(spec, "7:") || spec == "7@5" {
+			flagName = "replace"
+		}
+		if _, err := parseChurn(flagName, spec, 8, 20); err == nil {
+			t.Errorf("%s (%q) silently accepted", name, spec)
+		}
+	}
+}

@@ -16,6 +16,21 @@
 // (internal/live, cmd/btrlive) with recovery measured in real time
 // against the provable bound R.
 //
+// Membership is online: internal/member defines operator-signed,
+// hash-chained epoch records (membership set + link delta), the runtime
+// switches epochs with a two-phase prepare/commit protocol (quorum of
+// n-f acks, activation at a signed instant past both epochs'
+// distribution bounds), and the transport adds/removes Bus lanes as
+// slots join and retire. Node identities and keys are never reassigned
+// across epochs, so evidence signed in any prior epoch stays
+// attributable forever and fault sets remain append-only through
+// reconfiguration. Epoch re-planning rides the incremental plan engine:
+// a dormant slot plans exactly like an excluded node, so warm churn
+// re-plans nothing. The C6 campaign family (and btrlive's
+// -join/-retire/-replace flags) exercise join/retire/replace storms
+// across five topology families, holding recovery within the per-epoch
+// bound R across every epoch boundary.
+//
 // Host-side crypto cost is amortized by the internal/sig memo fast path:
 // verification and sealing are deterministic, so they are memoized
 // (positive entries only, full-triple keys) and evidence blobs are

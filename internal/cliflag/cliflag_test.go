@@ -1,0 +1,43 @@
+package cliflag
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestOneOf(t *testing.T) {
+	valid := []string{"crash", "omit", "flood"}
+	if err := OneOf("fault", "omit", valid); err != nil {
+		t.Fatalf("valid choice rejected: %v", err)
+	}
+	err := OneOf("fault", "omitt", valid)
+	if err == nil {
+		t.Fatal("invalid choice accepted")
+	}
+	msg := err.Error()
+	for _, want := range []string{`-fault`, `"omitt"`, "crash, flood, omit"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("error %q missing %q", msg, want)
+		}
+	}
+}
+
+func TestOneOfSet(t *testing.T) {
+	if err := OneOfSet("family", "paper", map[string]bool{"paper": true, "live": true}); err != nil {
+		t.Fatalf("valid choice rejected: %v", err)
+	}
+	err := OneOfSet("family", "papr", map[string]bool{"paper": true, "live": true})
+	if err == nil || !strings.Contains(err.Error(), "live, paper") {
+		t.Fatalf("set error does not list sorted choices: %v", err)
+	}
+}
+
+func TestInRange(t *testing.T) {
+	if err := InRange("at", 3, 0, 19); err != nil {
+		t.Fatalf("in-range value rejected: %v", err)
+	}
+	err := InRange("at", 25, 0, 19)
+	if err == nil || !strings.Contains(err.Error(), "0..19") {
+		t.Fatalf("range error unhelpful: %v", err)
+	}
+}

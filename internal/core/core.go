@@ -16,6 +16,7 @@ import (
 
 	"btr/internal/evidence"
 	"btr/internal/flow"
+	"btr/internal/member"
 	"btr/internal/metrics"
 	"btr/internal/network"
 	"btr/internal/plan"
@@ -43,6 +44,15 @@ type Config struct {
 	// the engine into the runtime so node failover consults the cache
 	// before any synthesis.
 	PlanCache *cache.Cache
+
+	// Members, when non-nil, enables online membership reconfiguration:
+	// Topology becomes the slot *universe*, the listed slots form the
+	// genesis epoch's active membership (pass every slot to start full),
+	// and Reconfigure schedules join/retire/replace epochs at runtime.
+	// All epoch planning runs through the incremental plan engine
+	// (PlanCache if set, else a private cache). nil keeps the classic
+	// static deployment, byte-for-byte.
+	Members []network.NodeID
 
 	// Optional semantic overrides (plants install their own).
 	Compute runtime.TaskFunc
@@ -73,6 +83,9 @@ type System struct {
 	// (nil unless Config.PlanCache was set); tests and tools read its
 	// Stats.
 	PlanEngine *cache.Engine
+	// MemberPlanner is the epoch planner backing this deployment (nil
+	// unless Config.Members was set).
+	MemberPlanner *member.Planner
 
 	oracle Oracle
 	report *Report
@@ -95,6 +108,30 @@ type Report struct {
 	SwitchTimes     []sim.Time
 	NetStats        network.Stats
 	RNeeded         sim.Time
+
+	// Epochs records every membership reconfiguration the run performed
+	// (empty without Config.Members; rejected proposals appear with Err
+	// set). EpochReplans is the total number of plan syntheses the epoch
+	// planner performed — near zero on a warm cache.
+	Epochs       []EpochRow
+	EpochReplans uint64
+}
+
+// EpochRow is one membership epoch's lifecycle measurements (recorded
+// by the runtime operator; shared with the live report layer).
+type EpochRow = runtime.EpochRow
+
+// RBoundFor returns the recovery bound to hold a fault at time t
+// against: the largest R among the epochs whose activity window
+// overlaps [t, end] (genesis included). With no epochs it is RNeeded.
+func (r *Report) RBoundFor(t, end sim.Time) sim.Time {
+	return runtime.EpochRBound(r.RNeeded, r.Epochs, t, end)
+}
+
+// MaxEpochR returns the largest provable recovery bound across every
+// epoch of the run (RNeeded without epochs).
+func (r *Report) MaxEpochR() sim.Time {
+	return runtime.EpochMaxR(r.RNeeded, r.Epochs)
 }
 
 // NewSystem validates the config, runs the offline planner, and wires the
@@ -109,7 +146,26 @@ func NewSystem(cfg Config) (*System, error) {
 	var strategy *plan.Strategy
 	var planner runtime.PlanSource
 	var eng *cache.Engine
-	if cfg.PlanCache != nil {
+	var mplanner *member.Planner
+	var epochCfg *runtime.EpochConfig
+	switch {
+	case cfg.Members != nil:
+		// Membership epochs: all planning goes through the epoch planner
+		// (which shares PlanCache when provided).
+		mplanner = member.NewPlanner(cfg.Workload, cfg.PlanOpts, cfg.PlanCache)
+		genesis := member.Genesis(cfg.Members)
+		glog, err := member.NewLog(cfg.Topology, genesis)
+		if err != nil {
+			return nil, fmt.Errorf("core: invalid initial membership: %w", err)
+		}
+		ep0, err := mplanner.ForEpoch(genesis, glog.Wiring())
+		if err != nil {
+			return nil, fmt.Errorf("core: planning failed: %w", err)
+		}
+		strategy = ep0.Strategy
+		planner = ep0.Resolve
+		epochCfg = &runtime.EpochConfig{Genesis: genesis, Resolve: runtime.PlannerResolve(mplanner)}
+	case cfg.PlanCache != nil:
 		eng = cache.NewEngine(cfg.Workload, cfg.Topology, cfg.PlanOpts, cfg.PlanCache)
 		s, err := eng.BuildStrategy()
 		if err != nil {
@@ -117,7 +173,7 @@ func NewSystem(cfg Config) (*System, error) {
 		}
 		strategy = s
 		planner = eng.Resolve
-	} else {
+	default:
 		s, err := plan.Build(cfg.Workload, cfg.Topology, cfg.PlanOpts)
 		if err != nil {
 			return nil, fmt.Errorf("core: planning failed: %w", err)
@@ -130,7 +186,7 @@ func NewSystem(cfg Config) (*System, error) {
 
 	s := &System{
 		Cfg: cfg, Kernel: k, Net: nw, Registry: reg, Strategy: strategy,
-		PlanEngine: eng,
+		PlanEngine: eng, MemberPlanner: mplanner,
 	}
 	source := cfg.Source
 	if source == nil {
@@ -158,7 +214,7 @@ func NewSystem(cfg Config) (*System, error) {
 	first := map[string]bool{} // first actuation per (sink, period)
 	got := map[string][]byte{}
 	s.Runtime = runtime.New(runtime.Config{
-		Kernel: k, Net: nw, Registry: reg, Strategy: strategy, Planner: planner,
+		Kernel: k, Net: nw, Registry: reg, Strategy: strategy, Planner: planner, Epochs: epochCfg,
 		Compute: cfg.Compute, Source: source,
 		EvidenceRateLimit: cfg.EvidenceRateLimit,
 		OnActuation: func(node network.NodeID, sink flow.TaskID, period uint64, value []byte, at sim.Time) {
@@ -215,12 +271,23 @@ func (s *System) InjectAt(t sim.Time, f func(*runtime.System)) {
 	s.Kernel.At(t, func() { f(s.Runtime) })
 }
 
+// Reconfigure schedules a membership reconfiguration (join / retire /
+// replace, with optional link delta) to be proposed at time t. Requires
+// Config.Members.
+func (s *System) Reconfigure(t sim.Time, d member.Delta) {
+	s.Runtime.ScheduleReconfig(t, d)
+}
+
 // Run starts the runtime and simulates the configured horizon, returning
 // the report.
 func (s *System) Run() *Report {
 	s.Runtime.Start()
 	s.Kernel.Run(s.report.Horizon)
 	s.report.NetStats = s.Net.Snapshot()
+	if s.MemberPlanner != nil {
+		s.report.EpochReplans = s.MemberPlanner.Replans()
+		s.report.Epochs = s.Runtime.EpochRows()
+	}
 	return s.report
 }
 

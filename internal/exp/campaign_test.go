@@ -130,3 +130,44 @@ func TestC5LiveSmoke(t *testing.T) {
 		t.Errorf("C5 table missing:\n%s", b.String())
 	}
 }
+
+// TestC6ChurnHoldsBounds runs the full (non-quick) churn family and
+// asserts the acceptance invariant: on all five topology families,
+// every epoch activates, recovery stays within the per-epoch bound
+// across every epoch boundary, and churn alone produces no bad output.
+func TestC6ChurnHoldsBounds(t *testing.T) {
+	results := campaign.Run([]campaign.Scenario{C6Scenario()}, campaign.Options{
+		Workers: 4,
+		Params:  campaign.Params{Seed: 1, Quick: false, Trials: 1},
+	})
+	r := results[0]
+	if r.Failed > 0 {
+		for _, tr := range r.Trials {
+			if tr.Err != nil {
+				t.Fatalf("%s failed: %v", tr.Name, tr.Err)
+			}
+		}
+	}
+	if len(r.Trials) != 5 {
+		t.Fatalf("C6 ran %d topology families, want 5", len(r.Trials))
+	}
+	for _, tr := range r.Trials {
+		row, ok := campaign.Value[C6Row](tr)
+		if !ok {
+			t.Fatalf("%s: no row", tr.Name)
+		}
+		if row.Epochs != 3 {
+			t.Errorf("%s: %d epochs activated, want 3", tr.Name, row.Epochs)
+		}
+		if !row.WithinR {
+			t.Errorf("%s: recovery exceeded the epoch-aware bound (worst %v vs %v)",
+				tr.Name, row.WorstRecovery, row.WorstBound)
+		}
+		if !row.CleanChurn {
+			t.Errorf("%s: churn produced bad output outside fault windows", tr.Name)
+		}
+		if row.WorstSwitch <= 0 || row.WorstSwitch > row.WorstBound {
+			t.Errorf("%s: epoch-switch latency %v outside (0, R=%v]", tr.Name, row.WorstSwitch, row.WorstBound)
+		}
+	}
+}

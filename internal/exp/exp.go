@@ -43,10 +43,11 @@ type Experiment struct {
 }
 
 // Scenarios lists every scenario in order: the paper reproductions E1–E10,
-// the simulated campaign sweep families C1–C4, and the live wall-clock
-// soak family C5. Families: "paper" and "campaign" are deterministic
-// (byte-identical tables for any seed+worker count); "live" runs on the
-// wall clock and its tables carry real measured timings.
+// the simulated campaign sweep families C1–C4, the live wall-clock soak
+// family C5, and the membership-churn family C6. Families: "paper",
+// "campaign", and "churn" are deterministic (byte-identical tables for
+// any seed+worker count); "live" runs on the wall clock and its tables
+// carry real measured timings.
 func Scenarios() []campaign.Scenario {
 	return []campaign.Scenario{
 		e1Scenario(),
@@ -64,6 +65,7 @@ func Scenarios() []campaign.Scenario {
 		c3ClockSkew(),
 		c4PlanCache(),
 		C5Scenario(),
+		C6Scenario(),
 	}
 }
 
@@ -151,7 +153,12 @@ func chainSystem(seed uint64, f, nodes int, horizon uint64) (*core.System, error
 // first in the base plan (ties resolved by node scheduling order) — the
 // replica whose corruption is externally visible.
 func firstActuatingSinkNode(s *core.System, sink flow.TaskID) network.NodeID {
-	base := s.Strategy.Plans[""]
+	return firstSinkHostOfPlan(s.Strategy.Plans[""], sink)
+}
+
+// firstSinkHostOfPlan returns the node hosting the earliest-finishing
+// replica of the given sink in the plan.
+func firstSinkHostOfPlan(base *plan.Plan, sink flow.TaskID) network.NodeID {
 	bestNode := network.NodeID(-1)
 	var bestFinish sim.Time
 	for _, id := range base.Aug.TaskIDs() {

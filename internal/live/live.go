@@ -22,6 +22,7 @@ import (
 
 	"btr/internal/evidence"
 	"btr/internal/flow"
+	"btr/internal/member"
 	"btr/internal/metrics"
 	"btr/internal/network"
 	"btr/internal/plan"
@@ -48,6 +49,13 @@ type Config struct {
 	// PlanCache, when set, builds the strategy through the incremental
 	// plan engine and wires it into node failover, exactly as in core.
 	PlanCache *cache.Cache
+
+	// Members, when non-nil, enables online membership reconfiguration
+	// (same contract as core.Config.Members): Topology is the slot
+	// universe, the listed slots are the genesis epoch's active members,
+	// and Reconfigure schedules join/retire/replace epochs on the wall
+	// clock. The Bus opens and closes shaping lanes as epochs activate.
+	Members []network.NodeID
 
 	// Optional semantic overrides (plants install their own).
 	Compute runtime.TaskFunc
@@ -80,6 +88,9 @@ type Deployment struct {
 	// PlanEngine is the incremental plan engine backing this deployment
 	// (nil unless Config.PlanCache was set).
 	PlanEngine *cache.Engine
+	// MemberPlanner is the epoch planner backing this deployment (nil
+	// unless Config.Members was set).
+	MemberPlanner *member.Planner
 
 	oracle Oracle
 	report *Report
@@ -115,6 +126,29 @@ type Report struct {
 	FirstEvidenceAt sim.Time
 	SwitchTimes     []sim.Time
 	NetStats        network.Stats
+
+	// Epochs records every membership reconfiguration (empty without
+	// Config.Members; rejected proposals appear with Err set);
+	// EpochReplans counts epoch-planner syntheses.
+	Epochs       []EpochRow
+	EpochReplans uint64
+}
+
+// EpochRow is one membership epoch's wall-clock lifecycle (recorded by
+// the runtime operator; the same rows core exposes).
+type EpochRow = runtime.EpochRow
+
+// MaxEpochR returns the largest provable recovery bound across every
+// epoch of the run (RNeeded without epochs).
+func (r *Report) MaxEpochR() sim.Time {
+	return runtime.EpochMaxR(r.RNeeded, r.Epochs)
+}
+
+// RBoundFor returns the recovery bound for a fault whose recovery
+// window is [t, end]: the largest R among the epochs active in that
+// window (genesis included).
+func (r *Report) RBoundFor(t, end sim.Time) sim.Time {
+	return runtime.EpochRBound(r.RNeeded, r.Epochs, t, end)
 }
 
 // New validates the config, runs the offline planner, and wires a
@@ -129,7 +163,24 @@ func New(cfg Config) (*Deployment, error) {
 	var strategy *plan.Strategy
 	var planner runtime.PlanSource
 	var eng *cache.Engine
-	if cfg.PlanCache != nil {
+	var mplanner *member.Planner
+	var epochCfg *runtime.EpochConfig
+	switch {
+	case cfg.Members != nil:
+		mplanner = member.NewPlanner(cfg.Workload, cfg.PlanOpts, cfg.PlanCache)
+		genesis := member.Genesis(cfg.Members)
+		glog, err := member.NewLog(cfg.Topology, genesis)
+		if err != nil {
+			return nil, fmt.Errorf("live: invalid initial membership: %w", err)
+		}
+		ep0, err := mplanner.ForEpoch(genesis, glog.Wiring())
+		if err != nil {
+			return nil, fmt.Errorf("live: planning failed: %w", err)
+		}
+		strategy = ep0.Strategy
+		planner = ep0.Resolve
+		epochCfg = &runtime.EpochConfig{Genesis: genesis, Resolve: runtime.PlannerResolve(mplanner)}
+	case cfg.PlanCache != nil:
 		eng = cache.NewEngine(cfg.Workload, cfg.Topology, cfg.PlanOpts, cfg.PlanCache)
 		s, err := eng.BuildStrategy()
 		if err != nil {
@@ -137,7 +188,7 @@ func New(cfg Config) (*Deployment, error) {
 		}
 		strategy = s
 		planner = eng.Resolve
-	} else {
+	default:
 		s, err := plan.Build(cfg.Workload, cfg.Topology, cfg.PlanOpts)
 		if err != nil {
 			return nil, fmt.Errorf("live: planning failed: %w", err)
@@ -151,10 +202,11 @@ func New(cfg Config) (*Deployment, error) {
 
 	d := &Deployment{
 		Cfg: cfg, Sched: w, Bus: bus, Registry: reg, Strategy: strategy,
-		PlanEngine: eng,
-		first:      map[string]bool{},
-		got:        map[string][]byte{},
-		drained:    make(chan struct{}),
+		PlanEngine:    eng,
+		MemberPlanner: mplanner,
+		first:         map[string]bool{},
+		got:           map[string][]byte{},
+		drained:       make(chan struct{}),
 	}
 	source := cfg.Source
 	if source == nil {
@@ -178,7 +230,7 @@ func New(cfg Config) (*Deployment, error) {
 	d.report = rep
 
 	d.Runtime = runtime.New(runtime.Config{
-		Kernel: w, Net: bus, Registry: reg, Strategy: strategy, Planner: planner,
+		Kernel: w, Net: bus, Registry: reg, Strategy: strategy, Planner: planner, Epochs: epochCfg,
 		Compute: cfg.Compute, Source: source,
 		EvidenceRateLimit: cfg.EvidenceRateLimit,
 		OnActuation: func(node network.NodeID, sink flow.TaskID, period uint64, value []byte, at sim.Time) {
@@ -245,6 +297,12 @@ func (d *Deployment) InjectAt(t sim.Time, f func(*runtime.System)) {
 	d.Sched.At(t, func() { f(d.Runtime) })
 }
 
+// Reconfigure schedules a membership reconfiguration (join / retire /
+// replace) to be proposed at wall time t. Requires Config.Members.
+func (d *Deployment) Reconfigure(t sim.Time, delta member.Delta) {
+	d.Runtime.ScheduleReconfig(t, delta)
+}
+
 // Run starts the executive, lets the deployment run its horizon of real
 // wall-clock time, shuts everything down leak-free, and returns the
 // report. Call it once.
@@ -262,6 +320,10 @@ func (d *Deployment) Run() *Report {
 	}
 	d.Close()
 	d.report.NetStats = d.Bus.Snapshot()
+	if d.MemberPlanner != nil {
+		d.report.EpochReplans = d.MemberPlanner.Replans()
+		d.report.Epochs = d.Runtime.EpochRows()
+	}
 	return d.report
 }
 

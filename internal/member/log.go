@@ -1,0 +1,246 @@
+package member
+
+import (
+	"fmt"
+
+	"btr/internal/network"
+)
+
+// Delta is the operator's intent for one reconfiguration: slots to
+// activate, slots to retire, and administrative link changes. A replace
+// is a join and a retire in the same record.
+type Delta struct {
+	Join      []network.NodeID
+	Retire    []network.NodeID
+	AddLinks  []network.Link
+	DropLinks [][2]network.NodeID
+}
+
+// Log is a validated, hash-chained sequence of epoch records over a
+// fixed slot universe, plus the derived state (current membership and
+// wiring). Every node keeps one; the operator keeps the authoritative
+// one it proposes from. Logs reject anything but the exact next record
+// of the chain — a replayed, stale, reordered, or forked record never
+// mutates state.
+type Log struct {
+	universe *network.Topology
+	records  []Record
+	wiring   []*network.Topology // wiring after records[i] activates
+}
+
+// Genesis builds the epoch-0 record for an initial membership. The
+// universe's wiring is the starting point; genesis carries no link
+// delta.
+func Genesis(members []network.NodeID) Record {
+	return Record{Num: 0, Members: canonMembers(members)}
+}
+
+func canonMembers(members []network.NodeID) []network.NodeID {
+	out := append([]network.NodeID(nil), members...)
+	for i := 1; i < len(out); i++ { // insertion sort; lists are short
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	dedup := out[:0]
+	for i, m := range out {
+		if i == 0 || m != out[i-1] {
+			dedup = append(dedup, m)
+		}
+	}
+	return dedup
+}
+
+// NewLog validates the genesis record against the slot universe and
+// returns the chain rooted at it.
+func NewLog(universe *network.Topology, genesis Record) (*Log, error) {
+	l := &Log{universe: universe}
+	if genesis.Num != 0 || genesis.Prev != ([16]byte{}) || genesis.ActivateAt != 0 {
+		return nil, fmt.Errorf("member: malformed genesis record")
+	}
+	if len(genesis.AddLinks) != 0 || len(genesis.DropLinks) != 0 {
+		return nil, fmt.Errorf("member: genesis must not carry a link delta")
+	}
+	if err := l.checkMembers(genesis.Members, universe); err != nil {
+		return nil, err
+	}
+	l.records = []Record{genesis}
+	l.wiring = []*network.Topology{universe}
+	return l, nil
+}
+
+// checkMembers validates a membership set against a wiring: in-range,
+// sorted-unique (the codec enforces this for decoded records; Propose
+// enforces it for constructed ones), and mutually connected.
+func (l *Log) checkMembers(members []network.NodeID, wiring *network.Topology) error {
+	if len(members) == 0 {
+		return fmt.Errorf("member: empty membership")
+	}
+	in := make(map[network.NodeID]bool, len(members))
+	for i, m := range members {
+		if int(m) < 0 || int(m) >= l.universe.N {
+			return fmt.Errorf("member: member %d outside slot range [0,%d)", m, l.universe.N)
+		}
+		if i > 0 && m <= members[i-1] {
+			return fmt.Errorf("member: members not sorted-unique")
+		}
+		in[m] = true
+	}
+	if d := wiring.DiameterWithin(func(n network.NodeID) bool { return in[n] }); d < 0 {
+		return fmt.Errorf("member: membership %v not connected under the epoch wiring", members)
+	}
+	return nil
+}
+
+// Current returns the newest record of the chain.
+func (l *Log) Current() Record { return l.records[len(l.records)-1] }
+
+// Epoch returns the current epoch number.
+func (l *Log) Epoch() uint64 { return l.Current().Num }
+
+// NextNum returns the only record number the log will accept next.
+func (l *Log) NextNum() uint64 { return l.Current().Num + 1 }
+
+// Members returns the current epoch's active slots (shared; do not
+// mutate).
+func (l *Log) Members() []network.NodeID { return l.Current().Members }
+
+// Wiring returns the current epoch's active wiring.
+func (l *Log) Wiring() *network.Topology { return l.wiring[len(l.wiring)-1] }
+
+// Len returns the number of records in the chain (genesis included).
+func (l *Log) Len() int { return len(l.records) }
+
+// At returns the i-th record of the chain.
+func (l *Log) At(i int) Record { return l.records[i] }
+
+// Validate checks whether r is the legal next record of this chain
+// without applying it: exact next number (a replayed or future record
+// fails), predecessor hash binding, members legal and connected under
+// the post-delta wiring, link delta applicable to the current wiring.
+func (l *Log) Validate(r Record) error {
+	if r.Num != l.NextNum() {
+		return fmt.Errorf("member: record num %d, chain expects %d (stale, replayed, or out of order)", r.Num, l.NextNum())
+	}
+	if r.Prev != l.Current().ID() {
+		return fmt.Errorf("member: record %d does not chain to the current epoch", r.Num)
+	}
+	wiring, err := l.applyDelta(r)
+	if err != nil {
+		return err
+	}
+	return l.checkMembers(r.Members, wiring)
+}
+
+// applyDelta computes the post-record wiring, validating the delta
+// against the current one.
+func (l *Log) applyDelta(r Record) (*network.Topology, error) {
+	cur := l.Wiring()
+	if len(r.AddLinks) == 0 && len(r.DropLinks) == 0 {
+		// Membership-only record: the wiring object is shared, so the
+		// planner keeps one engine across the whole churn sequence.
+		return cur, nil
+	}
+	for _, d := range r.DropLinks {
+		if _, ok := cur.LinkBetween(d[0], d[1]); !ok {
+			return nil, fmt.Errorf("member: record %d drops nonexistent link %d-%d", r.Num, d[0], d[1])
+		}
+	}
+	dropped := func(a, b network.NodeID) bool {
+		for _, d := range r.DropLinks {
+			if (d[0] == a && d[1] == b) || (d[0] == b && d[1] == a) {
+				return true
+			}
+		}
+		return false
+	}
+	for i, al := range r.AddLinks {
+		if int(al.A) >= l.universe.N || int(al.B) >= l.universe.N {
+			return nil, fmt.Errorf("member: record %d adds link outside the slot universe", r.Num)
+		}
+		if _, ok := cur.LinkBetween(al.A, al.B); ok && !dropped(al.A, al.B) {
+			return nil, fmt.Errorf("member: record %d adds duplicate link %d-%d", r.Num, al.A, al.B)
+		}
+		for _, prev := range r.AddLinks[:i] {
+			if (prev.A == al.A && prev.B == al.B) || (prev.A == al.B && prev.B == al.A) {
+				return nil, fmt.Errorf("member: record %d adds link %d-%d twice", r.Num, al.A, al.B)
+			}
+		}
+	}
+	return cur.WithDelta(r.AddLinks, r.DropLinks), nil
+}
+
+// PreviewWiring validates r as the next record and returns the wiring
+// it would activate, without advancing the chain. Epoch planners use it
+// to plan a record before committing to it.
+func (l *Log) PreviewWiring(r Record) (*network.Topology, error) {
+	if err := l.Validate(r); err != nil {
+		return nil, err
+	}
+	return l.applyDelta(r)
+}
+
+// Append validates r and advances the chain.
+func (l *Log) Append(r Record) error {
+	if err := l.Validate(r); err != nil {
+		return err
+	}
+	wiring, err := l.applyDelta(r)
+	if err != nil {
+		return err
+	}
+	l.records = append(l.records, r)
+	l.wiring = append(l.wiring, wiring)
+	return nil
+}
+
+// Propose builds the next record of the chain from an operator delta
+// (ActivateAt zero: the prepare form). It validates the result so an
+// impossible intent (retiring to a disconnected or empty membership,
+// dropping a missing link) fails here, before anything is signed or
+// sent.
+func (l *Log) Propose(d Delta) (Record, error) {
+	cur := map[network.NodeID]bool{}
+	for _, m := range l.Members() {
+		cur[m] = true
+	}
+	for _, j := range d.Join {
+		if cur[j] {
+			return Record{}, fmt.Errorf("member: join of %d: already a member", j)
+		}
+		cur[j] = true
+	}
+	for _, x := range d.Retire {
+		if !cur[x] {
+			return Record{}, fmt.Errorf("member: retire of %d: not a member", x)
+		}
+		delete(cur, x)
+	}
+	var members []network.NodeID
+	for m := range cur {
+		members = append(members, m)
+	}
+	r := Record{
+		Num:       l.NextNum(),
+		Prev:      l.Current().ID(),
+		Members:   canonMembers(members),
+		AddLinks:  append([]network.Link(nil), d.AddLinks...),
+		DropLinks: append([][2]network.NodeID(nil), d.DropLinks...),
+	}
+	if err := l.Validate(r); err != nil {
+		return Record{}, err
+	}
+	return r, nil
+}
+
+// Quorum returns the prepare-phase acknowledgment threshold for a
+// membership of size n under fault bound f: every member that is not
+// one of the up-to-f faulty nodes must hold the record before the
+// operator schedules activation, so n-f acks (floor 1) are required.
+func Quorum(n, f int) int {
+	q := n - f
+	if q < 1 {
+		q = 1
+	}
+	return q
+}

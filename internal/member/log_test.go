@@ -1,0 +1,140 @@
+package member
+
+import (
+	"testing"
+
+	"btr/internal/network"
+	"btr/internal/sim"
+)
+
+func universe() *network.Topology {
+	return network.FullMesh(8, 20_000_000, 50*sim.Microsecond)
+}
+
+func mustLog(t *testing.T, members ...network.NodeID) *Log {
+	t.Helper()
+	l, err := NewLog(universe(), Genesis(members))
+	if err != nil {
+		t.Fatalf("genesis: %v", err)
+	}
+	return l
+}
+
+func TestLogProposeAppendChain(t *testing.T) {
+	l := mustLog(t, 0, 1, 2, 3, 4, 5)
+	if l.Epoch() != 0 || l.NextNum() != 1 {
+		t.Fatalf("genesis epoch state wrong: %d/%d", l.Epoch(), l.NextNum())
+	}
+	// Join 6.
+	r1, err := l.Propose(Delta{Join: []network.NodeID{6}})
+	if err != nil {
+		t.Fatalf("propose join: %v", err)
+	}
+	if err := l.Append(r1.WithActivation(100)); err != nil {
+		t.Fatalf("append join: %v", err)
+	}
+	if got := l.Members(); len(got) != 7 || got[6] != 6 {
+		t.Fatalf("join not applied: %v", got)
+	}
+	// Replace 2 -> 7.
+	r2, err := l.Propose(Delta{Join: []network.NodeID{7}, Retire: []network.NodeID{2}})
+	if err != nil {
+		t.Fatalf("propose replace: %v", err)
+	}
+	if err := l.Append(r2.WithActivation(200)); err != nil {
+		t.Fatalf("append replace: %v", err)
+	}
+	want := []network.NodeID{0, 1, 3, 4, 5, 6, 7}
+	got := l.Members()
+	if len(got) != len(want) {
+		t.Fatalf("replace membership: %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("replace membership: %v, want %v", got, want)
+		}
+	}
+	if l.Epoch() != 2 || l.Len() != 3 {
+		t.Fatalf("chain length wrong: epoch %d len %d", l.Epoch(), l.Len())
+	}
+}
+
+func TestLogRejectsReplayStaleAndForks(t *testing.T) {
+	l := mustLog(t, 0, 1, 2, 3, 4, 5)
+	r1, _ := l.Propose(Delta{Join: []network.NodeID{6}})
+	c1 := r1.WithActivation(100)
+	if err := l.Append(c1); err != nil {
+		t.Fatal(err)
+	}
+	// Replay of the same record: stale num.
+	if err := l.Append(c1); err == nil {
+		t.Fatal("replayed record accepted")
+	}
+	// A record skipping ahead.
+	r3 := c1
+	r3.Num = 3
+	if err := l.Append(r3); err == nil {
+		t.Fatal("future record accepted")
+	}
+	// Correct num but wrong predecessor hash (fork).
+	fork, _ := l.Propose(Delta{Retire: []network.NodeID{6}})
+	fork.Prev = [16]byte{0xde, 0xad}
+	if err := l.Append(fork.WithActivation(300)); err == nil {
+		t.Fatal("forked record accepted")
+	}
+}
+
+func TestLogRejectsIllegalMemberships(t *testing.T) {
+	if _, err := NewLog(universe(), Genesis(nil)); err == nil {
+		t.Fatal("empty genesis accepted")
+	}
+	if _, err := NewLog(universe(), Genesis([]network.NodeID{0, 9})); err == nil {
+		t.Fatal("out-of-universe genesis member accepted")
+	}
+	l := mustLog(t, 0, 1, 2, 3, 4, 5)
+	if _, err := l.Propose(Delta{Join: []network.NodeID{3}}); err == nil {
+		t.Fatal("joining an existing member accepted")
+	}
+	if _, err := l.Propose(Delta{Retire: []network.NodeID{7}}); err == nil {
+		t.Fatal("retiring a non-member accepted")
+	}
+	if _, err := l.Propose(Delta{DropLinks: [][2]network.NodeID{{0, 9}}}); err == nil {
+		t.Fatal("dropping a nonexistent link accepted")
+	}
+}
+
+func TestLogRejectsDisconnectingDeltas(t *testing.T) {
+	// Line universe: retiring an interior member splits the membership.
+	line := network.Line(5, 20_000_000, 50*sim.Microsecond)
+	l, err := NewLog(line, Genesis([]network.NodeID{0, 1, 2, 3, 4}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Propose(Delta{Retire: []network.NodeID{2}}); err == nil {
+		t.Fatal("membership-splitting retire accepted")
+	}
+	// Adding a bypass link first makes the same retire legal.
+	r, err := l.Propose(Delta{
+		Retire:   []network.NodeID{2},
+		AddLinks: []network.Link{{A: 1, B: 3, Bandwidth: 20_000_000, Prop: 50}},
+	})
+	if err != nil {
+		t.Fatalf("bridged retire rejected: %v", err)
+	}
+	if err := l.Append(r.WithActivation(50)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := l.Wiring().LinkBetween(1, 3); !ok {
+		t.Fatal("added link missing from the epoch wiring")
+	}
+}
+
+func TestQuorum(t *testing.T) {
+	for _, tc := range []struct{ n, f, want int }{
+		{6, 1, 5}, {6, 2, 4}, {3, 2, 1}, {1, 1, 1}, {2, 5, 1},
+	} {
+		if got := Quorum(tc.n, tc.f); got != tc.want {
+			t.Errorf("Quorum(%d,%d) = %d, want %d", tc.n, tc.f, got, tc.want)
+		}
+	}
+}

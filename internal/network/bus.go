@@ -105,25 +105,53 @@ func NewBus(sched sim.Scheduler, topo *Topology, cfg Config) *Bus {
 	if wc, ok := sched.(wallClocked); ok {
 		b.wallNow = wc.WallElapsed
 	}
-	classes := []Class{ClassForeground, ClassEvidence}
-	if cfg.EvidenceShare == 0 {
-		classes = []Class{ClassForeground} // single shared channel
+	b.mu.Lock()
+	b.syncLanes(topo)
+	b.mu.Unlock()
+	return b
+}
+
+// classes lists the traffic classes that get their own lane per link
+// direction under the current config.
+func (b *Bus) classes() []Class {
+	if b.cfg.EvidenceShare == 0 {
+		return []Class{ClassForeground} // single shared channel
 	}
+	return []Class{ClassForeground, ClassEvidence}
+}
+
+// syncLanes diffs the lane set against topo's links: lanes for new link
+// directions are opened (one shaping goroutine each), lanes whose link
+// vanished are closed — their workers drain any queued frames, deliver
+// them under the old wiring, and exit. Caller holds b.mu.
+func (b *Bus) syncLanes(topo *Topology) {
+	want := map[chanKey]Link{}
 	for _, l := range topo.Links {
 		for _, dir := range [2][2]NodeID{{l.A, l.B}, {l.B, l.A}} {
-			for _, class := range classes {
-				lane := &busLane{
-					ch:       make(chan busFrame, laneDepth),
-					capacity: b.capacity(l, class),
-					prop:     l.Prop,
-				}
-				b.lanes[chanKey{dir[0], dir[1], class}] = lane
-				b.wg.Add(1)
-				go b.shape(lane)
+			for _, class := range b.classes() {
+				want[chanKey{dir[0], dir[1], class}] = l
 			}
 		}
 	}
-	return b
+	for key, lane := range b.lanes {
+		if _, keep := want[key]; !keep {
+			close(lane.ch)
+			delete(b.lanes, key)
+		}
+	}
+	for key, l := range want {
+		if _, have := b.lanes[key]; have {
+			continue
+		}
+		lane := &busLane{
+			ch:       make(chan busFrame, laneDepth),
+			capacity: b.capacity(l, key.class),
+			prop:     l.Prop,
+		}
+		b.lanes[key] = lane
+		b.wg.Add(1)
+		go b.shape(lane)
+	}
 }
 
 // capacity mirrors Network's static per-class share split.
@@ -189,6 +217,32 @@ func (b *Bus) SetForwardFilter(id NodeID, f ForwardFilter) { b.filters[id] = f }
 
 // SetDown marks node id as crashed or repaired.
 func (b *Bus) SetDown(id NodeID, down bool) { b.down[id] = down }
+
+// SetWiring replaces the active wiring at runtime: lanes for removed
+// links are torn down (workers drain and exit), lanes for added links
+// are spun up. Must be called from a scheduler callback, like every
+// other mutating Bus method; membership epochs call it at activation.
+func (b *Bus) SetWiring(t *Topology) {
+	if t.N != b.topo.N {
+		panic("network: SetWiring must keep the node-slot count")
+	}
+	b.topo = t
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	b.syncLanes(t)
+}
+
+// LaneCount returns the number of live shaping lanes (link directions x
+// classes). Teardown tests use it to prove retired links' lanes are
+// actually gone, not merely idle.
+func (b *Bus) LaneCount() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.lanes)
+}
 
 // IsDown reports whether id is crashed.
 func (b *Bus) IsDown(id NodeID) bool { return b.down[id] }

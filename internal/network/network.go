@@ -42,6 +42,12 @@ type Transport interface {
 	IsDown(id NodeID) bool
 	// SetForwardFilter installs a Byzantine relay filter on node id.
 	SetForwardFilter(id NodeID, f ForwardFilter)
+	// SetWiring replaces the active wiring with t (same node-slot count;
+	// membership epochs pass the member-restricted link set). Routing,
+	// neighbor lists, and — on the live Bus — the per-link shaping lanes
+	// follow the new wiring from the next send onward; traffic already in
+	// flight completes under the wiring it was sent on.
+	SetWiring(t *Topology)
 	// Snapshot returns the traffic counters accumulated so far.
 	Snapshot() Stats
 }
@@ -180,6 +186,16 @@ func (n *Network) SetForwardFilter(id NodeID, f ForwardFilter) { n.filters[id] =
 // SetDown marks node id as crashed (true) or repaired (false). A down node
 // does not receive, send, or forward.
 func (n *Network) SetDown(id NodeID, down bool) { n.down[id] = down }
+
+// SetWiring replaces the active wiring. Channel busy-until state for
+// links present in both wirings carries over (same chanKey); state for
+// removed links is simply never consulted again.
+func (n *Network) SetWiring(t *Topology) {
+	if t.N != n.topo.N {
+		panic("network: SetWiring must keep the node-slot count")
+	}
+	n.topo = t
+}
 
 // IsDown reports whether id is crashed.
 func (n *Network) IsDown(id NodeID) bool { return n.down[id] }

@@ -184,6 +184,93 @@ func (t *Topology) Diameter() int {
 	return max
 }
 
+// DiameterWithin returns the maximum shortest-path hop count over all
+// pairs of nodes for which member returns true, routing only through
+// member nodes — the diameter of the member-induced subgraph. It returns
+// -1 when some member pair is disconnected within the subgraph, and 0
+// when at most one member exists. Epoch planners use it so per-epoch
+// bounds reflect the active membership, not dormant slots.
+func (t *Topology) DiameterWithin(member func(NodeID) bool) int {
+	max := 0
+	for s := 0; s < t.N; s++ {
+		if !member(NodeID(s)) {
+			continue
+		}
+		dist, _ := t.bfsFrom(NodeID(s), func(x NodeID) bool { return !member(x) })
+		for v, d := range dist {
+			if !member(NodeID(v)) {
+				continue
+			}
+			if d == -1 {
+				return -1
+			}
+			if d > max {
+				max = d
+			}
+		}
+	}
+	return max
+}
+
+// MinBandwidthWithin returns the smallest per-direction bandwidth over
+// links whose both endpoints satisfy member (0 if no such link exists).
+func (t *Topology) MinBandwidthWithin(member func(NodeID) bool) int64 {
+	var min int64
+	for _, l := range t.Links {
+		if !member(l.A) || !member(l.B) {
+			continue
+		}
+		if min == 0 || l.Bandwidth < min {
+			min = l.Bandwidth
+		}
+	}
+	return min
+}
+
+// MaxPropWithin returns the largest one-way propagation delay over links
+// whose both endpoints satisfy member.
+func (t *Topology) MaxPropWithin(member func(NodeID) bool) sim.Time {
+	var max sim.Time
+	for _, l := range t.Links {
+		if !member(l.A) || !member(l.B) {
+			continue
+		}
+		if l.Prop > max {
+			max = l.Prop
+		}
+	}
+	return max
+}
+
+// WithDelta returns a new topology over the same node slots with the
+// given links added and dropped (drops are unordered endpoint pairs;
+// dropping a missing link or adding a duplicate panics, like every other
+// malformed-wiring programmer error). Membership epochs use it to apply
+// a record's administrative link delta to the current wiring.
+func (t *Topology) WithDelta(add []Link, drop [][2]NodeID) *Topology {
+	gone := make(map[[2]NodeID]bool, len(drop))
+	norm := func(a, b NodeID) [2]NodeID {
+		if a > b {
+			a, b = b, a
+		}
+		return [2]NodeID{a, b}
+	}
+	for _, d := range drop {
+		if _, ok := t.lnk[[2]NodeID{d[0], d[1]}]; !ok {
+			panic(fmt.Sprintf("network: dropping nonexistent link %d-%d", d[0], d[1]))
+		}
+		gone[norm(d[0], d[1])] = true
+	}
+	links := make([]Link, 0, len(t.Links)+len(add)-len(drop))
+	for _, l := range t.Links {
+		if !gone[norm(l.A, l.B)] {
+			links = append(links, l)
+		}
+	}
+	links = append(links, add...)
+	return NewTopology(t.N, links)
+}
+
 // MinBandwidth returns the smallest per-direction link bandwidth in the
 // topology; planners use it for conservative worst-case latency bounds.
 func (t *Topology) MinBandwidth() int64 {

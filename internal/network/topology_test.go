@@ -195,3 +195,75 @@ func TestDeterministicPaths(t *testing.T) {
 		}
 	}
 }
+
+func TestDiameterWithin(t *testing.T) {
+	// Ring of 8: full diameter 4. Restrict to members {0..6} (7 dormant):
+	// the induced subgraph is a line 0-1-...-6, diameter 6 — strictly
+	// worse than the full ring, which is exactly why epoch bounds must
+	// use the induced metric.
+	ring := Ring(8, 1000, 10)
+	if d := ring.Diameter(); d != 4 {
+		t.Fatalf("ring-8 diameter = %d, want 4", d)
+	}
+	members := func(n NodeID) bool { return n != 7 }
+	if d := ring.DiameterWithin(members); d != 6 {
+		t.Fatalf("ring-8 minus one diameter = %d, want 6", d)
+	}
+	// All members: matches the plain diameter.
+	if d := ring.DiameterWithin(func(NodeID) bool { return true }); d != 4 {
+		t.Fatalf("all-member DiameterWithin = %d, want 4", d)
+	}
+	// Disconnecting membership (line missing an interior node) is -1.
+	line := Line(5, 1000, 10)
+	if d := line.DiameterWithin(func(n NodeID) bool { return n != 2 }); d != -1 {
+		t.Fatalf("split line DiameterWithin = %d, want -1", d)
+	}
+	// Single member: diameter 0.
+	if d := line.DiameterWithin(func(n NodeID) bool { return n == 1 }); d != 0 {
+		t.Fatalf("singleton DiameterWithin = %d, want 0", d)
+	}
+}
+
+func TestInducedBandwidthAndProp(t *testing.T) {
+	topo := NewTopology(3, []Link{
+		{0, 1, 100, 5},
+		{1, 2, 10, 50}, // the slow, laggy link touches node 2
+	})
+	in01 := func(n NodeID) bool { return n != 2 }
+	if bw := topo.MinBandwidthWithin(in01); bw != 100 {
+		t.Fatalf("MinBandwidthWithin = %d, want 100", bw)
+	}
+	if p := topo.MaxPropWithin(in01); p != 5 {
+		t.Fatalf("MaxPropWithin = %v, want 5", p)
+	}
+	all := func(NodeID) bool { return true }
+	if bw := topo.MinBandwidthWithin(all); bw != topo.MinBandwidth() {
+		t.Fatalf("all-member MinBandwidthWithin %d != MinBandwidth %d", bw, topo.MinBandwidth())
+	}
+	if p := topo.MaxPropWithin(all); p != topo.MaxProp() {
+		t.Fatalf("all-member MaxPropWithin %v != MaxProp %v", p, topo.MaxProp())
+	}
+}
+
+func TestWithDelta(t *testing.T) {
+	line := Line(4, 1000, 10)
+	// Close the ring: add 3-0.
+	ring := line.WithDelta([]Link{{3, 0, 1000, 10}}, nil)
+	if d := ring.Diameter(); d != 2 {
+		t.Fatalf("delta-closed ring diameter = %d, want 2", d)
+	}
+	if line.Diameter() != 3 {
+		t.Fatal("WithDelta mutated the original topology")
+	}
+	// Drop it again (order-insensitive endpoints).
+	back := ring.WithDelta(nil, [][2]NodeID{{0, 3}})
+	if d := back.Diameter(); d != 3 {
+		t.Fatalf("delta-dropped line diameter = %d, want 3", d)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("dropping a nonexistent link did not panic")
+		}
+	}()
+	line.WithDelta(nil, [][2]NodeID{{0, 2}})
+}

@@ -126,17 +126,31 @@ func (f FaultSet) Predecessors() []FaultSet {
 // EnumerateFaultSets lists every fault set of size <= f over n nodes, in
 // BFS order (size 0, then 1, ...), deterministic.
 func EnumerateFaultSets(n, f int) []FaultSet {
+	nodes := make([]network.NodeID, n)
+	for i := range nodes {
+		nodes[i] = network.NodeID(i)
+	}
+	return EnumerateFaultSetsOver(nodes, f)
+}
+
+// EnumerateFaultSetsOver lists every fault set of size <= f drawn from
+// the given nodes (an arbitrary subset of the slot universe), in the
+// same deterministic BFS order as EnumerateFaultSets. Membership epochs
+// use it: per-epoch strategies cover fault patterns over the active
+// members only.
+func EnumerateFaultSetsOver(nodes []network.NodeID, f int) []FaultSet {
+	pool := NewFaultSet(nodes...).Nodes() // canonical: sorted, deduplicated
 	var out []FaultSet
 	var cur []network.NodeID
-	var rec func(start network.NodeID, remaining int)
-	rec = func(start network.NodeID, remaining int) {
+	var rec func(start, remaining int)
+	rec = func(start, remaining int) {
 		out = append(out, NewFaultSet(cur...))
 		if remaining == 0 {
 			return
 		}
-		for x := start; int(x) < n; x++ {
-			cur = append(cur, x)
-			rec(x+1, remaining-1)
+		for i := start; i < len(pool); i++ {
+			cur = append(cur, pool[i])
+			rec(i+1, remaining-1)
 			cur = cur[:len(cur)-1]
 		}
 	}

@@ -447,3 +447,28 @@ func BenchmarkBuildStrategyAvionicsF1(b *testing.B) {
 		}
 	}
 }
+
+func TestEnumerateFaultSetsOver(t *testing.T) {
+	members := []network.NodeID{5, 2, 9, 2} // unsorted, duplicated on purpose
+	sets := EnumerateFaultSetsOver(members, 2)
+	want := []string{"", "2", "5", "9", "2,5", "2,9", "5,9"}
+	if len(sets) != len(want) {
+		t.Fatalf("got %d sets, want %d: %v", len(sets), len(want), sets)
+	}
+	for i, fs := range sets {
+		if fs.Key() != want[i] {
+			t.Fatalf("set %d = %q, want %q (full: %v)", i, fs.Key(), want[i], sets)
+		}
+	}
+	// Over the full universe it matches EnumerateFaultSets exactly.
+	full := EnumerateFaultSets(5, 2)
+	over := EnumerateFaultSetsOver([]network.NodeID{0, 1, 2, 3, 4}, 2)
+	if len(full) != len(over) {
+		t.Fatalf("full %d vs over %d", len(full), len(over))
+	}
+	for i := range full {
+		if full[i].Key() != over[i].Key() {
+			t.Fatalf("index %d: %q vs %q", i, full[i].Key(), over[i].Key())
+		}
+	}
+}

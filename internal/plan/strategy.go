@@ -92,6 +92,14 @@ type Strategy struct {
 	Topo *network.Topology
 	Opts Options
 
+	// Members restricts the strategy to a subset of the topology's node
+	// slots (nil = every slot, the classic static deployment). A
+	// membership epoch's strategy covers fault patterns over its active
+	// members only, and the derived bounds use the member-induced
+	// subgraph's diameter/bandwidth/propagation — dormant slots must not
+	// dilate (or flatter) the provable recovery bound.
+	Members []network.NodeID
+
 	Plans map[string]*Plan
 	// Trans holds, for each non-empty plan key, the worst-case transition
 	// into it over all predecessors.
@@ -174,6 +182,15 @@ type TransitionFunc func(a, b *Plan) Transition
 // memoized plans. Options are normalized the same way Build normalizes
 // them.
 func NewStrategyFromPlans(base *flow.Graph, topo *network.Topology, opts Options, plans map[string]*Plan, trans TransitionFunc) *Strategy {
+	return NewStrategyForMembers(base, topo, opts, nil, plans, trans)
+}
+
+// NewStrategyForMembers is NewStrategyFromPlans for a membership epoch:
+// plans cover fault sets drawn from members only (still keyed by the
+// member fault set's FaultSet.Key — each Plan may itself exclude the
+// dormant slots on top), and the derived bounds use the member-induced
+// subgraph metrics. members == nil means every slot (the classic case).
+func NewStrategyForMembers(base *flow.Graph, topo *network.Topology, opts Options, members []network.NodeID, plans map[string]*Plan, trans TransitionFunc) *Strategy {
 	opts = opts.Normalized()
 	if trans == nil {
 		trans = func(a, b *Plan) Transition {
@@ -181,15 +198,22 @@ func NewStrategyFromPlans(base *flow.Graph, topo *network.Topology, opts Options
 		}
 	}
 	s := &Strategy{
-		Base:  base,
-		Topo:  topo,
-		Opts:  opts,
-		Plans: plans,
-		Trans: map[string]Transition{},
+		Base:    base,
+		Topo:    topo,
+		Opts:    opts,
+		Members: members,
+		Plans:   plans,
+		Trans:   map[string]Transition{},
+	}
+	var sets []FaultSet
+	if members != nil {
+		sets = EnumerateFaultSetsOver(members, opts.F)
+	} else {
+		sets = EnumerateFaultSets(topo.N, opts.F)
 	}
 	// Transition analysis: worst-case into each plan over all direct
 	// predecessors.
-	for _, fs := range EnumerateFaultSets(topo.N, opts.F) {
+	for _, fs := range sets {
 		if fs.Len() == 0 {
 			continue
 		}
@@ -438,6 +462,13 @@ func deadlinesOK(pruned, aug *flow.Graph, table *sched.Table) error {
 // replicas move, how much state migrates, and the worst-case completion
 // bound of the switch.
 func TransitionBetween(a, b *Plan, topo *network.Topology, opts Options) Transition {
+	return TransitionWithin(a, b, topo, opts, nil)
+}
+
+// TransitionWithin is TransitionBetween restricted to a membership (nil =
+// every slot): state migration crosses the member-induced subgraph only,
+// so per-epoch transition bounds reflect the active wiring.
+func TransitionWithin(a, b *Plan, topo *network.Topology, opts Options, members []network.NodeID) Transition {
 	moved := a.Assign.Diff(b.Assign)
 	var bytes int64
 	for _, id := range moved {
@@ -454,15 +485,32 @@ func TransitionBetween(a, b *Plan, topo *network.Topology, opts Options) Transit
 			}
 		}
 	}
+	minBW, maxProp, diam := topo.MinBandwidth(), topo.MaxProp(), topo.Diameter()
+	if members != nil {
+		in := memberFunc(members)
+		minBW, maxProp, diam = topo.MinBandwidthWithin(in), topo.MaxPropWithin(in), topo.DiameterWithin(in)
+	}
+	if diam < 0 {
+		diam = 0
+	}
 	// Worst-case transfer: all state crosses the slowest foreground
 	// share sequentially plus one diameter of propagation. Conservative.
-	capMin := fgShare(topo.MinBandwidth(), opts.Sched.EvidenceShare)
-	transfer := network.TxTime(bytes, capMin) + sim.Time(topo.Diameter())*topo.MaxProp()
+	capMin := fgShare(minBW, opts.Sched.EvidenceShare)
+	transfer := network.TxTime(bytes, capMin) + sim.Time(diam)*maxProp
 	return Transition{
 		From: a.Key(), To: b.Key(),
 		Moved: moved, StateBytes: bytes,
 		Bound: transfer + b.Pruned.Period, // settle within one period after transfer
 	}
+}
+
+// memberFunc adapts a member slice to the Topology *Within predicates.
+func memberFunc(members []network.NodeID) func(network.NodeID) bool {
+	in := make(map[network.NodeID]bool, len(members))
+	for _, m := range members {
+		in[m] = true
+	}
+	return func(n network.NodeID) bool { return in[n] }
 }
 
 func fgShare(bw int64, evidenceShare float64) int64 {
@@ -491,14 +539,20 @@ func (s *Strategy) deriveBounds() {
 
 	// Evidence flooding: per hop, the message serializes on the evidence
 	// share of the slowest link, propagates, and is verified before
-	// being forwarded. Worst case crosses the diameter.
-	evCap := int64(float64(s.Topo.MinBandwidth()) * s.Opts.Sched.EvidenceShare)
+	// being forwarded. Worst case crosses the diameter. All three metrics
+	// come from the member-induced subgraph when the strategy is
+	// membership-restricted: dormant slots carry no traffic.
+	minBW, maxProp, d := s.Topo.MinBandwidth(), s.Topo.MaxProp(), s.Topo.Diameter()
+	if s.Members != nil {
+		in := memberFunc(s.Members)
+		minBW, maxProp, d = s.Topo.MinBandwidthWithin(in), s.Topo.MaxPropWithin(in), s.Topo.DiameterWithin(in)
+	}
+	evCap := int64(float64(minBW) * s.Opts.Sched.EvidenceShare)
 	if evCap < 1 {
 		evCap = 1
 	}
 	maxEv := s.maxEvidenceBytes()
-	hop := network.TxTime(maxEv, evCap) + s.Topo.MaxProp() + s.Opts.Sched.VerifyCost*4
-	d := s.Topo.Diameter()
+	hop := network.TxTime(maxEv, evCap) + maxProp + s.Opts.Sched.VerifyCost*4
 	if d < 1 {
 		d = 1
 	}

@@ -39,7 +39,7 @@ func (n *Node) validator() *evidence.Validator {
 }
 
 func (n *Node) isSourceTask(logical flow.TaskID) bool {
-	if t, ok := n.cfg.Strategy.Base.Tasks[logical]; ok {
+	if t, ok := n.strat.Base.Tasks[logical]; ok {
 		return t.Source
 	}
 	return false

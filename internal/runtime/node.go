@@ -5,6 +5,7 @@ import (
 
 	"btr/internal/evidence"
 	"btr/internal/flow"
+	"btr/internal/member"
 	"btr/internal/network"
 	"btr/internal/plan"
 	"btr/internal/sig"
@@ -47,6 +48,22 @@ type Node struct {
 	behavior *Behavior
 	crashed  bool
 
+	// strat and planner are the node's *current epoch's* strategy and
+	// plan source. Without membership epochs they alias cfg.Strategy /
+	// cfg.Planner forever; an epoch activation swaps both atomically
+	// with the plan.
+	strat   *plan.Strategy
+	planner PlanSource
+	// memberNow reports whether this node is an active member of the
+	// current epoch. Dormant slots (not yet joined, or retired) keep
+	// their runtime but schedule no periods, emit nothing, and flood
+	// nothing.
+	memberNow bool
+	// Epoch-switch state (nil / empty unless Config.Epochs is set).
+	elog        *member.Log
+	seenEpoch   map[[16]byte]bool
+	activeEpoch uint64
+
 	cur    *plan.Plan    // current mode's plan
 	faults plan.FaultSet // append-only local fault set
 
@@ -79,12 +96,16 @@ type Node struct {
 	EvidenceRejected int
 	EvidenceDropped  int // rate-limited
 	Switches         int
+	EpochSwitches    int
 }
 
 func newNode(id network.NodeID, cfg *Config) *Node {
 	return &Node{
 		id:           id,
 		cfg:          cfg,
+		strat:        cfg.Strategy,
+		planner:      cfg.Planner,
+		memberNow:    true,
 		cur:          cfg.Strategy.Plans[""],
 		faults:       plan.NewFaultSet(),
 		inbox:        map[uint64]map[slotKey][]*arrival{},
@@ -108,13 +129,15 @@ func (n *Node) start() { n.schedulePeriod(0) }
 
 // periodStart returns the absolute start time of period p.
 func (n *Node) periodStart(p uint64) sim.Time {
-	return sim.Time(p) * n.cfg.Strategy.Base.Period
+	return sim.Time(p) * n.strat.Base.Period
 }
 
 // schedulePeriod sets up all of this node's slot executions and watchdogs
-// for period p, then re-arms for p+1.
+// for period p, then re-arms for p+1. A node that is not a member of the
+// current epoch (dormant or retired) schedules nothing — retirement ends
+// the chain here.
 func (n *Node) schedulePeriod(p uint64) {
-	if n.crashed {
+	if n.crashed || !n.memberNow {
 		return
 	}
 	k := n.cfg.Kernel
@@ -139,7 +162,7 @@ func (n *Node) schedulePeriod(p uint64) {
 	// handoffs included: a colocated producer replica can omit too). The
 	// handle is kept so the watchdog can be disarmed the moment the
 	// record arrives.
-	margin := n.cfg.Strategy.Opts.WatchdogMargin
+	margin := n.strat.Opts.WatchdogMargin
 	for e, w := range cur.Table.Msgs {
 		if cur.Assign[e.To] != n.id {
 			continue
@@ -152,7 +175,7 @@ func (n *Node) schedulePeriod(p uint64) {
 	if p >= 2 {
 		delete(n.inbox, p-2)
 	}
-	k.At(base+n.cfg.Strategy.Base.Period, func() { n.schedulePeriod(p + 1) })
+	k.At(base+n.strat.Base.Period, func() { n.schedulePeriod(p + 1) })
 }
 
 // chosenInputs picks, for each logical input of task, the record the task
@@ -378,6 +401,8 @@ func (n *Node) onMessage(m *network.Message) {
 		n.acceptRecord(env, atts, m)
 	case msgEvidence:
 		n.onEvidenceMessage(m)
+	case msgMember:
+		n.onEpochFrame(m.Payload, m)
 	}
 }
 

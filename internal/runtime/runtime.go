@@ -70,6 +70,10 @@ type Behavior struct {
 	// BogusEvidencePerPeriod floods this many invalid evidence blobs per
 	// period to every neighbor (the §4.3 DoS attack).
 	BogusEvidencePerPeriod int
+	// SuppressEpochAcks stops the node from acknowledging membership
+	// epoch prepares (a Byzantine node trying to stall reconfiguration;
+	// the n-f quorum tolerates up to f of these).
+	SuppressEpochAcks bool
 	// SkipActuation suppresses the node's sink replicas' actuations.
 	SkipActuation bool
 }
@@ -101,12 +105,18 @@ type Config struct {
 	// EvidenceRateLimit caps evidence messages processed per neighbor per
 	// period (DoS bound). 0 means the default of 16.
 	EvidenceRateLimit int
+
+	// Epochs enables online membership reconfiguration (see epoch.go).
+	// When set, Strategy and Planner must describe the genesis epoch.
+	Epochs *EpochConfig
 }
 
 // System is the collection of BTR nodes driving one simulation.
 type System struct {
 	cfg   Config
 	nodes []*Node
+	// op drives membership reconfigurations (nil without Config.Epochs).
+	op *operator
 }
 
 // New builds the per-node runtimes and registers network handlers. Call
@@ -131,6 +141,9 @@ func New(cfg Config) *System {
 	for _, nd := range s.nodes {
 		nd.sys = s
 		cfg.Net.Handle(nd.id, nd.onMessage)
+	}
+	if cfg.Epochs != nil {
+		s.initEpochs()
 	}
 	return s
 }
@@ -168,13 +181,14 @@ func (s *System) PlanKeyOf(id network.NodeID) string {
 }
 
 // Converged reports whether all correct (non-crashed, non-compromised per
-// the caller's knowledge) nodes run the plan for the same fault set.
-// Callers pass the ground-truth faulty set to exclude.
+// the caller's knowledge) *active-member* nodes run the plan for the
+// same fault set. Callers pass the ground-truth faulty set to exclude;
+// dormant and retired slots are skipped — they execute nothing.
 func (s *System) Converged(exclude plan.FaultSet) (string, bool) {
 	key := ""
 	first := true
 	for _, nd := range s.nodes {
-		if nd.crashed || exclude.Contains(nd.id) {
+		if nd.crashed || !nd.memberNow || exclude.Contains(nd.id) {
 			continue
 		}
 		if first {
@@ -192,6 +206,7 @@ func (s *System) Converged(exclude plan.FaultSet) (string, bool) {
 const (
 	msgData     = 'D'
 	msgEvidence = 'E'
+	msgMember   = 'M'
 )
 
 // dataPayload frames a dataflow record: kind byte, record envelope,

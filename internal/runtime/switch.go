@@ -45,8 +45,8 @@ func (n *Node) addFault(x network.NodeID, detectedAt sim.Time) {
 		return
 	}
 	n.faults = n.faults.With(x)
-	p := n.cfg.Strategy.Base.Period
-	delta := n.cfg.Strategy.Delta
+	p := n.strat.Base.Period
+	delta := n.strat.Delta
 	// Activate one microsecond before a period boundary so the next
 	// period is scheduled entirely under the new plan.
 	boundary := ((detectedAt+delta)/p + 1) * p
@@ -58,16 +58,16 @@ func (n *Node) addFault(x network.NodeID, detectedAt sim.Time) {
 	n.cfg.Kernel.At(at, n.activate)
 }
 
-// planFor resolves the plan for a fault set: the configured PlanSource
-// (the incremental plan engine, when wired) first, the precomputed
-// strategy table as the fallback.
+// planFor resolves the plan for a fault set: the current epoch's
+// PlanSource (the incremental plan engine, when wired) first, the
+// epoch's precomputed strategy table as the fallback.
 func (n *Node) planFor(fs plan.FaultSet) *plan.Plan {
-	if n.cfg.Planner != nil {
-		if p := n.cfg.Planner(fs); p != nil {
+	if n.planner != nil {
+		if p := n.planner(fs); p != nil {
 			return p
 		}
 	}
-	return n.cfg.Strategy.PlanFor(fs)
+	return n.strat.PlanFor(fs)
 }
 
 // activate swaps to the plan for the current fault set.

@@ -49,6 +49,12 @@ type Registry struct {
 	// workers replaying same-seed deployments reuse each other's work.
 	memo  *VerifyMemo
 	seals *SealMemo
+	// opPriv/opPub is the operator (configuration-authority) keypair:
+	// membership epoch records (internal/member) are signed with it, so
+	// compromised nodes cannot forge reconfigurations. The adversary
+	// controls node keys of compromised nodes, never the operator key.
+	opPriv ed25519.PrivateKey
+	opPub  ed25519.PublicKey
 }
 
 // NewRegistry creates keypairs for nodes 0..n-1, derived from seed.
@@ -70,7 +76,35 @@ func NewRegistry(seed uint64, n int) *Registry {
 		r.privs[i] = ed25519.NewKeyFromSeed(kseed[:])
 		r.pubs[i] = r.privs[i].Public().(ed25519.PublicKey)
 	}
+	// The operator key is drawn after every node key so adding it did not
+	// disturb the node keys any historical seed derives.
+	var oseed [ed25519.SeedSize]byte
+	for j := 0; j < ed25519.SeedSize; j += 8 {
+		binary.LittleEndian.PutUint64(oseed[j:], rng.Uint64())
+	}
+	r.opPriv = ed25519.NewKeyFromSeed(oseed[:])
+	r.opPub = r.opPriv.Public().(ed25519.PublicKey)
 	return r
+}
+
+// OperatorSign returns the operator key's signature over msg. Only the
+// deployment harness (the configuration authority proposing membership
+// epochs) calls this; nodes hold the public half only.
+func (r *Registry) OperatorSign(msg []byte) []byte {
+	return ed25519.Sign(r.opPriv, msg)
+}
+
+// OperatorVerify reports whether sig is the operator's valid signature
+// over msg. Verification goes through the shared memo like node-key
+// verification (ed25519 is deterministic, so the memo stays sound).
+func (r *Registry) OperatorVerify(msg, sig []byte) bool {
+	if len(sig) != ed25519.SignatureSize {
+		return false
+	}
+	if r.memo != nil {
+		return r.memo.Verify(r.opPub, msg, sig)
+	}
+	return ed25519.Verify(r.opPub, msg, sig)
 }
 
 // UseMemos overrides the registry's memos (nil disables caching). Tests
