@@ -13,7 +13,7 @@ FUZZTIME ?= 30s
 # Minimum total statement coverage `make cover` enforces.
 COVER_MIN ?= 75
 
-.PHONY: all build test vet fmt fmt-check race ci cover bench bench-json bench-new bench-check fuzz campaign clean
+.PHONY: all build test vet fmt fmt-check race ci cover bench bench-json bench-new bench-check fuzz campaign smoke-proc clean
 
 all: build
 
@@ -79,6 +79,16 @@ bench-check: bench-new
 # Full campaign, all scenario families, JSON bundle to stdout.
 campaign:
 	$(GO) run ./cmd/btrcampaign -json
+
+# Multi-process deployment smoke: one OS process per node over real TCP
+# sockets, SIGKILL the victim mid-run, respawn it, and require recovery
+# within the provable bound plus transport-level rejoin. The period and
+# margin are the proven single-core constants (see internal/live); the
+# timeout bounds a wedged orchestrator, not a slow one (a clean run is
+# ~7s of wall clock).
+smoke-proc:
+	timeout 120 $(GO) run ./cmd/btrlive -orchestrate -nodes 4 -f 1 \
+		-period 500ms -margin 200ms -horizon 10 -at 3 -seed 7 -fault kill-restart
 
 ci: fmt-check vet build race
 	@echo "ci: OK"

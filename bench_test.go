@@ -20,12 +20,22 @@ import (
 	"btr/internal/campaign"
 	"btr/internal/exp"
 	"btr/internal/flow"
+	"btr/internal/live"
 	"btr/internal/network"
 	"btr/internal/plan"
 	"btr/internal/plan/cache"
 	"btr/internal/sig"
 	"btr/internal/sim"
 )
+
+// TestMain lets this test binary double as the node-process binary: the
+// C7 multi-process family re-executes os.Executable() with BTR_PROC_SPEC
+// set, and MaybeRunNodeProc turns that re-execution into a deployment
+// node instead of a second test run.
+func TestMain(m *testing.M) {
+	live.MaybeRunNodeProc()
+	os.Exit(m.Run())
+}
 
 // planBenchDeployment is the largest C2 topology (full mesh, 12 nodes,
 // f=2) with the standard chain workload — the configuration the
@@ -182,6 +192,30 @@ func measureLiveSoak(p campaign.Params) []liveBenchRow {
 	return out
 }
 
+// measureLiveProc runs the C7 multi-process deployment scenario — one OS
+// process per node over real TCP sockets — and copies its per-run rows
+// into bundle entries.
+func measureLiveProc(p campaign.Params) []liveProcBenchRow {
+	res := campaign.Run([]campaign.Scenario{exp.C7Scenario()}, campaign.Options{Workers: 1, Params: p})
+	var out []liveProcBenchRow
+	for _, tr := range res[0].Trials {
+		row, ok := campaign.Value[exp.C7Row](tr)
+		if !ok {
+			continue
+		}
+		r := liveProcBenchRow{
+			Topology: row.Topology, Nodes: row.Nodes, F: row.F, Fault: row.Fault,
+			RecoveryMS: row.Recovery.Millis(), BoundMS: row.Bound.Millis(),
+			WithinR: row.Recovery <= row.Bound,
+		}
+		if row.ReconnectChecked {
+			r.Reconnected = &row.Reconnected
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
 // runExperiment executes experiment id once in quick mode.
 func runExperiment(b *testing.B, id string) exp.Result {
 	b.Helper()
@@ -254,6 +288,14 @@ type campaignBench struct {
 	// the provable bound R. within_r is the row-level invariant the
 	// comparator gates.
 	Live []liveBenchRow `json:"live"`
+
+	// LiveProc records the C7 multi-process deployment soak (schema v6):
+	// one OS process per node over real TCP sockets, faults injected
+	// against real processes (catalog + SIGKILL-restart + partition),
+	// recovery judged by the orchestrator acting as the plant. within_r
+	// and reconnected (where non-null) are the invariants btrcheckbench
+	// gates; the latencies themselves are wall-clock and machine-bound.
+	LiveProc []liveProcBenchRow `json:"liveproc"`
 
 	// Churn records the C6 membership-churn family (schema v5): per
 	// topology, the epoch count, worst epoch-switch latency vs the worst
@@ -350,6 +392,19 @@ type liveBenchRow struct {
 	WithinR        bool    `json:"within_r"`
 }
 
+type liveProcBenchRow struct {
+	Topology   string  `json:"topology"`
+	Nodes      int     `json:"nodes"`
+	F          int     `json:"f"`
+	Fault      string  `json:"fault"`
+	RecoveryMS float64 `json:"recovery_ms"`
+	BoundMS    float64 `json:"bound_r_ms"`
+	WithinR    bool    `json:"within_r"`
+	// Reconnected is non-null only for faults whose repair must be
+	// visible at the transport (kill-restart, partition).
+	Reconnected *bool `json:"reconnected"`
+}
+
 type planCacheBench struct {
 	Topology    string  `json:"topology"`
 	FaultSets   int     `json:"fault_sets"`
@@ -424,7 +479,7 @@ func TestEmitCampaignBench(t *testing.T) {
 	cachedNs, uncachedNs := sig.MeasureVerifySpeedup(64)
 	curTP, legacyTP := sim.MeasureKernelThroughput(1 << 19)
 	bench := campaignBench{
-		Schema: "btr-campaign-bench/v5",
+		Schema: "btr-campaign-bench/v6",
 		Seed:   1, Quick: quick,
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		HostCores:  runtime.NumCPU(),
@@ -437,8 +492,9 @@ func TestEmitCampaignBench(t *testing.T) {
 			LegacyEventsPerSec: legacyTP,
 			Speedup:            curTP / legacyTP,
 		},
-		Live:  measureLiveSoak(p),
-		Churn: measureChurn(t),
+		Live:     measureLiveSoak(p),
+		LiveProc: measureLiveProc(p),
+		Churn:    measureChurn(t),
 		Crypto: cryptoBench{
 			VerifyCachedNsOp:   cachedNs,
 			VerifyUncachedNsOp: uncachedNs,
@@ -491,11 +547,11 @@ func TestEmitCampaignBench(t *testing.T) {
 	if err := enc.Encode(bench); err != nil {
 		t.Fatalf("encode: %v", err)
 	}
-	t.Logf("wrote %s: serial %.0fms (uncached %.0fms, crypto %.2fx, memo hit rate %.1f%%), workers=4 %.0fms, speedup %.2fx (GOMAXPROCS=%d, %d host core(s)); plan cache warm %.2fms vs cold %.2fms (%.1fx); kernel %.2fx vs legacy; verify memo %.1fx; %d live soak row(s); %d churn row(s)",
+	t.Logf("wrote %s: serial %.0fms (uncached %.0fms, crypto %.2fx, memo hit rate %.1f%%), workers=4 %.0fms, speedup %.2fx (GOMAXPROCS=%d, %d host core(s)); plan cache warm %.2fms vs cold %.2fms (%.1fx); kernel %.2fx vs legacy; verify memo %.1fx; %d live soak row(s); %d multi-process row(s); %d churn row(s)",
 		out, bench.SerialMS, bench.Crypto.UncachedSerialMS, bench.Crypto.CampaignSpeedup,
 		bench.Crypto.MemoHitRate*100, bench.Par4MS, bench.Speedup, bench.GOMAXPROCS, bench.HostCores,
 		bench.PlanCache.WarmMS, bench.PlanCache.ColdMS, bench.PlanCache.Speedup,
-		bench.Kernel.Speedup, bench.Crypto.VerifySpeedup, len(bench.Live), len(bench.Churn))
+		bench.Kernel.Speedup, bench.Crypto.VerifySpeedup, len(bench.Live), len(bench.LiveProc), len(bench.Churn))
 }
 
 func BenchmarkE1Recovery(b *testing.B) {

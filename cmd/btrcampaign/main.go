@@ -23,6 +23,7 @@ import (
 	"btr/internal/campaign"
 	"btr/internal/cliflag"
 	"btr/internal/exp"
+	"btr/internal/live"
 	"btr/internal/prof"
 )
 
@@ -64,13 +65,18 @@ func selectScenarios(all []campaign.Scenario, only, family string) ([]campaign.S
 }
 
 func main() {
+	// The C7 family re-executes this binary as node processes; the hook
+	// turns those re-executions into deployment nodes instead of
+	// recursive campaigns. No-op unless BTR_PROC_SPEC is set.
+	live.MaybeRunNodeProc()
+
 	workers := flag.Int("workers", runtime.NumCPU(), "worker pool size (output is identical for any value)")
 	trials := flag.Int("trials", 1, "Monte Carlo multiplier for randomized scenario families")
 	seed := flag.Uint64("seed", 1, "campaign master seed (every trial seed is split from it)")
 	quick := flag.Bool("quick", false, "smaller sweeps (for smoke runs)")
 	jsonOut := flag.Bool("json", false, "emit the machine-readable result bundle as JSON")
 	only := flag.String("only", "", "run a single scenario (e.g. E6 or C1)")
-	family := flag.String("family", "", "run one scenario family (paper | campaign | churn | live)")
+	family := flag.String("family", "", "run one scenario family (paper | campaign | churn | live | liveproc)")
 	list := flag.Bool("list", false, "list scenarios and exit")
 	verbose := flag.Bool("v", false, "print per-trial progress to stderr")
 	profFlags := prof.Register()

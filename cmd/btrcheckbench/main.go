@@ -69,6 +69,8 @@ type benchFile struct {
 
 	Live []liveRow `json:"live"`
 
+	LiveProc []liveProcRow `json:"liveproc"`
+
 	Churn []churnRow `json:"churn"`
 
 	Scenarios []benchScenario `json:"scenarios"`
@@ -95,6 +97,20 @@ type liveRow struct {
 	WorstRecoverMS float64 `json:"worst_recovery_ms"`
 	BoundMS        float64 `json:"bound_r_ms"`
 	WithinR        bool    `json:"within_r"`
+}
+
+// liveProcRow is one C7 multi-process deployment entry of the bundle's
+// liveproc section (schema v6): one OS process per node over real TCP
+// sockets. Reconnected is non-null only for faults whose repair must be
+// visible at the transport (kill-restart, partition).
+type liveProcRow struct {
+	Topology    string  `json:"topology"`
+	Nodes       int     `json:"nodes"`
+	Fault       string  `json:"fault"`
+	RecoveryMS  float64 `json:"recovery_ms"`
+	BoundMS     float64 `json:"bound_r_ms"`
+	WithinR     bool    `json:"within_r"`
+	Reconnected *bool   `json:"reconnected"`
 }
 
 type benchScenario struct {
@@ -193,6 +209,26 @@ func compare(base, cur benchFile, tol, minWarmSpeedup, minKernelSpeedup, minCryp
 		if !row.WithinR {
 			failf("live soak %s/%d: worst recovery %.1fms exceeded bound R=%.1fms",
 				row.Topology, row.Nodes, row.WorstRecoverMS, row.BoundMS)
+		}
+	}
+
+	// Multi-process deployments (schema v6): every C7 row — one OS
+	// process per node over real TCP sockets — must have recovered within
+	// its provable bound R, and for faults whose repair is
+	// transport-visible (kill-restart, partition) every peer adjacent to
+	// the victim must have re-established its link and held it at
+	// horizon. Latencies are wall-clock and are not compared.
+	if len(cur.LiveProc) == 0 {
+		failf("new bundle carries no multi-process deployment rows")
+	}
+	for _, row := range cur.LiveProc {
+		if !row.WithinR {
+			failf("multi-process %s/%s: recovery %.1fms exceeded bound R=%.1fms",
+				row.Topology, row.Fault, row.RecoveryMS, row.BoundMS)
+		}
+		if row.Reconnected != nil && !*row.Reconnected {
+			failf("multi-process %s/%s: victim links did not re-establish on every peer",
+				row.Topology, row.Fault)
 		}
 	}
 
@@ -334,7 +370,8 @@ func main() {
 		}
 		os.Exit(1)
 	}
-	fmt.Printf("bench check OK: %d scenario(s), serial %.0fms, plan-cache warm %.2fx, kernel %.2fx, verify memo %.2fx, crypto campaign %.2fx (E4 share %.1f%%), %d live row(s) within R, %d churn row(s) within R (warm replans 0)\n",
+	fmt.Printf("bench check OK: %d scenario(s), serial %.0fms, plan-cache warm %.2fx, kernel %.2fx, verify memo %.2fx, crypto campaign %.2fx (E4 share %.1f%%), %d live row(s) within R, %d multi-process row(s) within R, %d churn row(s) within R (warm replans 0)\n",
 		len(cur.Scenarios), cur.SerialMS, cur.PlanCache.Speedup, cur.Kernel.Speedup,
-		cur.Crypto.VerifySpeedup, cur.Crypto.CampaignSpeedup, cur.Crypto.E4WorkShare*100, len(cur.Live), len(cur.Churn))
+		cur.Crypto.VerifySpeedup, cur.Crypto.CampaignSpeedup, cur.Crypto.E4WorkShare*100,
+		len(cur.Live), len(cur.LiveProc), len(cur.Churn))
 }

@@ -22,6 +22,11 @@ func bundle(gomaxprocs int, serial float64, warmSpeedup float64) benchFile {
 	f.Crypto.CampaignSpeedup = 2.2
 	f.Crypto.E4WorkShare = 0.2
 	f.Live = []liveRow{{Topology: "full-mesh", Nodes: 6, Runs: 2, WorstRecoverMS: 210, BoundMS: 600, WithinR: true}}
+	reconnected := true
+	f.LiveProc = []liveProcRow{
+		{Topology: "full-mesh", Nodes: 4, Fault: "corrupt-all", RecoveryMS: 1000, BoundMS: 2100, WithinR: true},
+		{Topology: "full-mesh", Nodes: 4, Fault: "kill-restart", RecoveryMS: 1500, BoundMS: 2100, WithinR: true, Reconnected: &reconnected},
+	}
 	f.Churn = []churnRow{{Topology: "full-mesh", Epochs: 3, WorstSwitchMS: 25, BoundMS: 103,
 		WithinR: true, CleanChurn: true, ColdReplans: 4, WarmReplans: 0}}
 	f.Scenarios = []benchScenario{
@@ -206,6 +211,35 @@ func TestCompareEnforcesLiveWithinR(t *testing.T) {
 	fails, _ = compare(bundle(4, 10000, 20), cur, 0.20, 5, 2, 2, 0, false)
 	if !hasFailure(fails, "no live soak") {
 		t.Fatalf("missing live section not flagged: %v", fails)
+	}
+}
+
+func TestCompareGatesLiveProc(t *testing.T) {
+	base := bundle(4, 10000, 20)
+	// Missing liveproc section fails: v6 bundles must carry the
+	// multi-process soak.
+	cur := bundle(4, 10000, 20)
+	cur.LiveProc = nil
+	if fails, _ := compare(base, cur, 0.20, 5, 2, 2, 0, false); !hasFailure(fails, "no multi-process deployment rows") {
+		t.Fatalf("missing liveproc rows not flagged: %v", fails)
+	}
+	// A recovery beyond the bound fails.
+	cur = bundle(4, 10000, 20)
+	cur.LiveProc[0].WithinR = false
+	if fails, _ := compare(base, cur, 0.20, 5, 2, 2, 0, false); !hasFailure(fails, "multi-process full-mesh/corrupt-all") {
+		t.Fatalf("liveproc bound violation not flagged: %v", fails)
+	}
+	// A transport-visible repair that never re-established fails; a null
+	// verdict (fault with no reconnect obligation) does not.
+	cur = bundle(4, 10000, 20)
+	broken := false
+	cur.LiveProc[1].Reconnected = &broken
+	if fails, _ := compare(base, cur, 0.20, 5, 2, 2, 0, false); !hasFailure(fails, "did not re-establish") {
+		t.Fatalf("failed reconnect not flagged: %v", fails)
+	}
+	cur.LiveProc[1].Reconnected = nil
+	if fails, _ := compare(base, cur, 0.20, 5, 2, 2, 0, false); len(fails) != 0 {
+		t.Fatalf("null reconnect verdict must not gate: %v", fails)
 	}
 }
 

@@ -1,17 +1,27 @@
 // Command btrlive boots a full BTR deployment on the wall clock — plan
 // engine, detectors, evidence distribution, mode switcher, all running on
-// the real-time executor (sim.WallScheduler) over the live channel-based
-// bus transport (network.Bus) — injects a fault from the behavior catalog
-// at runtime, and reports the measured wall-clock recovery time against
-// the strategy's provable bound R. It is the "five-second rule on a real
-// clock" demonstrator: the same runtime code that passes the simulated
-// campaigns, executing under genuine asynchrony.
+// the real-time executor (sim.WallScheduler) — injects a fault from the
+// behavior catalog at runtime, and reports the measured wall-clock
+// recovery time against the strategy's provable bound R. It is the
+// "five-second rule on a real clock" demonstrator: the same runtime code
+// that passes the simulated campaigns, executing under genuine
+// asynchrony.
 //
-// With -members (and the churn flags) it also demonstrates online
-// membership: the deployment starts with a subset of the node slots
-// active and joins, retires, or replaces slots at scripted periods via
-// the two-phase epoch switch — Bus lanes come and go at runtime, and
-// recovery is judged against the per-epoch bound.
+// It has three execution modes:
+//
+//   - Single process (default): every node in one process over the
+//     channel-based live bus (network.Bus). Membership churn (-members
+//     and the churn flags) is available here.
+//   - Orchestrated multi-process (-orchestrate): one OS process per node
+//     over real TCP sockets (network.TCPBus), spawned and judged by an
+//     in-process orchestrator acting as the plant. The fault catalog
+//     grows process-level faults: kill (SIGKILL), kill-restart (SIGKILL
+//     then supervised rejoin), stop (SIGSTOP/SIGCONT), partition
+//     (userspace connection refusal, then heal).
+//   - Per-node (-node N -peers addr,...): run exactly one node slot,
+//     for hand-built multi-process or multi-host deployments. With
+//     -peers the node starts immediately; without it the parent drives
+//     the stdin protocol documented in internal/live/proc.go.
 //
 // Usage:
 //
@@ -20,35 +30,47 @@
 //	        [-fault corrupt-all|corrupt-sink|crash|omit|flood|none]
 //	        [-at N] [-members K] [-join n@p[,n@p...]]
 //	        [-retire n@p[,n@p...]] [-replace new:old@p[,...]] [-v]
+//	        [-cpuprofile out.pprof] [-memprofile out.pprof]
+//	btrlive -orchestrate [-fault ...|kill|kill-restart|stop|partition]
+//	        [-heal-after N] [common flags]
+//	btrlive -node N [-peers addr0,addr1,...] [common flags]
 //
 // Flags:
 //
-//	-topo     topology family (default full-mesh)
-//	-nodes    node slot count (default 6; grid is fixed 3x3)
-//	-f        fault bound the planner covers (default 1)
-//	-period   control period (default 100ms; raise on slow hosts)
-//	-margin   arrival-watchdog margin (default 20ms; covers executor and
-//	          OS timer jitter, which a non-realtime host needs)
-//	-horizon  number of periods to run (default 20)
-//	-seed     deployment seed (default 1)
-//	-fault    behavior to inject (default corrupt-all); none = soak only
-//	-at       injection period index (default 3; must be < -horizon)
-//	-members  number of initially active slots (slots 0..K-1); 0 = all
-//	          slots active with membership epochs off unless churn flags
-//	          are given
-//	-join     scripted join events, "slot@period" comma-separated
-//	-retire   scripted retire events, "slot@period"
-//	-replace  scripted replace events, "new:old@period"
-//	-v        stream evidence and mode switches to stderr as they happen
+//	-topo        topology family (default full-mesh)
+//	-nodes       node slot count (default 6; grid is fixed 3x3)
+//	-f           fault bound the planner covers (default 1)
+//	-period      control period (default 100ms; raise on slow hosts)
+//	-margin      arrival-watchdog margin (default 20ms; covers executor
+//	             and OS timer jitter, which a non-realtime host needs)
+//	-horizon     number of periods to run (default 20)
+//	-seed        deployment seed (default 1)
+//	-fault       behavior to inject (default corrupt-all); none = soak
+//	             only; kill/kill-restart/stop/partition need -orchestrate
+//	-at          injection period index (default 3; must be < -horizon)
+//	-heal-after  periods between fault and repair in -orchestrate mode
+//	             (restart, SIGCONT, heal; default 3)
+//	-orchestrate boot one process per node over TCP and judge as plant
+//	-node        run one node slot of a multi-process deployment
+//	-peers       listen addresses, index = node ID (with -node)
+//	-members     number of initially active slots (slots 0..K-1); 0 = all
+//	             slots active with membership epochs off unless churn
+//	             flags are given (single-process mode only)
+//	-join        scripted join events, "slot@period" comma-separated
+//	-retire      scripted retire events, "slot@period"
+//	-replace     scripted replace events, "new:old@period"
+//	-v           stream evidence and mode switches to stderr
 //
 // Exit status: 0 when every measured recovery met the (per-epoch) bound
 // R and every scripted epoch activated, 1 on a violation, 2 on usage or
-// planning errors.
+// planning errors. Profiles (-cpuprofile/-memprofile) are flushed on
+// every exit path, including failures.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -62,48 +84,19 @@ import (
 	"btr/internal/member"
 	"btr/internal/network"
 	"btr/internal/plan"
+	"btr/internal/prof"
 	"btr/internal/sim"
 )
 
-var topoKinds = []string{"full-mesh", "dual-bus", "ring", "grid"}
-
+// buildTopology and buildFault delegate to the shared live-package
+// builders so the orchestrator, node processes, and this CLI agree on
+// the deployment shape by construction.
 func buildTopology(kind string, nodes int) (*network.Topology, error) {
-	if err := cliflag.OneOf("topo", kind, topoKinds); err != nil {
-		return nil, err
-	}
-	const bw, prop = 20_000_000, 50 * sim.Microsecond
-	switch kind {
-	case "full-mesh":
-		return network.FullMesh(nodes, bw, prop), nil
-	case "dual-bus":
-		return network.DualBus(nodes, bw, prop), nil
-	case "ring":
-		return network.Ring(nodes, bw, prop), nil
-	default: // grid
-		return network.Grid(3, 3, bw, prop), nil
-	}
+	return live.BuildTopology(kind, nodes)
 }
 
-var faultKinds = []string{"corrupt-all", "corrupt-sink", "crash", "omit", "flood", "none"}
-
 func buildFault(kind string, victim network.NodeID, sink flow.TaskID, at sim.Time) (adversary.Attack, bool, error) {
-	if err := cliflag.OneOf("fault", kind, faultKinds); err != nil {
-		return adversary.Attack{}, false, err
-	}
-	switch kind {
-	case "none":
-		return adversary.Attack{}, false, nil
-	case "corrupt-all":
-		return adversary.CorruptEverything(victim, at), true, nil
-	case "corrupt-sink":
-		return adversary.CorruptTask(victim, sink, at), true, nil
-	case "crash":
-		return adversary.Crash(victim, at), true, nil
-	case "omit":
-		return adversary.Omit(victim, sink, at), true, nil
-	default: // flood
-		return adversary.FloodBogus(victim, 8, at), true, nil
-	}
+	return live.BuildAttack(kind, victim, sink, at)
 }
 
 // churnEvent is one scripted reconfiguration.
@@ -179,69 +172,230 @@ func parseSlot(flagName, s string, slots int) (network.NodeID, error) {
 }
 
 func main() {
-	topoKind := flag.String("topo", "full-mesh", "topology family: "+strings.Join(topoKinds, ", "))
-	nodes := flag.Int("nodes", 6, "node slot count (grid is fixed 3x3)")
-	f := flag.Int("f", 1, "fault bound the planner covers")
-	period := flag.Duration("period", 100*time.Millisecond, "control period")
-	margin := flag.Duration("margin", 20*time.Millisecond, "arrival-watchdog margin (jitter budget)")
-	horizon := flag.Uint64("horizon", 20, "periods to run")
-	seed := flag.Uint64("seed", 1, "deployment seed")
-	faultKind := flag.String("fault", "corrupt-all", "fault to inject: "+strings.Join(faultKinds, ", "))
-	atPeriod := flag.Uint64("at", 3, "injection period index (must be < -horizon)")
-	membersN := flag.Int("members", 0, "initially active slots 0..K-1 (0 = all)")
-	joinSpec := flag.String("join", "", "scripted joins, slot@period[,slot@period...]")
-	retireSpec := flag.String("retire", "", "scripted retires, slot@period[,...]")
-	replaceSpec := flag.String("replace", "", "scripted replaces, new:old@period[,...]")
-	verbose := flag.Bool("v", false, "stream evidence and mode switches to stderr")
-	flag.Parse()
+	live.MaybeRunNodeProc()
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
 
-	fail := func(err error) {
-		fmt.Fprintf(os.Stderr, "btrlive: %v\n", err)
-		os.Exit(2)
+// run is main minus os.Exit: every path returns through it, so the
+// deferred profile flush below runs on failures too (the internal/prof
+// contract — a failing run must still write a valid profile).
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) (code int) {
+	fs := flag.NewFlagSet("btrlive", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	topoKind := fs.String("topo", "full-mesh", "topology family: "+strings.Join(live.TopoKinds, ", "))
+	nodes := fs.Int("nodes", 6, "node slot count (grid is fixed 3x3)")
+	f := fs.Int("f", 1, "fault bound the planner covers")
+	period := fs.Duration("period", 100*time.Millisecond, "control period")
+	margin := fs.Duration("margin", 20*time.Millisecond, "arrival-watchdog margin (jitter budget)")
+	horizon := fs.Uint64("horizon", 20, "periods to run")
+	seed := fs.Uint64("seed", 1, "deployment seed")
+	faultKind := fs.String("fault", "corrupt-all", "fault to inject: "+strings.Join(live.ProcFaultKinds, ", "))
+	atPeriod := fs.Uint64("at", 3, "injection period index (must be < -horizon)")
+	healAfter := fs.Uint64("heal-after", 3, "periods between fault and repair (-orchestrate)")
+	orchestrate := fs.Bool("orchestrate", false, "one process per node over TCP, judged by an orchestrator plant")
+	nodeID := fs.Int("node", -1, "run one node slot of a multi-process deployment")
+	peers := fs.String("peers", "", "comma-separated listen addresses, index = node ID (with -node)")
+	membersN := fs.Int("members", 0, "initially active slots 0..K-1 (0 = all)")
+	joinSpec := fs.String("join", "", "scripted joins, slot@period[,slot@period...]")
+	retireSpec := fs.String("retire", "", "scripted retires, slot@period[,...]")
+	replaceSpec := fs.String("replace", "", "scripted replaces, new:old@period[,...]")
+	verbose := fs.Bool("v", false, "stream evidence and mode switches to stderr")
+	profFlags := prof.RegisterOn(fs)
+	if err := fs.Parse(args); err != nil {
+		return 2
 	}
 
-	topo, err := buildTopology(*topoKind, *nodes)
+	fail := func(err error) int {
+		fmt.Fprintf(stderr, "btrlive: %v\n", err)
+		return 2
+	}
+
+	stopProf, err := profFlags.Start()
 	if err != nil {
-		fail(err)
+		return fail(err)
+	}
+	defer stopProf()
+
+	p := sim.Time(*period / time.Microsecond)
+	m := sim.Time(*margin / time.Microsecond)
+
+	multiProcess := *orchestrate || *nodeID >= 0
+	if multiProcess && (*membersN > 0 || *joinSpec != "" || *retireSpec != "" || *replaceSpec != "") {
+		return fail(fmt.Errorf("membership flags require single-process mode (see ROADMAP: epochs do not cross process boundaries yet)"))
+	}
+	if *orchestrate && *nodeID >= 0 {
+		return fail(fmt.Errorf("-orchestrate and -node are mutually exclusive"))
+	}
+
+	if *nodeID >= 0 {
+		return runNode(fs, *nodeID, *peers, *topoKind, *nodes, *f, *seed, p, m, *horizon,
+			*faultKind, *atPeriod, *verbose, stdin, stdout, stderr)
+	}
+	if *orchestrate {
+		if err := cliflag.InRange("at", int64(*atPeriod), 0, int64(*horizon)-1); err != nil {
+			return fail(err)
+		}
+		return runOrchestrated(live.OrchestratorConfig{
+			Topo: *topoKind, Nodes: *nodes, F: *f, Seed: *seed,
+			Period: p, Margin: m, Horizon: *horizon,
+			Fault: *faultKind, FaultAt: *atPeriod, HealAfter: *healAfter,
+			Verbose: *verbose, Log: stdout,
+		}, stdout, stderr)
+	}
+	return runSingle(*topoKind, *nodes, *f, *seed, p, m, *horizon, *faultKind, *atPeriod,
+		*membersN, *joinSpec, *retireSpec, *replaceSpec, *verbose, stdout, stderr, *period)
+}
+
+// runNode executes one node slot (per-node mode). With -peers the node
+// starts immediately; otherwise the parent drives the stdin protocol.
+func runNode(fs *flag.FlagSet, nodeID int, peers, topoKind string, nodes, f int, seed uint64,
+	p, m sim.Time, horizon uint64, faultKind string, atPeriod uint64, verbose bool,
+	stdin io.Reader, stdout, stderr io.Writer) int {
+	_ = fs
+	fail := func(err error) int {
+		fmt.Fprintf(stderr, "btrlive: %v\n", err)
+		return 2
+	}
+	spec := live.ProcSpec{
+		Node: nodeID, Topo: topoKind, Nodes: nodes, F: f, Seed: seed,
+		PeriodUS: int64(p), MarginUS: int64(m), Horizon: horizon, Verbose: verbose,
+	}
+	in := stdin
+	if peers != "" {
+		spec.Addrs = strings.Split(peers, ",")
+		// Self-driven start: no parent on stdin, so release immediately.
+		in = strings.NewReader("go\n")
+	}
+	// The behavior catalog self-injects only on the victim node, matching
+	// single-process semantics (the victim hosts the first-actuating sink
+	// replica and is computed identically in every process).
+	if faultKind != "" && faultKind != "none" {
+		if err := cliflag.OneOf("fault", faultKind, live.FaultKinds); err != nil {
+			return fail(err)
+		}
+		// ProcTopology, not buildTopology: the victim must be computed from
+		// the same strategy every node process plans with.
+		topo, err := live.ProcTopology(topoKind, nodes)
+		if err != nil {
+			return fail(err)
+		}
+		opts := plan.DefaultOptions(f, 100*p)
+		opts.WatchdogMargin = m
+		strategy, err := plan.Build(live.DefaultWorkload(p), topo, opts)
+		if err != nil {
+			return fail(err)
+		}
+		if int(live.VictimOf(strategy)) == nodeID {
+			spec.Fault, spec.FaultAt = faultKind, atPeriod
+		}
+	}
+	if err := live.RunNodeProc(spec, in, stdout); err != nil {
+		return fail(err)
+	}
+	return 0
+}
+
+// runOrchestrated boots the multi-process deployment and prints the
+// plant's verdict.
+func runOrchestrated(cfg live.OrchestratorConfig, stdout, stderr io.Writer) int {
+	res, err := live.RunOrchestrator(cfg)
+	if err != nil {
+		fmt.Fprintf(stderr, "btrlive: %v\n", err)
+		return 2
+	}
+	rep := res.Report
+	at := sim.Time(cfg.FaultAt) * cfg.Period
+	fmt.Fprintf(stdout, "ran %d processes; %d actuations, %d missed, %d wrong\n",
+		cfg.Nodes, rep.Actuations, rep.MissedPeriods, rep.WrongValues)
+	for n, e := range res.Exits {
+		if e != "" {
+			fmt.Fprintf(stdout, "node %d exit: %s\n", n, e)
+		}
+	}
+	for _, rec := range rep.Recoveries() {
+		fmt.Fprintf(stdout, "fault at %v: measured wall-clock recovery %v\n", rec.FaultAt, rec.Duration())
+	}
+	spurious := false
+	for _, iv := range rep.BadIntervals() {
+		if !res.Injected || iv.Start < at {
+			spurious = true
+			fmt.Fprintf(stdout, "spurious bad output %v (not attributable to the injected fault)\n", iv)
+		}
+	}
+	max := rep.MaxRecovery()
+	switch {
+	case spurious:
+		fmt.Fprintf(stdout, "verdict: VIOLATION — bad output outside any injected fault's window (missed=%d wrong=%d)\n",
+			rep.MissedPeriods, rep.WrongValues)
+		return 1
+	case res.ReconnectChecked && !res.Reconnected:
+		fmt.Fprintln(stdout, "verdict: VIOLATION — victim link did not re-establish after repair")
+		return 1
+	case !res.Injected:
+		fmt.Fprintln(stdout, "verdict: clean soak, no faults injected")
+	case max <= rep.RNeeded:
+		fmt.Fprintf(stdout, "verdict: recovered within bound — %v <= R=%v\n", max, rep.RNeeded)
+	default:
+		fmt.Fprintf(stdout, "verdict: VIOLATION — recovery %v vs R=%v (missed=%d wrong=%d)\n",
+			max, rep.RNeeded, rep.MissedPeriods, rep.WrongValues)
+		return 1
+	}
+	if res.ReconnectChecked {
+		fmt.Fprintf(stdout, "transport: victim link re-established on every adjacent peer\n")
+	}
+	return 0
+}
+
+// runSingle is the historical single-process mode.
+func runSingle(topoKind string, nodes, f int, seed uint64, p, m sim.Time, horizon uint64,
+	faultKind string, atPeriod uint64, membersN int, joinSpec, retireSpec, replaceSpec string,
+	verbose bool, stdout, stderr io.Writer, period time.Duration) int {
+	fail := func(err error) int {
+		fmt.Fprintf(stderr, "btrlive: %v\n", err)
+		return 2
+	}
+
+	topo, err := buildTopology(topoKind, nodes)
+	if err != nil {
+		return fail(err)
 	}
 	// Validate the remaining flags up front — before any planning output
 	// — with the same loud listing the -topo check gives.
-	if err := cliflag.OneOf("fault", *faultKind, faultKinds); err != nil {
-		fail(err)
+	if err := cliflag.OneOf("fault", faultKind, live.FaultKinds); err != nil {
+		return fail(err)
 	}
 	// -at must land inside the run.
-	if err := cliflag.InRange("at", int64(*atPeriod), 0, int64(*horizon)-1); err != nil {
-		fail(err)
+	if err := cliflag.InRange("at", int64(atPeriod), 0, int64(horizon)-1); err != nil {
+		return fail(err)
 	}
-	if err := cliflag.InRange("members", int64(*membersN), 0, int64(topo.N)); err != nil {
-		fail(err)
+	if err := cliflag.InRange("members", int64(membersN), 0, int64(topo.N)); err != nil {
+		return fail(err)
 	}
 	var events []churnEvent
 	for _, spec := range []struct{ name, val string }{
-		{"join", *joinSpec}, {"retire", *retireSpec}, {"replace", *replaceSpec},
+		{"join", joinSpec}, {"retire", retireSpec}, {"replace", replaceSpec},
 	} {
-		evs, err := parseChurn(spec.name, spec.val, topo.N, *horizon)
+		evs, err := parseChurn(spec.name, spec.val, topo.N, horizon)
 		if err != nil {
-			fail(err)
+			return fail(err)
 		}
 		events = append(events, evs...)
 	}
 
-	p := sim.Time(*period / time.Microsecond)
-	opts := plan.DefaultOptions(*f, 100*p) // generous request; R is reported
-	opts.WatchdogMargin = sim.Time(*margin / time.Microsecond)
+	opts := plan.DefaultOptions(f, 100*p) // generous request; R is reported
+	opts.WatchdogMargin = m
 
 	cfg := live.Config{
-		Seed:     *seed,
-		Workload: flow.Chain(3, p, sim.Millisecond, 64, flow.CritA),
+		Seed:     seed,
+		Workload: live.DefaultWorkload(p),
 		Topology: topo,
 		PlanOpts: opts,
-		Horizon:  *horizon,
+		Horizon:  horizon,
 	}
 	// Membership epochs engage when an initial membership or any churn
 	// event is scripted.
-	if *membersN > 0 || len(events) > 0 {
-		k := *membersN
+	if membersN > 0 || len(events) > 0 {
+		k := membersN
 		if k == 0 {
 			k = topo.N
 		}
@@ -249,72 +403,72 @@ func main() {
 			cfg.Members = append(cfg.Members, network.NodeID(i))
 		}
 	}
-	if *verbose {
+	if verbose {
 		cfg.OnEvidence = func(node network.NodeID, ev evidence.Evidence, t sim.Time) {
-			fmt.Fprintf(os.Stderr, "[%10v] node %d: evidence %s (accused %d)\n", t, node, ev.Kind, ev.Accused)
+			fmt.Fprintf(stderr, "[%10v] node %d: evidence %s (accused %d)\n", t, node, ev.Kind, ev.Accused)
 		}
 		cfg.OnSwitch = func(node network.NodeID, from, to string, t sim.Time) {
-			fmt.Fprintf(os.Stderr, "[%10v] node %d: mode switch %q -> %q\n", t, node, from, to)
+			fmt.Fprintf(stderr, "[%10v] node %d: mode switch %q -> %q\n", t, node, from, to)
 		}
 	}
 	d, err := live.New(cfg)
 	if err != nil {
-		fail(err)
+		return fail(err)
 	}
-	fmt.Printf("btrlive: %s on %s/%d slots, f=%d, period %v, horizon %d periods (%v wall)\n",
-		cfg.Workload.Name, *topoKind, topo.N, *f, p, *horizon, time.Duration(*horizon)*(*period))
+	fmt.Fprintf(stdout, "btrlive: %s on %s/%d slots, f=%d, period %v, horizon %d periods (%v wall)\n",
+		cfg.Workload.Name, topoKind, topo.N, f, p, horizon, time.Duration(horizon)*period)
 	if cfg.Members != nil {
-		fmt.Printf("membership: %d of %d slots active at genesis; %d scripted epoch event(s)\n",
+		fmt.Fprintf(stdout, "membership: %d of %d slots active at genesis; %d scripted epoch event(s)\n",
 			len(cfg.Members), topo.N, len(events))
 	}
-	fmt.Printf("strategy: %d plans, provable recovery bound R = %v\n",
+	fmt.Fprintf(stdout, "strategy: %d plans, provable recovery bound R = %v\n",
 		len(d.Strategy.Plans), d.Strategy.RNeeded)
 
 	for _, ev := range events {
 		d.Reconfigure(sim.Time(ev.at)*p, ev.delta)
-		fmt.Printf("schedule: %s (t=%v)\n", ev.desc, sim.Time(ev.at)*p)
+		fmt.Fprintf(stdout, "schedule: %s (t=%v)\n", ev.desc, sim.Time(ev.at)*p)
 	}
 
 	sink := cfg.Workload.Sinks()[0]
 	victim := live.FirstSinkNode(d)
-	at := sim.Time(*atPeriod) * p
-	attack, injected, err := buildFault(*faultKind, victim, sink, at)
+	at := sim.Time(atPeriod) * p
+	attack, injected, err := buildFault(faultKind, victim, sink, at)
 	if err != nil {
-		fail(err)
+		return fail(err)
 	}
 	if injected {
 		attack.Install(d)
-		fmt.Printf("inject: %s at t=%v (node %d hosts the first-actuating %q replica)\n",
+		fmt.Fprintf(stdout, "inject: %s at t=%v (node %d hosts the first-actuating %q replica)\n",
 			attack.Name, at, victim, sink)
 	}
 	wallStart := time.Now()
 	rep := d.Run()
 	wall := time.Since(wallStart).Round(time.Millisecond)
 
-	fmt.Printf("ran %v wall; %d actuations, %d evidence, %d mode switches, %d missed, %d wrong\n",
+	fmt.Fprintf(stdout, "ran %v wall; %d actuations, %d evidence, %d mode switches, %d missed, %d wrong\n",
 		wall, rep.Actuations, rep.EvidenceTotal(), len(rep.SwitchTimes), rep.MissedPeriods, rep.WrongValues)
 	epochsOK := true
 	for _, e := range rep.Epochs {
 		if e.Err != "" {
 			epochsOK = false
-			fmt.Printf("epoch %d: REJECTED at %v — %s\n", e.Num, e.ProposedAt, e.Err)
+			fmt.Fprintf(stdout, "epoch %d: REJECTED at %v — %s\n", e.Num, e.ProposedAt, e.Err)
 			continue
 		}
 		if e.ActivatedAt == 0 {
 			epochsOK = false
-			fmt.Printf("epoch %d -> %s: proposed %v, NEVER ACTIVATED\n", e.Num, e.Members, e.ProposedAt)
+			fmt.Fprintf(stdout, "epoch %d -> %s: proposed %v, NEVER ACTIVATED\n", e.Num, e.Members, e.ProposedAt)
 			continue
 		}
-		fmt.Printf("epoch %d -> %s: proposed %v, committed %v (%d acks), activated %v (switch latency %v, R=%v)\n",
+		fmt.Fprintf(stdout, "epoch %d -> %s: proposed %v, committed %v (%d acks), activated %v (switch latency %v, R=%v)\n",
 			e.Num, e.Members, e.ProposedAt, e.CommittedAt, e.Acks, e.ActivatedAt,
 			e.ActivatedAt-e.ProposedAt, e.R)
 	}
 	if len(rep.Epochs) != len(events) {
 		epochsOK = false
-		fmt.Printf("only %d of %d scripted epoch events were proposed\n", len(rep.Epochs), len(events))
+		fmt.Fprintf(stdout, "only %d of %d scripted epoch events were proposed\n", len(rep.Epochs), len(events))
 	}
 	for _, rec := range rep.Recoveries() {
-		fmt.Printf("fault at %v: measured wall-clock recovery %v\n", rec.FaultAt, rec.Duration())
+		fmt.Fprintf(stdout, "fault at %v: measured wall-clock recovery %v\n", rec.FaultAt, rec.Duration())
 	}
 	// Bad output is attributable only from the injection onward; anything
 	// before it (or any bad output at all on an uninjected soak) is
@@ -324,26 +478,27 @@ func main() {
 	for _, iv := range rep.BadIntervals() {
 		if !injected || iv.Start < at {
 			spurious = true
-			fmt.Printf("spurious bad output %v (not attributable to the injected fault)\n", iv)
+			fmt.Fprintf(stdout, "spurious bad output %v (not attributable to the injected fault)\n", iv)
 		}
 	}
 	max := rep.MaxRecovery()
 	bound := rep.MaxEpochR()
 	switch {
 	case spurious:
-		fmt.Printf("verdict: VIOLATION — bad output outside any injected fault's window (missed=%d wrong=%d)\n",
+		fmt.Fprintf(stdout, "verdict: VIOLATION — bad output outside any injected fault's window (missed=%d wrong=%d)\n",
 			rep.MissedPeriods, rep.WrongValues)
-		os.Exit(1)
+		return 1
 	case !epochsOK:
-		fmt.Println("verdict: VIOLATION — scripted membership epochs did not all activate")
-		os.Exit(1)
+		fmt.Fprintln(stdout, "verdict: VIOLATION — scripted membership epochs did not all activate")
+		return 1
 	case !injected:
-		fmt.Println("verdict: clean soak, no faults injected")
+		fmt.Fprintln(stdout, "verdict: clean soak, no faults injected")
 	case max <= bound:
-		fmt.Printf("verdict: recovered within bound — %v <= R=%v\n", max, bound)
+		fmt.Fprintf(stdout, "verdict: recovered within bound — %v <= R=%v\n", max, bound)
 	default:
-		fmt.Printf("verdict: VIOLATION — recovery %v vs R=%v (missed=%d wrong=%d)\n",
+		fmt.Fprintf(stdout, "verdict: VIOLATION — recovery %v vs R=%v (missed=%d wrong=%d)\n",
 			max, bound, rep.MissedPeriods, rep.WrongValues)
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }

@@ -1,11 +1,36 @@
 package main
 
 import (
+	"io"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
 	"btr/internal/network"
 )
+
+// TestFailingRunStillWritesProfile pins the os.Exit-audit contract run()
+// exists for: a run that fails *after* profiling has started must still
+// flush a valid CPU profile on its way out (main minus os.Exit — the
+// deferred stop must run on every return path, not just success).
+func TestFailingRunStillWritesProfile(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "cpu.pprof")
+	// -at beyond the horizon fails validation after profFlags.Start().
+	code := run([]string{"-orchestrate", "-horizon", "5", "-at", "30", "-cpuprofile", out},
+		strings.NewReader(""), io.Discard, io.Discard)
+	if code == 0 {
+		t.Fatal("invalid -at accepted")
+	}
+	b, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatalf("failing run left no profile: %v", err)
+	}
+	// A flushed pprof profile is gzip-framed; an unflushed one is empty.
+	if len(b) < 2 || b[0] != 0x1f || b[1] != 0x8b {
+		t.Fatalf("profile not a flushed gzip stream (%d bytes)", len(b))
+	}
+}
 
 func TestBuildTopologyListsValidChoices(t *testing.T) {
 	if _, err := buildTopology("full-mesh", 6); err != nil {

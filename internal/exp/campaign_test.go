@@ -1,11 +1,22 @@
 package exp
 
 import (
+	"os"
 	"strings"
 	"testing"
 
 	"btr/internal/campaign"
+	"btr/internal/live"
 )
+
+// TestMain lets this test binary double as the node-process binary: the
+// C7 orchestrator re-executes os.Executable() with BTR_PROC_SPEC set,
+// and MaybeRunNodeProc turns that re-execution into a deployment node
+// instead of a second test run.
+func TestMain(m *testing.M) {
+	live.MaybeRunNodeProc()
+	os.Exit(m.Run())
+}
 
 // renderAll runs every deterministic scenario (paper + campaign families;
 // the live family measures real wall-clock timings and is pinned by its
@@ -128,6 +139,41 @@ func TestC5LiveSmoke(t *testing.T) {
 	WriteResult(&b, r)
 	if !strings.Contains(b.String(), "C5: live wall-clock soak") {
 		t.Errorf("C5 table missing:\n%s", b.String())
+	}
+}
+
+// TestC7ProcSmoke boots the quick multi-process deployment family end to
+// end: one OS process per node over real TCP sockets. Every trial must
+// complete without error and with a transport-reconnect verdict where one
+// applies; the recovery bounds are wall-clock measurements asserted in
+// internal/live, not here.
+func TestC7ProcSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process wall-clock soak in -short mode")
+	}
+	results := campaign.Run([]campaign.Scenario{C7Scenario()}, campaign.Options{
+		Workers: 1,
+		Params:  campaign.Params{Seed: 1, Quick: true, Trials: 1},
+	})
+	r := results[0]
+	for _, tr := range r.Trials {
+		if tr.Err != nil {
+			t.Errorf("C7/%s failed: %v", tr.Name, tr.Err)
+			continue
+		}
+		row, ok := campaign.Value[C7Row](tr)
+		if !ok {
+			t.Errorf("C7/%s: no row", tr.Name)
+			continue
+		}
+		if row.ReconnectChecked && !row.Reconnected {
+			t.Errorf("C7/%s: victim link did not re-establish on every peer", tr.Name)
+		}
+	}
+	var b strings.Builder
+	WriteResult(&b, r)
+	if !strings.Contains(b.String(), "C7: multi-process TCP deployment soak") {
+		t.Errorf("C7 table missing:\n%s", b.String())
 	}
 }
 

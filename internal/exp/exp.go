@@ -44,10 +44,11 @@ type Experiment struct {
 
 // Scenarios lists every scenario in order: the paper reproductions E1–E10,
 // the simulated campaign sweep families C1–C4, the live wall-clock soak
-// family C5, and the membership-churn family C6. Families: "paper",
-// "campaign", and "churn" are deterministic (byte-identical tables for
-// any seed+worker count); "live" runs on the wall clock and its tables
-// carry real measured timings.
+// family C5, the membership-churn family C6, and the multi-process TCP
+// deployment family C7. Families: "paper", "campaign", and "churn" are
+// deterministic (byte-identical tables for any seed+worker count); "live"
+// and "liveproc" run on the wall clock and their tables carry real
+// measured timings.
 func Scenarios() []campaign.Scenario {
 	return []campaign.Scenario{
 		e1Scenario(),
@@ -66,15 +67,17 @@ func Scenarios() []campaign.Scenario {
 		c4PlanCache(),
 		C5Scenario(),
 		C6Scenario(),
+		C7Scenario(),
 	}
 }
 
 // DeterministicScenarios returns every scenario whose tables are pinned
-// byte-identical (everything except the live family).
+// byte-identical (everything except the wall-clock families "live" and
+// "liveproc").
 func DeterministicScenarios() []campaign.Scenario {
 	var out []campaign.Scenario
 	for _, sc := range Scenarios() {
-		if sc.Family != "live" {
+		if sc.Family != "live" && sc.Family != "liveproc" {
 			out = append(out, sc)
 		}
 	}

@@ -12,6 +12,16 @@
 // (the adversary package's Attack scripts install unchanged via
 // adversary.Injector), and Run executes the configured horizon and
 // returns a Report with measured wall-clock recovery intervals.
+//
+// The package also carries the multi-process deployment mode: one OS
+// process per node over the real-socket network.TCPBus. RunNodeProc is
+// the child side (one node slot, driven over stdin/stdout by a parent),
+// RunOrchestrator the parent side — it spawns the node processes, acts
+// as the physical plant, injects process-level faults (SIGKILL,
+// SIGKILL-and-restart, SIGSTOP/SIGCONT, userspace partitions) alongside
+// the in-process catalog, and judges measured recovery against the same
+// provable bound R. MaybeRunNodeProc is the re-exec hook every
+// orchestrating binary must call at startup.
 package live
 
 import (
@@ -339,7 +349,14 @@ func (d *Deployment) Close() {
 // — the externally visible victim attack scripts target, because only
 // the first-actuating replica's corruption shows up at the plant.
 func FirstSinkNode(d *Deployment) network.NodeID {
-	base := d.Strategy.Plans[""]
+	return VictimOf(d.Strategy)
+}
+
+// VictimOf is FirstSinkNode on a bare strategy — multi-process drivers
+// (the orchestrator, per-node btrlive) compute the victim before any
+// deployment exists.
+func VictimOf(s *plan.Strategy) network.NodeID {
+	base := s.Plans[""]
 	best := network.NodeID(-1)
 	var bestFin sim.Time
 	for _, id := range base.Aug.TaskIDs() {

@@ -1,0 +1,460 @@
+package live
+
+// Orchestrated multi-process deployments: the parent half of proc.go.
+// RunOrchestrator boots one OS process per node slot over the TCP
+// transport, acts as the physical plant (first actuation command to
+// arrive per (sink, period) wins), injects faults against real processes
+// — the in-process behavior catalog via the victim's spec, plus
+// process-level faults no simulator can express: SIGKILL (with optional
+// supervised restart), SIGSTOP/SIGCONT stalls, and userspace partitions —
+// and judges recovery against the strategy's provable bound R.
+
+import (
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"strings"
+	"syscall"
+	"time"
+
+	"btr/internal/cliflag"
+	"btr/internal/evidence"
+	"btr/internal/flow"
+	"btr/internal/metrics"
+	"btr/internal/network"
+	"btr/internal/plan"
+	"btr/internal/sim"
+)
+
+// ProcFaultKinds lists every fault an orchestrated deployment can
+// inject: the in-process behavior catalog (self-injected by the victim
+// process) plus the process-level faults only a real deployment has.
+var ProcFaultKinds = []string{
+	"corrupt-all", "corrupt-sink", "crash", "omit", "flood", "none",
+	"kill", "kill-restart", "stop", "partition",
+}
+
+// OrchestratorConfig describes one orchestrated multi-process run.
+type OrchestratorConfig struct {
+	// Exe is the node-process binary (re-executed with BTR_PROC_SPEC);
+	// empty means the current executable.
+	Exe string
+
+	Topo    string // TopoKinds
+	Nodes   int
+	F       int
+	Seed    uint64
+	Period  sim.Time
+	Margin  sim.Time
+	Horizon uint64
+
+	Fault   string // ProcFaultKinds
+	FaultAt uint64 // injection period; must satisfy FaultAt+HealAfter < Horizon
+
+	// HealAfter is how many periods after the fault the orchestrator
+	// repairs it: respawn for kill-restart, SIGCONT for stop, heal for
+	// partition. 0 means the default of 3.
+	HealAfter uint64
+
+	Verbose bool
+	// Log receives orchestration progress lines (nil = discard).
+	Log io.Writer
+}
+
+// ProcResult is an orchestrated run's full outcome.
+type ProcResult struct {
+	// Report is the plant-judged recovery report; its FaultTimes,
+	// BadIntervals, Recoveries, and bound methods work exactly as for an
+	// in-process Deployment.
+	Report *Report
+	// Victim is the node the fault targeted (hosts the first-actuating
+	// sink replica, like single-process btrlive).
+	Victim   network.NodeID
+	Injected bool
+	// ReconnectChecked is true for fault kinds whose repair must be
+	// visible at the transport (kill-restart, partition); Reconnected
+	// then reports whether every peer adjacent to the victim both
+	// re-established the link (Reconnects >= 1) and held it at horizon.
+	ReconnectChecked bool
+	Reconnected      bool
+	// Dones maps node ID to its final done event (absent for a process
+	// that was killed and not restarted); Exits maps node ID to its exit
+	// error string ("" = clean).
+	Dones map[int]ProcEvent
+	Exits map[int]string
+}
+
+// plantAct is the plant's accepted command for one (sink, period).
+type plantAct struct {
+	value   string   // hex
+	arrival sim.Time // orchestrator clock, microseconds since "go"
+}
+
+// procMsg is one child event or exit on the orchestrator's merged stream.
+type procMsg struct {
+	node int
+	ev   *ProcEvent // nil for process exit
+	err  error      // exit status (exit messages only)
+	at   time.Time
+}
+
+// nodeProc is one spawned node process.
+type nodeProc struct {
+	id  int
+	cmd *exec.Cmd
+	in  io.WriteCloser
+}
+
+func (p *nodeProc) send(line string) {
+	if p.in != nil {
+		fmt.Fprintln(p.in, line)
+	}
+}
+
+func (p *nodeProc) signal(sig syscall.Signal) {
+	if p.cmd.Process != nil {
+		_ = p.cmd.Process.Signal(sig)
+	}
+}
+
+// spawnNodeProc starts exe as the node described by spec and streams its
+// stdout events (and, last, its exit) into events.
+func spawnNodeProc(exe string, spec ProcSpec, verbose bool, events chan<- procMsg) (*nodeProc, error) {
+	raw, err := json.Marshal(spec)
+	if err != nil {
+		return nil, err
+	}
+	cmd := exec.Command(exe)
+	cmd.Env = append(os.Environ(), ProcSpecEnv+"="+string(raw))
+	if verbose {
+		cmd.Stderr = os.Stderr
+	}
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		return nil, err
+	}
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	p := &nodeProc{id: spec.Node, cmd: cmd, in: stdin}
+	go func() {
+		dec := json.NewDecoder(stdout)
+		for {
+			var ev ProcEvent
+			if err := dec.Decode(&ev); err != nil {
+				break
+			}
+			events <- procMsg{node: spec.Node, ev: &ev, at: time.Now()}
+		}
+		events <- procMsg{node: spec.Node, err: cmd.Wait(), at: time.Now()}
+	}()
+	return p, nil
+}
+
+// RunOrchestrator runs one orchestrated multi-process deployment end to
+// end and returns the plant-judged result. The run is bounded by a hard
+// timeout (horizon plus a generous grace); on breach every child is
+// killed and an error returned.
+func RunOrchestrator(cfg OrchestratorConfig) (*ProcResult, error) {
+	if err := cliflag.OneOf("fault", cfg.Fault, ProcFaultKinds); err != nil {
+		return nil, err
+	}
+	topo, err := ProcTopology(cfg.Topo, cfg.Nodes)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Period <= 0 || cfg.Horizon == 0 {
+		return nil, fmt.Errorf("live: period and horizon must be positive")
+	}
+	if cfg.HealAfter == 0 {
+		cfg.HealAfter = 3
+	}
+	injected := cfg.Fault != "none"
+	if injected && cfg.FaultAt+cfg.HealAfter >= cfg.Horizon {
+		return nil, fmt.Errorf("live: fault at period %d with heal-after %d does not fit horizon %d",
+			cfg.FaultAt, cfg.HealAfter, cfg.Horizon)
+	}
+	logw := cfg.Log
+	if logw == nil {
+		logw = io.Discard
+	}
+	period := cfg.Period
+	workload := DefaultWorkload(period)
+	opts := plan.DefaultOptions(cfg.F, 100*period)
+	opts.WatchdogMargin = cfg.Margin
+	strategy, err := plan.Build(workload, topo, opts)
+	if err != nil {
+		return nil, fmt.Errorf("live: planning failed: %w", err)
+	}
+	victim := VictimOf(strategy)
+	oracle := hashOracle(workload, evidence.SourceValue)
+	exe := cfg.Exe
+	if exe == "" {
+		if exe, err = os.Executable(); err != nil {
+			return nil, err
+		}
+	}
+
+	// The behavior catalog travels in the victim's spec; process-level
+	// faults are driven from here.
+	catalogFault := ""
+	procFault := ""
+	switch cfg.Fault {
+	case "kill", "kill-restart", "stop", "partition":
+		procFault = cfg.Fault
+	case "none":
+	default:
+		catalogFault = cfg.Fault
+	}
+
+	baseSpec := func(i int) ProcSpec {
+		s := ProcSpec{
+			Node: i, Topo: cfg.Topo, Nodes: cfg.Nodes, F: cfg.F, Seed: cfg.Seed,
+			PeriodUS: int64(period), MarginUS: int64(cfg.Margin), Horizon: cfg.Horizon,
+			Verbose: cfg.Verbose,
+		}
+		if catalogFault != "" && i == int(victim) {
+			s.Fault, s.FaultAt = catalogFault, cfg.FaultAt
+		}
+		return s
+	}
+
+	events := make(chan procMsg, 1024)
+	procs := map[int]*nodeProc{}
+	killAll := func() {
+		for _, p := range procs {
+			if p.cmd.Process != nil {
+				_ = p.cmd.Process.Kill()
+			}
+		}
+	}
+	defer killAll()
+
+	for i := 0; i < topo.N; i++ {
+		p, err := spawnNodeProc(exe, baseSpec(i), cfg.Verbose, events)
+		if err != nil {
+			return nil, fmt.Errorf("live: spawn node %d: %w", i, err)
+		}
+		procs[i] = p
+	}
+	fmt.Fprintf(logw, "orchestrator: %d node processes spawned (victim %d, fault %s at period %d)\n",
+		topo.N, victim, cfg.Fault, cfg.FaultAt)
+
+	perDur := time.Duration(period) * time.Microsecond
+	hardTimeout := time.After(time.Duration(cfg.Horizon+2)*perDur + 60*time.Second)
+
+	// Barrier: collect every listener address, then release all processes
+	// at once so their logical clocks agree to within pipe latency.
+	addrs := make([]string, topo.N)
+	for ready := 0; ready < topo.N; {
+		select {
+		case m := <-events:
+			switch {
+			case m.ev != nil && m.ev.Ev == "ready":
+				addrs[m.node] = m.ev.Addr
+				ready++
+			case m.ev == nil:
+				return nil, fmt.Errorf("live: node %d exited before ready: %v", m.node, m.err)
+			}
+		case <-hardTimeout:
+			return nil, fmt.Errorf("live: timed out waiting for node readiness")
+		}
+	}
+	peersLine := "peers " + strings.Join(addrs, " ")
+	for _, p := range procs {
+		p.send(peersLine)
+	}
+	// Second barrier: wait for every process to finish building its system
+	// (key generation, planning, dialing) so the release pins all logical
+	// clocks to the same instant — construction lag must not eat into the
+	// judged periods.
+	for up := 0; up < topo.N; {
+		select {
+		case m := <-events:
+			switch {
+			case m.ev != nil && m.ev.Ev == "up":
+				up++
+			case m.ev == nil:
+				return nil, fmt.Errorf("live: node %d exited before up: %v", m.node, m.err)
+			}
+		case <-hardTimeout:
+			return nil, fmt.Errorf("live: timed out waiting for node construction")
+		}
+	}
+	goTime := time.Now()
+	for _, p := range procs {
+		p.send("go")
+	}
+	fmt.Fprintf(logw, "orchestrator: cluster released (%s)\n", strings.Join(addrs, " "))
+
+	var faultCh, healCh <-chan time.Time
+	if procFault != "" {
+		faultCh = time.After(time.Until(goTime.Add(time.Duration(cfg.FaultAt) * perDur)))
+	}
+
+	plant := map[string]plantAct{}
+	res := &ProcResult{
+		Victim: victim, Injected: injected,
+		Dones: map[int]ProcEvent{}, Exits: map[int]string{},
+	}
+	exits := 0
+	spawned := topo.N
+	for exits < spawned {
+		select {
+		case m := <-events:
+			switch {
+			case m.ev == nil:
+				exits++
+				// First write wins: a restarted incarnation must not mask
+				// how its predecessor died (e.g. "signal: killed").
+				if _, dup := res.Exits[m.node]; !dup {
+					if m.err != nil {
+						res.Exits[m.node] = m.err.Error()
+					} else {
+						res.Exits[m.node] = ""
+					}
+				}
+			case m.ev.Ev == "act":
+				key := m.ev.Sink + "|" + fmt.Sprint(m.ev.Period)
+				if _, taken := plant[key]; !taken {
+					a := plantAct{
+						value:   m.ev.Value,
+						arrival: sim.Time(m.at.Sub(goTime) / time.Microsecond),
+					}
+					plant[key] = a
+					fmt.Fprintf(logw, "plant: %s period %d from node %d at %v (logical %v)\n",
+						m.ev.Sink, m.ev.Period, m.node, a.arrival, sim.Time(m.ev.AtUS))
+				}
+			case m.ev.Ev == "done":
+				res.Dones[m.node] = *m.ev
+				fmt.Fprintf(logw, "done node %d: acts=%d evidence=%d switches=%d connected=%d links=%+v\n",
+					m.node, m.ev.Acts, m.ev.Evidence, m.ev.Switches, m.ev.Connected, m.ev.Links)
+			case m.ev.Ev == "up":
+				// Only a restarted process reports up mid-run; it rebinds
+				// its old port, rebuilds, and needs only the release.
+				procs[m.node].send("go")
+			}
+		case <-faultCh:
+			faultCh = nil
+			v := procs[int(victim)]
+			switch procFault {
+			case "kill", "kill-restart":
+				fmt.Fprintf(logw, "orchestrator: SIGKILL node %d\n", victim)
+				v.signal(syscall.SIGKILL)
+				if procFault == "kill-restart" {
+					healCh = time.After(time.Duration(cfg.HealAfter) * perDur)
+				}
+			case "stop":
+				fmt.Fprintf(logw, "orchestrator: SIGSTOP node %d\n", victim)
+				v.signal(syscall.SIGSTOP)
+				healCh = time.After(time.Duration(cfg.HealAfter) * perDur)
+			case "partition":
+				fmt.Fprintf(logw, "orchestrator: partition node %d\n", victim)
+				v.send("part")
+				healCh = time.After(time.Duration(cfg.HealAfter) * perDur)
+			}
+		case <-healCh:
+			healCh = nil
+			switch procFault {
+			case "kill-restart":
+				// Rejoin in standby: the transport reconnects (that is
+				// what the verdict asserts); the executive stays out of
+				// the schedule the cluster has already failed over to.
+				restart := baseSpec(int(victim))
+				restart.Addrs = append([]string(nil), addrs...)
+				restart.StartPeriod = cfg.FaultAt + cfg.HealAfter
+				restart.Standby = true
+				restart.Fault = ""
+				p, err := spawnNodeProc(exe, restart, cfg.Verbose, events)
+				if err != nil {
+					fmt.Fprintf(logw, "orchestrator: restart failed: %v\n", err)
+					break
+				}
+				procs[int(victim)] = p
+				spawned++
+				fmt.Fprintf(logw, "orchestrator: node %d restarted in standby at period %d\n",
+					victim, restart.StartPeriod)
+			case "stop":
+				fmt.Fprintf(logw, "orchestrator: SIGCONT node %d\n", victim)
+				procs[int(victim)].signal(syscall.SIGCONT)
+			case "partition":
+				fmt.Fprintf(logw, "orchestrator: heal node %d\n", victim)
+				procs[int(victim)].send("heal")
+			}
+		case <-hardTimeout:
+			killAll()
+			return nil, fmt.Errorf("live: hard timeout — killed %d node processes", len(procs))
+		}
+	}
+
+	// Judge the merged actuation stream as the plant: a command counts
+	// for its period iff it arrived by the sink deadline (plus a pipe-
+	// jitter allowance — commands cross a pipe that in-process monitors
+	// do not pay) and carried the oracle value.
+	rep := &Report{
+		Horizon: sim.Time(cfg.Horizon) * period, Period: period,
+		RNeeded:         strategy.RNeeded,
+		PerSink:         map[flow.TaskID]*metrics.Timeline{},
+		EvidenceByKind:  map[evidence.Kind]int{},
+		FirstEvidenceAt: sim.Never,
+	}
+	for _, sk := range workload.Sinks() {
+		rep.PerSink[sk] = metrics.NewTimeline(0, true)
+	}
+	slack := cfg.Margin
+	for p := uint64(0); p < cfg.Horizon; p++ {
+		for _, sk := range workload.Sinks() {
+			deadline := sim.Time(p)*period + workload.Tasks[sk].Deadline
+			a, present := plant[string(sk)+"|"+fmt.Sprint(p)]
+			ok := false
+			switch {
+			case !present || a.arrival > deadline+slack:
+				rep.MissedPeriods++
+			case a.value != hex.EncodeToString(oracle(sk, p)):
+				rep.WrongValues++
+			default:
+				ok = true
+			}
+			rep.PerSink[sk].Set(deadline, ok)
+		}
+	}
+	if injected {
+		rep.FaultTimes = []sim.Time{sim.Time(cfg.FaultAt) * period}
+	}
+	for _, d := range res.Dones {
+		rep.Actuations += d.Acts
+	}
+	res.Report = rep
+
+	// Transport-level verdict: after a kill-restart or partition heal,
+	// every peer adjacent to the victim must have re-established the link
+	// and held it through the horizon.
+	if procFault == "kill-restart" || procFault == "partition" {
+		res.ReconnectChecked = true
+		res.Reconnected = true
+		for _, peer := range topo.Neighbors(victim) {
+			d, ok := res.Dones[int(peer)]
+			if !ok {
+				res.Reconnected = false
+				continue
+			}
+			found := false
+			for _, l := range d.Links {
+				if l.Peer == int(victim) {
+					found = l.Reconnects >= 1 && l.Connected
+				}
+			}
+			if !found {
+				res.Reconnected = false
+			}
+		}
+	}
+	return res, nil
+}

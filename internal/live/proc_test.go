@@ -1,0 +1,149 @@
+package live
+
+import (
+	"io"
+	"os"
+	"strings"
+	"testing"
+
+	"btr/internal/sim"
+)
+
+// TestMain lets this test binary double as the node-process binary: the
+// orchestrator re-executes os.Executable() with BTR_PROC_SPEC set, and
+// MaybeRunNodeProc turns that re-execution into a deployment node
+// instead of a second test run.
+func TestMain(m *testing.M) {
+	MaybeRunNodeProc()
+	os.Exit(m.Run())
+}
+
+// procPeriod/procMargin are deliberately generous, far beyond C5's: an
+// orchestrated run multiplies the executor count by the node count on
+// possibly ONE core (CI containers), where the OS scheduler's timeslice
+// latency alone can stall a cross-process delivery for tens of
+// milliseconds, and the plant judgment additionally crosses pipes. The
+// margin must dominate worst-case CFS latency or watchdogs fire on
+// healthy links and the cluster mode-flaps before any fault.
+const (
+	procPeriod = 500 * sim.Millisecond
+	procMargin = 200 * sim.Millisecond
+)
+
+func orchestrate(t *testing.T, fault string) *ProcResult {
+	t.Helper()
+	res, err := RunOrchestrator(OrchestratorConfig{
+		Topo: "full-mesh", Nodes: 4, F: 1, Seed: 7,
+		Period: procPeriod, Margin: procMargin, Horizon: 10,
+		Fault: fault, FaultAt: 3, HealAfter: 3,
+	})
+	if err != nil {
+		t.Fatalf("orchestrated %s run failed: %v", fault, err)
+	}
+	return res
+}
+
+// assertWithinBound runs the shared verdict: no bad output before the
+// fault, and every measured recovery within the provable bound R.
+func assertWithinBound(t *testing.T, res *ProcResult) {
+	t.Helper()
+	rep := res.Report
+	at := rep.FaultTimes[0]
+	for _, iv := range rep.BadIntervals() {
+		if iv.Start < at {
+			t.Errorf("spurious bad output %v before the fault at %v", iv, at)
+		}
+	}
+	if max := rep.MaxRecovery(); max > rep.RNeeded {
+		t.Errorf("recovery %v exceeds provable bound R=%v (missed=%d wrong=%d)",
+			max, rep.RNeeded, rep.MissedPeriods, rep.WrongValues)
+	}
+}
+
+// TestOrchestratedCorruptRecoversWithinR is the cross-process analogue
+// of C5's headline row: a Byzantine victim corrupting everything it
+// sends, detected and excluded by real processes over real sockets
+// within the provable bound.
+func TestOrchestratedCorruptRecoversWithinR(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process wall-clock run")
+	}
+	res := orchestrate(t, "corrupt-all")
+	assertWithinBound(t, res)
+	// Both sink replicas act at the same logical offset, so whether the
+	// plant samples the corrupt or the correct command first is a real
+	// physical race across processes — WrongValues may legitimately be 0.
+	// What must hold: every surviving node detected the corruption and
+	// switched away from the victim's mode.
+	for n, d := range res.Dones {
+		if n != int(res.Victim) && d.Switches == 0 {
+			t.Errorf("node %d never switched modes — the corruption was not detected", n)
+		}
+	}
+	for n, e := range res.Exits {
+		if e != "" {
+			t.Errorf("node %d exited dirty: %s", n, e)
+		}
+	}
+}
+
+// TestOrchestratedKillRestartReconnects is the tentpole's acceptance
+// scenario: SIGKILL the victim process mid-run, respawn it, and require
+// both bounded recovery and transport-level rejoin (every adjacent
+// peer's supervised link redials and holds).
+func TestOrchestratedKillRestartReconnects(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process wall-clock run")
+	}
+	res := orchestrate(t, "kill-restart")
+	assertWithinBound(t, res)
+	if !res.ReconnectChecked {
+		t.Fatal("kill-restart run did not check reconnection")
+	}
+	if !res.Reconnected {
+		t.Errorf("victim link did not re-establish on every peer: dones=%+v", res.Dones)
+	}
+	if e := res.Exits[int(res.Victim)]; !strings.Contains(e, "killed") {
+		t.Errorf("victim's first incarnation should have died by signal, got exit %q", e)
+	}
+}
+
+// TestRunNodeProcValidatesSpec pins the child-side error paths: they
+// must fail loudly before any network activity.
+func TestRunNodeProcValidatesSpec(t *testing.T) {
+	base := ProcSpec{Node: 0, Topo: "full-mesh", Nodes: 4, F: 1, Seed: 1,
+		PeriodUS: int64(procPeriod), MarginUS: int64(procMargin), Horizon: 5}
+	for name, mutate := range map[string]func(*ProcSpec){
+		"unknown topology":    func(s *ProcSpec) { s.Topo = "mesh" },
+		"node out of range":   func(s *ProcSpec) { s.Node = 4 },
+		"negative node":       func(s *ProcSpec) { s.Node = -1 },
+		"zero period":         func(s *ProcSpec) { s.PeriodUS = 0 },
+		"zero horizon":        func(s *ProcSpec) { s.Horizon = 0 },
+		"short address slice": func(s *ProcSpec) { s.Addrs = []string{"127.0.0.1:1"} },
+	} {
+		spec := base
+		mutate(&spec)
+		if err := RunNodeProc(spec, strings.NewReader(""), io.Discard); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+// TestOrchestratorValidatesConfig pins the parent-side error paths.
+func TestOrchestratorValidatesConfig(t *testing.T) {
+	valid := OrchestratorConfig{Topo: "full-mesh", Nodes: 4, F: 1, Seed: 1,
+		Period: procPeriod, Margin: procMargin, Horizon: 10, Fault: "kill", FaultAt: 3}
+	for name, mutate := range map[string]func(*OrchestratorConfig){
+		"unknown fault":       func(c *OrchestratorConfig) { c.Fault = "kil" },
+		"unknown topology":    func(c *OrchestratorConfig) { c.Topo = "mesh" },
+		"zero period":         func(c *OrchestratorConfig) { c.Period = 0 },
+		"fault outside run":   func(c *OrchestratorConfig) { c.FaultAt = 9 },
+		"heal beyond horizon": func(c *OrchestratorConfig) { c.HealAfter = 7 },
+	} {
+		cfg := valid
+		mutate(&cfg)
+		if _, err := RunOrchestrator(cfg); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}

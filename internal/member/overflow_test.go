@@ -1,0 +1,70 @@
+package member
+
+import (
+	"strings"
+	"testing"
+
+	"btr/internal/network"
+)
+
+// mustPanicInvariant runs fn and asserts it panics with the named
+// MaxElems invariant — the encode-side overflow guard. On pre-guard
+// code fn instead returns a silently-truncated encoding, so this test
+// fails there.
+func mustPanicInvariant(t *testing.T, fn func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("oversized section encoded without panicking (count was truncated on the wire)")
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, "invariant MaxElems") {
+			t.Fatalf("panic %v, want named MaxElems invariant", r)
+		}
+	}()
+	fn()
+}
+
+// membersOfLen builds a sorted-unique member slice of length n.
+func membersOfLen(n int) []network.NodeID {
+	m := make([]network.NodeID, n)
+	for i := range m {
+		m[i] = network.NodeID(i)
+	}
+	return m
+}
+
+// TestRecordEncodeAtCountBoundary proves the boundary is exact: MaxElems
+// members encode and round-trip; one more panics instead of truncating
+// the uint16 count to 0.
+func TestRecordEncodeAtCountBoundary(t *testing.T) {
+	r := Record{Num: 1, Members: membersOfLen(MaxElems)}
+	b := r.Encode()
+	got, err := DecodeRecord(b)
+	if err != nil {
+		t.Fatalf("decode at boundary: %v", err)
+	}
+	if len(got.Members) != MaxElems {
+		t.Fatalf("round-tripped %d members, want %d", len(got.Members), MaxElems)
+	}
+
+	r.Members = membersOfLen(MaxElems + 1)
+	mustPanicInvariant(t, func() { r.Encode() })
+}
+
+func TestRecordEncodeGuardsLinkSections(t *testing.T) {
+	links := make([]network.Link, MaxElems+1)
+	for i := range links {
+		links[i] = network.Link{A: 0, B: 1, Bandwidth: 1, Prop: 0}
+	}
+	r := Record{Num: 1, Members: membersOfLen(3), AddLinks: links}
+	mustPanicInvariant(t, func() { r.Encode() })
+
+	drops := make([][2]network.NodeID, MaxElems+1)
+	for i := range drops {
+		drops[i] = [2]network.NodeID{0, 1}
+	}
+	r = Record{Num: 1, Members: membersOfLen(3), DropLinks: drops}
+	mustPanicInvariant(t, func() { r.Encode() })
+}

@@ -73,8 +73,33 @@ func (r Record) EncodedSize() int {
 		2 + 8*len(r.DropLinks)
 }
 
-// AppendTo appends the record's canonical encoding to dst.
+// MaxElems is the largest element count a record section (Members,
+// AddLinks, DropLinks) can carry: the counts travel as uint16, so
+// anything larger cannot round-trip. AppendTo enforces it as an
+// invariant — the earlier behavior silently truncated the count through
+// uint16(...), emitting a frame that decodes to a different record and
+// surfaces as an inexplicable signature/framing mismatch at the
+// receiver.
+const MaxElems = 1<<16 - 1
+
+// checkElems panics with the named invariant when a section exceeds the
+// wire format's count range. Record construction is operator-side
+// harness code, so an oversized section is a programming error, not
+// adversarial input — panicking at the encode site beats shipping a
+// frame that cannot decode.
+func checkElems(section string, n int) {
+	if n > MaxElems {
+		panic(fmt.Sprintf("member: invariant MaxElems violated: %d %s > %d", n, section, MaxElems))
+	}
+}
+
+// AppendTo appends the record's canonical encoding to dst. Section
+// counts beyond MaxElems panic (invariant MaxElems) instead of
+// truncating on the wire.
 func (r Record) AppendTo(dst []byte) []byte {
+	checkElems("members", len(r.Members))
+	checkElems("added links", len(r.AddLinks))
+	checkElems("dropped links", len(r.DropLinks))
 	dst = append(dst, recordMagic...)
 	dst = binary.LittleEndian.AppendUint64(dst, r.Num)
 	dst = append(dst, r.Prev[:]...)

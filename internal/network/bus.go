@@ -22,17 +22,23 @@ import (
 // other runtime callback — the Transport contract — while transmission
 // itself is genuinely concurrent across lanes, like real link hardware.
 //
-// Concurrency discipline: Send/SendDirect/SetDown/IsDown/
-// SetForwardFilter/Handle must be called from scheduler callbacks (or
-// before dispatch starts), exactly as with the simulated Network; lane
-// workers never touch that state. Snapshot is safe from any goroutine.
-// Close drains and joins every lane worker — the leak-free shutdown path
-// the live tests pin.
+// Concurrency discipline: Send/SendDirect must be called from scheduler
+// callbacks (or before dispatch starts) — they stamp logical send times.
+// The control plane (Handle, SetDown, IsDown, SetForwardFilter,
+// SetWiring, Topology) is guarded by stateMu and safe from any
+// goroutine: adversary drivers and live-deployment supervision mutate it
+// while lanes are draining. Snapshot is safe from any goroutine. Close
+// drains and joins every lane worker — the leak-free shutdown path the
+// live tests pin.
 type Bus struct {
 	sched sim.Scheduler
-	topo  *Topology
 	cfg   Config
 
+	// stateMu guards the control plane: topo, handlers, filters, down.
+	// Hot-path reads take the read lock; uncontended RLock is a single
+	// atomic and the per-delivery cost is noise next to shaping delays.
+	stateMu  sync.RWMutex
+	topo     *Topology
 	handlers []Handler
 	filters  []ForwardFilter
 	down     []bool
@@ -206,27 +212,63 @@ func (b *Bus) shape(lane *busLane) {
 	}
 }
 
-// Topology returns the static wiring.
-func (b *Bus) Topology() *Topology { return b.topo }
+// Topology returns the active wiring.
+func (b *Bus) Topology() *Topology {
+	b.stateMu.RLock()
+	defer b.stateMu.RUnlock()
+	return b.topo
+}
 
-// Handle installs the delivery handler for node id.
-func (b *Bus) Handle(id NodeID, h Handler) { b.handlers[id] = h }
+// Handle installs the delivery handler for node id. Safe from any
+// goroutine (stateMu).
+func (b *Bus) Handle(id NodeID, h Handler) {
+	b.stateMu.Lock()
+	b.handlers[id] = h
+	b.stateMu.Unlock()
+}
 
-// SetForwardFilter installs a Byzantine relay filter on node id.
-func (b *Bus) SetForwardFilter(id NodeID, f ForwardFilter) { b.filters[id] = f }
+// SetForwardFilter installs a Byzantine relay filter on node id. Safe
+// from any goroutine (stateMu).
+func (b *Bus) SetForwardFilter(id NodeID, f ForwardFilter) {
+	b.stateMu.Lock()
+	b.filters[id] = f
+	b.stateMu.Unlock()
+}
 
-// SetDown marks node id as crashed or repaired.
-func (b *Bus) SetDown(id NodeID, down bool) { b.down[id] = down }
+// SetDown marks node id as crashed or repaired. Safe from any goroutine
+// (stateMu).
+func (b *Bus) SetDown(id NodeID, down bool) {
+	b.stateMu.Lock()
+	b.down[id] = down
+	b.stateMu.Unlock()
+}
+
+// handlerFor / filterFor are the locked hot-path reads arrive uses.
+func (b *Bus) handlerFor(id NodeID) Handler {
+	b.stateMu.RLock()
+	defer b.stateMu.RUnlock()
+	return b.handlers[id]
+}
+
+func (b *Bus) filterFor(id NodeID) ForwardFilter {
+	b.stateMu.RLock()
+	defer b.stateMu.RUnlock()
+	return b.filters[id]
+}
 
 // SetWiring replaces the active wiring at runtime: lanes for removed
 // links are torn down (workers drain and exit), lanes for added links
-// are spun up. Must be called from a scheduler callback, like every
-// other mutating Bus method; membership epochs call it at activation.
+// are spun up. Safe from any goroutine — it may race in-flight
+// deliveries, which complete under the wiring they were sent on;
+// membership epochs call it at activation.
 func (b *Bus) SetWiring(t *Topology) {
+	b.stateMu.Lock()
 	if t.N != b.topo.N {
+		b.stateMu.Unlock()
 		panic("network: SetWiring must keep the node-slot count")
 	}
 	b.topo = t
+	b.stateMu.Unlock()
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if b.closed {
@@ -244,8 +286,12 @@ func (b *Bus) LaneCount() int {
 	return len(b.lanes)
 }
 
-// IsDown reports whether id is crashed.
-func (b *Bus) IsDown(id NodeID) bool { return b.down[id] }
+// IsDown reports whether id is crashed. Safe from any goroutine.
+func (b *Bus) IsDown(id NodeID) bool {
+	b.stateMu.RLock()
+	defer b.stateMu.RUnlock()
+	return b.down[id]
+}
 
 // Snapshot returns the traffic counters accumulated so far.
 func (b *Bus) Snapshot() Stats {
@@ -286,7 +332,7 @@ func (b *Bus) Send(src, dst NodeID, class Class, payload []byte) bool {
 	if src == dst {
 		panic("network: Send to self")
 	}
-	path, ok := b.topo.Path(src, dst)
+	path, ok := b.Topology().Path(src, dst)
 	if !ok {
 		return false
 	}
@@ -310,7 +356,7 @@ func (b *Bus) newMessage(src, dst NodeID, class Class, payload []byte) *Message 
 // transmit enqueues m on its hop's lane. A full lane drops the message
 // (bounded queueing; the counters make the loss visible).
 func (b *Bus) transmit(m *Message) bool {
-	if b.down[m.From] {
+	if b.IsDown(m.From) {
 		b.countDropped(m.Class)
 		return false
 	}
@@ -318,12 +364,13 @@ func (b *Bus) transmit(m *Message) bool {
 	if b.cfg.EvidenceShare == 0 {
 		key.class = ClassForeground // single shared channel
 	}
+	b.mu.Lock()
 	lane, ok := b.lanes[key]
 	if !ok {
+		b.mu.Unlock()
 		b.countDropped(m.Class)
 		return false
 	}
-	b.mu.Lock()
 	if b.closed {
 		b.mu.Unlock()
 		return false
@@ -344,7 +391,7 @@ func (b *Bus) transmit(m *Message) bool {
 // semantics as the simulated Network, including Byzantine relay filters
 // and residual loss.
 func (b *Bus) arrive(m *Message) {
-	if b.down[m.To] {
+	if b.IsDown(m.To) {
 		b.countDropped(m.Class)
 		return
 	}
@@ -355,13 +402,13 @@ func (b *Bus) arrive(m *Message) {
 	m.Hops++
 	if m.To == m.Dst {
 		b.countDelivered(m.Class)
-		if h := b.handlers[m.To]; h != nil {
+		if h := b.handlerFor(m.To); h != nil {
 			h(m)
 		}
 		return
 	}
 	relay := m.To
-	if f := b.filters[relay]; f != nil {
+	if f := b.filterFor(relay); f != nil {
 		fm, delay, fwd := f(m)
 		if !fwd {
 			b.countDropped(m.Class)
@@ -379,7 +426,7 @@ func (b *Bus) arrive(m *Message) {
 // forward advances m one hop along the current shortest path from relay,
 // avoiding known-down intermediates when an alternative exists.
 func (b *Bus) forward(relay NodeID, m *Message) {
-	path, ok := b.topo.PathAvoiding(relay, m.Dst, func(x NodeID) bool { return b.down[x] })
+	path, ok := b.Topology().PathAvoiding(relay, m.Dst, func(x NodeID) bool { return b.IsDown(x) })
 	if !ok || len(path) < 2 {
 		b.countDropped(m.Class)
 		return

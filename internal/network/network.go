@@ -1,12 +1,14 @@
 // Package network provides BTR's communication substrate behind a single
-// seam: the Transport interface. Two implementations exist — the
+// seam: the Transport interface. Three implementations exist — the
 // deterministic simulated Network (single-threaded, driven by any
-// sim.Scheduler, historically the discrete-event kernel) and the live Bus
+// sim.Scheduler, historically the discrete-event kernel), the live Bus
 // (bus.go), a channel-based in-process transport whose per-link shaping
-// goroutines model serialization on the wall clock. Runtime code depends
-// only on Transport, so the same node executive runs under simulation and
-// live deployment unchanged. Topology (topology.go) describes the static
-// wiring both implementations share.
+// goroutines model serialization on the wall clock, and the TCPBus
+// (tcpbus.go), which carries the same traffic over real TCP sockets
+// between node processes. Runtime code depends only on Transport, so the
+// same node executive runs under simulation, live in-process deployment,
+// and multi-process deployment unchanged. Topology (topology.go)
+// describes the static wiring all implementations share.
 package network
 
 import (
@@ -17,12 +19,33 @@ import (
 
 // Transport is the seam between the node runtime and whatever carries its
 // messages. Implementations deliver asynchronously — via scheduler events
-// (Network) or shaping goroutines feeding back into the scheduler (Bus) —
-// and must invoke handlers serially, never concurrently, preserving the
-// runtime's no-locking discipline.
+// (Network), shaping goroutines feeding back into the scheduler (Bus), or
+// socket readers feeding back into the scheduler (TCPBus) — and must obey
+// two delivery guarantees the runtime is built on:
 //
-// All methods except Snapshot must be called from scheduler callbacks (or
-// before dispatch starts); Snapshot is safe at any time.
+//   - Serial handlers: handlers are invoked serially, never concurrently,
+//     preserving the runtime's no-locking discipline. Live transports
+//     achieve this by re-entering deliveries through the scheduler.
+//
+//   - Per-(link, class) FIFO: two messages transmitted on the same
+//     directed link in the same class are delivered (to the next hop) in
+//     transmission order. The runtime's period machinery assumes this —
+//     e.g. an output for period p sent before an output for p+1 on the
+//     same adjacency never overtakes it. No ordering is promised across
+//     different links, directions, or classes. TestTransportFIFOPerLink
+//     asserts this for every implementation.
+//
+// Concurrency contract per method: Send and SendDirect must be called
+// from scheduler callbacks (or before dispatch starts) — they stamp Sent
+// from the logical clock and, on the simulated Network, touch unlocked
+// kernel state. Snapshot is safe from any goroutine. For the remaining
+// control-plane methods (Handle, SetDown, IsDown, SetForwardFilter,
+// SetWiring, Topology) the implementations differ: the simulated Network
+// is single-threaded and requires scheduler-callback context for them
+// too, while the live Bus and TCPBus guard that state with a lock so
+// adversary drivers and supervision goroutines may call them from any
+// goroutine. Code written against the Transport seam (rather than a
+// concrete implementation) must assume the stricter contract.
 type Transport interface {
 	// Topology returns the static wiring.
 	Topology() *Topology
@@ -136,7 +159,11 @@ type chanKey struct {
 }
 
 // Network is the simulated transport. It is single-goroutine (driven by
-// its scheduler's serialized callbacks) and therefore needs no locking.
+// its scheduler's serialized callbacks) and therefore needs no locking:
+// every method except Snapshot — including Handle, SetDown, and
+// SetForwardFilter — must be called from scheduler callbacks or before
+// dispatch starts. (The live Bus and TCPBus lock this state instead; see
+// the Transport contract.)
 type Network struct {
 	k    sim.Scheduler
 	topo *Topology

@@ -1,0 +1,559 @@
+package network
+
+import (
+	"encoding/binary"
+	"net"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"btr/internal/sim"
+)
+
+// tcpCluster boots one TCPBus + WallScheduler per node slot of topo on
+// loopback (dynamic ports), the in-test analogue of an n-process
+// deployment: the instances share no state except the sockets. Cleanup
+// asserts leak-free shutdown.
+func tcpCluster(t *testing.T, topo *Topology, cfg func(TCPConfig) TCPConfig) ([]*sim.WallScheduler, []*TCPBus) {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	liss := make([]net.Listener, topo.N)
+	addrs := make([]string, topo.N)
+	for i := range liss {
+		lis, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("listen: %v", err)
+		}
+		liss[i] = lis
+		addrs[i] = lis.Addr().String()
+	}
+	scheds := make([]*sim.WallScheduler, topo.N)
+	buses := make([]*TCPBus, topo.N)
+	c := DefaultTCPConfig(0xbeef)
+	if cfg != nil {
+		c = cfg(c)
+	}
+	for i := range buses {
+		scheds[i] = sim.NewWallScheduler(uint64(i + 1))
+		buses[i] = NewTCPBus(scheds[i], topo, NodeID(i), addrs, liss[i], c)
+	}
+	t.Cleanup(func() {
+		for _, w := range scheds {
+			w.Close()
+		}
+		for _, b := range buses {
+			b.Close()
+		}
+		deadline := time.Now().Add(5 * time.Second)
+		for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+			time.Sleep(10 * time.Millisecond)
+		}
+		if g := runtime.NumGoroutine(); g > before {
+			t.Errorf("goroutine leak after tcpbus shutdown: %d before, %d after", before, g)
+		}
+	})
+	return scheds, buses
+}
+
+func TestTCPBusDeliversDirect(t *testing.T) {
+	topo := FullMesh(3, 20_000_000, 50*sim.Microsecond)
+	scheds, buses := tcpCluster(t, topo, nil)
+	var mu sync.Mutex
+	var got []*Message
+	done := make(chan struct{}, 8)
+	buses[1].Handle(1, func(m *Message) {
+		mu.Lock()
+		got = append(got, m)
+		mu.Unlock()
+		done <- struct{}{}
+	})
+	scheds[0].At(0, func() {
+		if !buses[0].SendDirect(0, 1, ClassForeground, []byte("hello")) {
+			t.Error("SendDirect failed")
+		}
+	})
+	for _, w := range scheds {
+		w.Start()
+	}
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("tcpbus never delivered")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 1 || string(got[0].Payload) != "hello" || got[0].Src != 0 || got[0].From != 0 {
+		t.Fatalf("delivery wrong: %+v", got[0])
+	}
+	if st := buses[0].Snapshot(); st.MsgsSent[ClassForeground] != 1 {
+		t.Errorf("sender stats wrong: %+v", st)
+	}
+	if st := buses[1].Snapshot(); st.MsgsDelivered[ClassForeground] != 1 {
+		t.Errorf("receiver stats wrong: %+v", st)
+	}
+}
+
+func TestTCPBusRoutesMultiHop(t *testing.T) {
+	// Ring of 4: 0 -> 2 must store-and-forward through a neighbor's
+	// process (its bus re-transmits on its own outgoing link).
+	topo := Ring(4, 20_000_000, 50*sim.Microsecond)
+	scheds, buses := tcpCluster(t, topo, nil)
+	done := make(chan *Message, 1)
+	buses[2].Handle(2, func(m *Message) { done <- m })
+	scheds[0].At(0, func() {
+		if !buses[0].Send(0, 2, ClassEvidence, []byte("multi")) {
+			t.Error("Send failed")
+		}
+	})
+	for _, w := range scheds {
+		w.Start()
+	}
+	select {
+	case m := <-done:
+		if m.Hops != 2 || string(m.Payload) != "multi" || m.Src != 0 {
+			t.Fatalf("delivery wrong: %+v", m)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("multi-hop delivery never arrived")
+	}
+}
+
+// TestTCPBusReconnectsAfterSever proves the supervised-reconnect path: a
+// userspace partition severs both directions; healing it brings the
+// connection back (Reconnects advances) and traffic flows again.
+func TestTCPBusReconnectsAfterSever(t *testing.T) {
+	topo := FullMesh(2, 20_000_000, 50*sim.Microsecond)
+	scheds, buses := tcpCluster(t, topo, nil)
+	var mu sync.Mutex
+	var got []string
+	buses[1].Handle(1, func(m *Message) {
+		mu.Lock()
+		got = append(got, string(m.Payload))
+		mu.Unlock()
+	})
+	for _, w := range scheds {
+		w.Start()
+	}
+	send := func(s string) {
+		done := make(chan bool, 1)
+		scheds[0].At(scheds[0].Now(), func() {
+			done <- buses[0].SendDirect(0, 1, ClassForeground, []byte(s))
+		})
+		<-done
+	}
+	waitFor := func(s string) {
+		deadline := time.Now().Add(10 * time.Second)
+		for time.Now().Before(deadline) {
+			mu.Lock()
+			for _, g := range got {
+				if g == s {
+					mu.Unlock()
+					return
+				}
+			}
+			mu.Unlock()
+			time.Sleep(5 * time.Millisecond)
+		}
+		t.Fatalf("%q never delivered", s)
+	}
+	send("before")
+	waitFor("before")
+
+	// Partition at the receiver: it closes inbound conns and refuses new
+	// ones, so node 0's supervisor enters its redial loop.
+	buses[1].SetPeerRefused(0, true)
+	deadline := time.Now().Add(5 * time.Second)
+	for buses[0].ConnectedCount() > 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if buses[0].ConnectedCount() != 0 {
+		t.Fatal("partition did not sever node 0's outgoing connection")
+	}
+
+	buses[1].SetPeerRefused(0, false)
+	deadline = time.Now().Add(10 * time.Second)
+	for buses[0].ConnectedCount() == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	send("after")
+	waitFor("after")
+	for _, ls := range buses[0].LinkStats() {
+		if ls.Peer == 1 && ls.Reconnects < 1 {
+			t.Errorf("expected >=1 reconnect to peer 1: %+v", ls)
+		}
+	}
+}
+
+// TestTCPBusBoundedQueueDrops pins drop accounting: with no server to
+// drain the link, a tiny queue overflows and the overflow is counted
+// both globally and per link.
+func TestTCPBusBoundedQueueDrops(t *testing.T) {
+	topo := FullMesh(2, 20_000_000, 50*sim.Microsecond)
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	// addrs[1] points at a port nothing listens on, so the supervisor
+	// can never connect and the queue never drains.
+	dead, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	deadAddr := dead.Addr().String()
+	dead.Close()
+	w := sim.NewWallScheduler(1)
+	cfg := DefaultTCPConfig(1)
+	cfg.QueueDepth = 2
+	b := NewTCPBus(w, topo, 0, []string{lis.Addr().String(), deadAddr}, lis, cfg)
+	defer func() {
+		w.Close()
+		b.Close()
+	}()
+	w.Start()
+	done := make(chan int, 1)
+	w.At(0, func() {
+		sent := 0
+		for i := 0; i < 10; i++ {
+			if b.SendDirect(0, 1, ClassForeground, []byte("x")) {
+				sent++
+			}
+		}
+		done <- sent
+	})
+	sent := <-done
+	if sent != 2 {
+		t.Fatalf("sent = %d, want 2 (queue depth)", sent)
+	}
+	st := b.Snapshot()
+	if st.MsgsDropped[ClassForeground] != 8 {
+		t.Errorf("dropped = %d, want 8", st.MsgsDropped[ClassForeground])
+	}
+	var drops uint64
+	for _, ls := range b.LinkStats() {
+		drops += ls.Drops
+	}
+	if drops != 8 {
+		t.Errorf("per-link drops = %d, want 8", drops)
+	}
+}
+
+// TestTCPBusRejectsForeignHello proves handshake validation: a raw
+// connection speaking the wrong cluster tag (or garbage) is closed
+// without ever reaching a handler.
+func TestTCPBusRejectsForeignHello(t *testing.T) {
+	topo := FullMesh(2, 20_000_000, 50*sim.Microsecond)
+	scheds, buses := tcpCluster(t, topo, nil)
+	delivered := make(chan struct{}, 1)
+	buses[0].Handle(0, func(m *Message) { delivered <- struct{}{} })
+	for _, w := range scheds {
+		w.Start()
+	}
+	addr := buses[0].addrs[0]
+	for _, raw := range [][]byte{
+		[]byte("GET / HTTP/1.1\r\n\r\n"),
+		binary.LittleEndian.AppendUint32(nil, 0), // zero-length frame
+	} {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			t.Fatalf("dial: %v", err)
+		}
+		conn.Write(raw)
+		buf := make([]byte, 1)
+		conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+		if _, err := conn.Read(buf); err == nil {
+			t.Error("expected connection to be closed")
+		}
+		conn.Close()
+	}
+	select {
+	case <-delivered:
+		t.Fatal("garbage connection reached a handler")
+	case <-time.After(50 * time.Millisecond):
+	}
+}
+
+// TestTCPBusSetWiringConverges is the connection-count analogue of the
+// Bus lane-convergence test: wiring changes open and close real link
+// supervisors.
+func TestTCPBusSetWiringConverges(t *testing.T) {
+	full := FullMesh(4, 20_000_000, 50*sim.Microsecond)
+	ring := Ring(4, 20_000_000, 50*sim.Microsecond)
+	scheds, buses := tcpCluster(t, full, nil)
+	for _, w := range scheds {
+		w.Start()
+	}
+	if got := buses[0].LinkCount(); got != 3 {
+		t.Fatalf("full-mesh LinkCount = %d, want 3", got)
+	}
+	for _, b := range buses {
+		b.SetWiring(ring)
+	}
+	if got := buses[0].LinkCount(); got != 2 {
+		t.Fatalf("ring LinkCount = %d, want 2", got)
+	}
+	for _, b := range buses {
+		b.SetWiring(full)
+	}
+	if got := buses[0].LinkCount(); got != 3 {
+		t.Fatalf("restored LinkCount = %d, want 3", got)
+	}
+}
+
+// transportFIFOCheck sends seq-stamped messages 0..n-1 on one (link,
+// class) channel and asserts arrival order at the destination handler.
+func seqPayload(i int) []byte {
+	return binary.LittleEndian.AppendUint32(nil, uint32(i))
+}
+
+// TestTransportFIFOPerLink asserts the Transport ordering contract — two
+// messages transmitted on the same directed link in the same class are
+// delivered in transmission order — on all three implementations.
+func TestTransportFIFOPerLink(t *testing.T) {
+	const n = 200
+	topo := func() *Topology { return FullMesh(2, 20_000_000, 50*sim.Microsecond) }
+
+	check := func(t *testing.T, got []uint32) {
+		t.Helper()
+		if len(got) != n {
+			t.Fatalf("delivered %d of %d", len(got), n)
+		}
+		for i, s := range got {
+			if int(s) != i {
+				t.Fatalf("position %d got seq %d: FIFO violated", i, s)
+			}
+		}
+	}
+
+	t.Run("network", func(t *testing.T) {
+		k := sim.NewKernel(1)
+		nw := New(k, topo(), DefaultConfig())
+		var got []uint32
+		nw.Handle(1, func(m *Message) { got = append(got, binary.LittleEndian.Uint32(m.Payload)) })
+		k.At(0, func() {
+			for i := 0; i < n; i++ {
+				nw.SendDirect(0, 1, ClassForeground, seqPayload(i))
+			}
+		})
+		k.RunAll()
+		check(t, got)
+	})
+
+	t.Run("bus", func(t *testing.T) {
+		w, b := busFixture(t, topo(), DefaultConfig())
+		var mu sync.Mutex
+		var got []uint32
+		done := make(chan struct{}, 1)
+		b.Handle(1, func(m *Message) {
+			mu.Lock()
+			got = append(got, binary.LittleEndian.Uint32(m.Payload))
+			if len(got) == n {
+				done <- struct{}{}
+			}
+			mu.Unlock()
+		})
+		w.At(0, func() {
+			for i := 0; i < n; i++ {
+				if !b.SendDirect(0, 1, ClassForeground, seqPayload(i)) {
+					t.Errorf("send %d failed", i)
+				}
+			}
+		})
+		w.Start()
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			t.Fatal("bus FIFO deliveries incomplete")
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		check(t, got)
+	})
+
+	t.Run("tcpbus", func(t *testing.T) {
+		scheds, buses := tcpCluster(t, topo(), nil)
+		var mu sync.Mutex
+		var got []uint32
+		done := make(chan struct{}, 1)
+		buses[1].Handle(1, func(m *Message) {
+			mu.Lock()
+			got = append(got, binary.LittleEndian.Uint32(m.Payload))
+			if len(got) == n {
+				done <- struct{}{}
+			}
+			mu.Unlock()
+		})
+		for _, w := range scheds {
+			w.Start()
+		}
+		// Wait for the link so none of the sequence is dropped pre-connect.
+		deadline := time.Now().Add(10 * time.Second)
+		for buses[0].ConnectedCount() == 0 && time.Now().Before(deadline) {
+			time.Sleep(2 * time.Millisecond)
+		}
+		scheds[0].At(scheds[0].Now(), func() {
+			for i := 0; i < n; i++ {
+				if !buses[0].SendDirect(0, 1, ClassForeground, seqPayload(i)) {
+					t.Errorf("send %d failed", i)
+				}
+			}
+		})
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			t.Fatal("tcpbus FIFO deliveries incomplete")
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		check(t, got)
+	})
+}
+
+// TestBusSetWiringRaceStress swaps wiring from a non-scheduler goroutine
+// while deliveries are in flight — the -race stress the locked control
+// plane must survive — then asserts lane convergence and (via the
+// fixture) leak-free shutdown.
+func TestBusSetWiringRaceStress(t *testing.T) {
+	full := FullMesh(4, 20_000_000, 50*sim.Microsecond)
+	ring := Ring(4, 20_000_000, 50*sim.Microsecond)
+	w, b := busFixture(t, full, DefaultConfig())
+	var delivered sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		b.Handle(NodeID(i), func(m *Message) {})
+	}
+	stop := make(chan struct{})
+	var tick func()
+	tick = func() {
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		for src := 0; src < 4; src++ {
+			for dst := 0; dst < 4; dst++ {
+				if src != dst {
+					b.Send(NodeID(src), NodeID(dst), ClassForeground, []byte("x"))
+					b.SetDown(NodeID(src), false) // control-plane churn from callbacks too
+				}
+			}
+		}
+		w.After(200*sim.Microsecond, tick)
+	}
+	w.At(0, tick)
+	w.Start()
+	delivered.Add(1)
+	go func() {
+		defer delivered.Done()
+		topos := []*Topology{ring, full}
+		for i := 0; i < 60; i++ {
+			b.SetWiring(topos[i%2])
+			b.SetForwardFilter(NodeID(i%4), nil)
+			b.IsDown(NodeID(i % 4))
+			time.Sleep(time.Millisecond)
+		}
+		b.SetWiring(full)
+	}()
+	delivered.Wait()
+	close(stop)
+	// Full mesh of 4: 6 links x 2 directions x 2 classes = 24 lanes.
+	deadline := time.Now().Add(5 * time.Second)
+	for b.LaneCount() != 24 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := b.LaneCount(); got != 24 {
+		t.Fatalf("LaneCount = %d after churn, want 24", got)
+	}
+}
+
+// TestTCPBusSetWiringRaceStress is the same stress on real sockets:
+// wiring flaps from another goroutine while every node keeps sending;
+// afterwards the supervisor set must converge to the final wiring and
+// shutdown must not leak (fixture cleanup).
+func TestTCPBusSetWiringRaceStress(t *testing.T) {
+	full := FullMesh(4, 20_000_000, 50*sim.Microsecond)
+	ring := Ring(4, 20_000_000, 50*sim.Microsecond)
+	scheds, buses := tcpCluster(t, full, nil)
+	for i, b := range buses {
+		b.Handle(NodeID(i), func(m *Message) {})
+	}
+	stop := make(chan struct{})
+	for i := range scheds {
+		i := i
+		var tick func()
+		tick = func() {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for dst := 0; dst < 4; dst++ {
+				if dst != i {
+					buses[i].Send(NodeID(i), NodeID(dst), ClassForeground, []byte("x"))
+				}
+			}
+			scheds[i].After(500*sim.Microsecond, tick)
+		}
+		scheds[i].At(0, tick)
+		scheds[i].Start()
+	}
+	var churn sync.WaitGroup
+	for _, b := range buses {
+		b := b
+		churn.Add(1)
+		go func() {
+			defer churn.Done()
+			topos := []*Topology{ring, full}
+			for i := 0; i < 40; i++ {
+				b.SetWiring(topos[i%2])
+				time.Sleep(time.Millisecond)
+			}
+			b.SetWiring(full)
+		}()
+	}
+	churn.Wait()
+	close(stop)
+	for i, b := range buses {
+		if got := b.LinkCount(); got != 3 {
+			t.Errorf("node %d LinkCount = %d after churn, want 3", i, got)
+		}
+	}
+	// Connections re-establish after the final wiring settles.
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		all := true
+		for _, b := range buses {
+			if b.ConnectedCount() != 3 {
+				all = false
+			}
+		}
+		if all {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	for i, b := range buses {
+		if got := b.ConnectedCount(); got != 3 {
+			t.Errorf("node %d ConnectedCount = %d, want 3 (stats: %+v)", i, got, b.LinkStats())
+		}
+	}
+}
+
+// TestTCPBusCloseIsIdempotent mirrors the Bus shutdown contract.
+func TestTCPBusCloseIsIdempotent(t *testing.T) {
+	topo := FullMesh(2, 20_000_000, 50*sim.Microsecond)
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	w := sim.NewWallScheduler(1)
+	defer w.Close()
+	b := NewTCPBus(w, topo, 0, []string{lis.Addr().String(), "127.0.0.1:1"}, lis, DefaultTCPConfig(1))
+	b.Close()
+	b.Close()
+	w.Start()
+	done := make(chan bool, 1)
+	w.At(0, func() { done <- b.SendDirect(0, 1, ClassForeground, []byte("x")) })
+	if <-done {
+		t.Error("send accepted after Close")
+	}
+}

@@ -2,6 +2,7 @@ package runtime
 
 import (
 	"fmt"
+	"os"
 
 	"btr/internal/evidence"
 	"btr/internal/flow"
@@ -171,6 +172,10 @@ func (n *Node) checkArrived(cur *plan.Plan, p uint64, e flow.Edge, w sched.MsgWi
 		}
 	}
 	srcNode := cur.Assign[e.From]
+	if debugTrace {
+		fmt.Fprintf(os.Stderr, "[node %d] watchdog: edge %s->%s period %d missing (producer on node %d)\n",
+			n.id, e.From, e.To, p, srcNode)
+	}
 	if n.faults.Contains(srcNode) {
 		return // already convicted; mode change under way
 	}

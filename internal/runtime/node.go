@@ -1,6 +1,8 @@
 package runtime
 
 import (
+	"fmt"
+	"os"
 	"sort"
 
 	"btr/internal/evidence"
@@ -11,6 +13,12 @@ import (
 	"btr/internal/sig"
 	"btr/internal/sim"
 )
+
+// debugTrace gates stderr diagnostics for record rejection and watchdog
+// firings (BTR_DEBUG_WATCHDOG=1) — the tool for diagnosing why a live or
+// multi-process deployment misses arrivals. Cached: the checks sit on the
+// per-message hot path.
+var debugTrace = os.Getenv("BTR_DEBUG_WATCHDOG") != ""
 
 // arrival is one received (or locally produced) record with provenance.
 type arrival struct {
@@ -409,14 +417,28 @@ func (n *Node) onMessage(m *network.Message) {
 // acceptRecord ingests a dataflow record (remote or local handoff),
 // running the detector checks.
 func (n *Node) acceptRecord(env sig.Envelope, atts []sig.Envelope, m *network.Message) {
+	dbg := func(reason string, rec *evidence.Record) {
+		if !debugTrace {
+			return
+		}
+		if rec != nil {
+			fmt.Fprintf(os.Stderr, "[node %d] acceptRecord: %s (producer %s period %d from node %d)\n",
+				n.id, reason, rec.Producer, rec.Period, env.Signer)
+		} else {
+			fmt.Fprintf(os.Stderr, "[node %d] acceptRecord: %s (signer %d)\n", n.id, reason, env.Signer)
+		}
+	}
 	if !n.cfg.Registry.Check(env) {
+		dbg("bad signature", nil)
 		return // unsigned garbage: drop
 	}
 	if n.faults.Contains(env.Signer) {
+		dbg("convicted signer", nil)
 		return // isolate convicted nodes: their records are ignored
 	}
 	rec, err := evidence.DecodeRecord(env.Body)
 	if err != nil || rec.Node != env.Signer {
+		dbg("malformed record", nil)
 		return
 	}
 	cur := n.cur
@@ -429,10 +451,12 @@ func (n *Node) acceptRecord(env sig.Envelope, atts []sig.Envelope, m *network.Me
 		}
 	}
 	if len(consumers) == 0 {
+		dbg("no consumer in current mode", &rec)
 		return // stale record from a previous mode
 	}
 	a := &arrival{env: env, rec: rec, atts: atts, at: n.cfg.Kernel.Now()}
 	if !n.detectOnArrival(cur, a) {
+		dbg("failed arrival detector", &rec)
 		return // malformed (digest/attachment tampering): not an arrival
 	}
 	for _, c := range consumers {

@@ -82,9 +82,18 @@ type Behavior struct {
 //
 // Kernel and Net are seams, not concrete engines: any sim.Scheduler
 // (discrete-event kernel or wall-clock WallScheduler) and any
-// network.Transport (simulated Network or live Bus) work, and the runtime
-// behaves identically on either — that is the transport-agnostic contract
-// internal/live and cmd/btrlive build on.
+// network.Transport (simulated Network, live Bus, or real-socket TCPBus)
+// work, and the runtime behaves identically on either — that is the
+// transport-agnostic contract internal/live and cmd/btrlive build on.
+//
+// The runtime leans on exactly two delivery guarantees from Net, both
+// part of the Transport contract (asserted per implementation by
+// TestTransportFIFOPerLink): handlers run serially with scheduler
+// callbacks — node state is entirely lock-free on that strength — and
+// per-(link, class) FIFO, so a slot output for period p enqueued before
+// one for p+1 on the same adjacency can never arrive behind it and
+// trip the later period's watchdog spuriously. No cross-link, cross-
+// direction, or cross-class ordering is assumed anywhere.
 type Config struct {
 	Kernel   sim.Scheduler
 	Net      network.Transport
@@ -156,6 +165,26 @@ func (s *System) Start() {
 	for _, nd := range s.nodes {
 		nd.start()
 	}
+}
+
+// StartNode schedules only node id's first period at t=0 — the
+// multi-process entry point: each process builds the full System (so
+// plans, topology, and keys agree everywhere) but runs just the one
+// slot it hosts; the other slots' executives exist in other processes.
+func (s *System) StartNode(id network.NodeID) {
+	s.nodes[int(id)].start()
+}
+
+// StartNodeFrom schedules node id's period chain starting at period p
+// instead of 0 — how a killed-and-restarted process rejoins a running
+// cluster: the orchestrator picks a future period, the fresh process
+// aligns its wall clock to the cluster's origin (sim.WallScheduler
+// StartAt) and begins executing at that period boundary. Periods before
+// p never ran locally, which is correct — their outputs were (or were
+// not) produced by the pre-kill incarnation, and peers' evidence
+// machinery already adjudicated them.
+func (s *System) StartNodeFrom(id network.NodeID, p uint64) {
+	s.nodes[int(id)].schedulePeriod(p)
 }
 
 // SetBehavior installs (or clears, with nil) a Byzantine behavior.

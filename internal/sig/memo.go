@@ -36,6 +36,7 @@ import (
 	"crypto/ed25519"
 	"crypto/sha256"
 	"encoding/binary"
+	"fmt"
 	"sync"
 	"sync/atomic"
 )
@@ -177,8 +178,13 @@ func (m *SealMemo) payload(priv ed25519.PrivateKey, pub ed25519.PublicKey, signe
 }
 
 // framedSeal builds prefix || Envelope.Encode() in one exact-size
-// allocation.
+// allocation. It shares Envelope.AppendTo's length invariant: a body
+// longer than MaxBody cannot round-trip and panics instead of
+// truncating.
 func framedSeal(priv ed25519.PrivateKey, signer uint32, prefix byte, body []byte) []byte {
+	if len(body) > MaxBody {
+		panic(fmt.Sprintf("sig: invariant MaxBody violated: body %d > %d", len(body), MaxBody))
+	}
 	p := make([]byte, 1+8+len(body)+ed25519.SignatureSize)
 	p[0] = prefix
 	binary.LittleEndian.PutUint32(p[1:], signer)

@@ -1,0 +1,61 @@
+package sig
+
+import (
+	"strings"
+	"testing"
+)
+
+// mustPanicMaxBody asserts fn panics with the named MaxBody invariant.
+// Pre-guard code silently truncated the uint32 length field instead, so
+// this test fails there.
+func mustPanicMaxBody(t *testing.T, fn func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("oversized body encoded without panicking (length was truncated on the wire)")
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, "invariant MaxBody") {
+			t.Fatalf("panic %v, want named MaxBody invariant", r)
+		}
+	}()
+	fn()
+}
+
+// TestEnvelopeEncodeAtBodyBoundary proves the boundary is exact: a
+// MaxBody-sized body encodes and round-trips; one more byte panics.
+func TestEnvelopeEncodeAtBodyBoundary(t *testing.T) {
+	e := Envelope{Signer: 1, Body: make([]byte, MaxBody), Sig: make([]byte, SignatureSize)}
+	b := e.AppendTo(make([]byte, 0, e.EncodedSize()))
+	got, err := DecodeEnvelope(b)
+	if err != nil {
+		t.Fatalf("decode at boundary: %v", err)
+	}
+	if len(got.Body) != MaxBody {
+		t.Fatalf("round-tripped body %d, want %d", len(got.Body), MaxBody)
+	}
+
+	e.Body = make([]byte, MaxBody+1)
+	mustPanicMaxBody(t, func() { e.AppendTo(nil) })
+}
+
+// TestDecodeEnvelopeRejectsOversizeLength proves the decode side is
+// symmetric: a hand-forged frame claiming a body beyond MaxBody is
+// rejected before allocation.
+func TestDecodeEnvelopeRejectsOversizeLength(t *testing.T) {
+	e := Envelope{Signer: 1, Body: []byte("ok"), Sig: make([]byte, SignatureSize)}
+	b := e.Encode()
+	b[4], b[5], b[6], b[7] = 0xff, 0xff, 0xff, 0x7f // length = 2GiB-ish
+	if _, err := DecodeEnvelope(b); err == nil {
+		t.Fatal("oversize length accepted")
+	}
+}
+
+// TestSealedPayloadGuardsBody pins the same invariant on the memoized
+// framing path.
+func TestSealedPayloadGuardsBody(t *testing.T) {
+	r := NewRegistry(1, 2)
+	r.UseMemos(nil, nil) // force the framedSeal slow path
+	mustPanicMaxBody(t, func() { r.SealedPayload(0, 'D', make([]byte, MaxBody+1)) })
+}

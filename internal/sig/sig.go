@@ -195,6 +195,17 @@ func (r *Registry) SealedPayload(signer network.NodeID, prefix byte, body []byte
 
 var errTruncated = errors.New("sig: truncated envelope")
 
+// MaxBody caps an envelope body on the wire. The length field is a
+// uint32, so the hard format limit is 4GiB, but no legitimate BTR
+// payload (task outputs, evidence, membership records) comes within
+// orders of magnitude of 16MiB — a larger body is a programming error
+// upstream, and capping well below the field width makes the invariant
+// testable. AppendTo enforces it as an invariant (the earlier behavior
+// silently truncated the length through uint32(...), emitting a frame
+// that fails decode as a framing or signature mismatch at the receiver);
+// DecodeEnvelope rejects it symmetrically before allocating.
+const MaxBody = 16 << 20
+
 // Encode serializes the envelope: signer(4) | len(4) | body | sig(64).
 func (e Envelope) Encode() []byte {
 	return e.AppendTo(make([]byte, 0, e.EncodedSize()))
@@ -205,8 +216,13 @@ func (e Envelope) EncodedSize() int { return 8 + len(e.Body) + len(e.Sig) }
 
 // AppendTo appends the envelope's encoding to dst and returns the
 // extended slice — the zero-alloc building block hot marshaling paths use
-// with preallocated or pooled buffers.
+// with preallocated or pooled buffers. A body longer than MaxBody panics
+// (invariant MaxBody) instead of truncating the length field on the
+// wire.
 func (e Envelope) AppendTo(dst []byte) []byte {
+	if len(e.Body) > MaxBody {
+		panic(fmt.Sprintf("sig: invariant MaxBody violated: body %d > %d", len(e.Body), MaxBody))
+	}
 	dst = binary.LittleEndian.AppendUint32(dst, uint32(e.Signer))
 	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(e.Body)))
 	dst = append(dst, e.Body...)
@@ -222,7 +238,7 @@ func DecodeEnvelope(b []byte) (Envelope, error) {
 	}
 	signer := network.NodeID(binary.LittleEndian.Uint32(b[0:]))
 	n := int(binary.LittleEndian.Uint32(b[4:]))
-	if n < 0 || len(b) != 8+n+SignatureSize {
+	if n < 0 || n > MaxBody || len(b) != 8+n+SignatureSize {
 		return Envelope{}, fmt.Errorf("sig: bad envelope framing (body %d, total %d)", n, len(b))
 	}
 	body := make([]byte, n)

@@ -80,14 +80,33 @@ func NewWallScheduler(seed uint64) *WallScheduler {
 // Start pins t=0 to the current wall clock and launches the executor
 // goroutine. Events scheduled before Start run as soon as it is called.
 // Starting twice panics.
-func (w *WallScheduler) Start() {
+func (w *WallScheduler) Start() { w.StartAt(0) }
+
+// StartAt pins logical time t=origin (not 0) to the current wall clock
+// and launches the executor. A process joining a deployment already in
+// flight uses it — e.g. a restarted node whose cluster is at period N:
+// starting at origin = N·period makes all period arithmetic, watchdog
+// deadlines, and evidence timestamps agree with the running peers
+// without replaying the missed interval. Events scheduled before origin
+// clamp to "run next", like any past time. Negative origin panics;
+// starting twice panics.
+func (w *WallScheduler) StartAt(origin Time) {
+	if origin < 0 {
+		panic(fmt.Sprintf("sim: negative start origin %v", origin))
+	}
 	w.mu.Lock()
 	if w.started {
 		w.mu.Unlock()
 		panic("sim: WallScheduler started twice")
 	}
 	w.started = true
-	w.start = time.Now()
+	// Back-dating start by origin makes nowLocked (and therefore Now,
+	// WallElapsed, and every deadline comparison) read origin at this
+	// instant with no further arithmetic anywhere.
+	w.start = time.Now().Add(-time.Duration(origin) * time.Microsecond)
+	if origin > w.cursor {
+		w.cursor = origin
+	}
 	w.mu.Unlock()
 	go w.loop()
 }

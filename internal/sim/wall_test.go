@@ -204,3 +204,60 @@ func TestMeasureKernelThroughputAgreesAcrossImplementations(t *testing.T) {
 		t.Fatalf("workload dispatched only %d useful events", *got)
 	}
 }
+
+// TestWallSchedulerStartAtOrigin proves the joining-in-flight clock: a
+// scheduler started at origin reads origin immediately, dispatches
+// events scheduled relative to origin at the right wall instants, and
+// clamps pre-origin times to "run next".
+func TestWallSchedulerStartAtOrigin(t *testing.T) {
+	before := runtime.NumGoroutine()
+	const origin = 5 * Second
+	w := NewWallScheduler(1)
+	var mu sync.Mutex
+	var seen []Time
+	note := func() {
+		mu.Lock()
+		seen = append(seen, w.Now())
+		mu.Unlock()
+	}
+	w.At(origin, note)                // due immediately at start
+	w.At(2*Second, note)              // pre-origin: clamps, runs first
+	w.At(origin+20*Millisecond, note) // genuinely in the future
+	done := make(chan struct{})
+	w.At(origin+30*Millisecond, func() { close(done) })
+	w.StartAt(origin)
+	if now := w.Now(); now < origin {
+		t.Fatalf("Now = %v right after StartAt, want >= %v", now, origin)
+	}
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("origin-relative events never dispatched")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(seen) != 3 {
+		t.Fatalf("dispatched %d events, want 3", len(seen))
+	}
+	// The pre-origin event clamps to the origin cursor; logical times
+	// never read below origin.
+	for i, ts := range seen {
+		if ts < origin {
+			t.Errorf("event %d saw Now %v < origin", i, ts)
+		}
+	}
+	if seen[2] < origin+20*Millisecond {
+		t.Errorf("future event ran at %v, before its scheduled time", seen[2])
+	}
+	w.Close()
+	waitNoLeak(t, before)
+}
+
+func TestWallSchedulerStartAtNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative origin accepted")
+		}
+	}()
+	NewWallScheduler(1).StartAt(-1)
+}

@@ -1,0 +1,186 @@
+// Package wire defines the length-prefixed frame codec the real-socket
+// transport (network.TCPBus) speaks between node processes. It is the
+// only layer that touches raw connections, so it is also where the
+// encode-side hardening lives: every length field is range-checked
+// before it is written, and every length field read off the wire is
+// range-checked before a single byte is allocated — a frame that cannot
+// be decoded exactly as it was encoded is never emitted.
+//
+// Wire layout (all integers little-endian):
+//
+//	frame   := len u32 | type u8 | body
+//	            len counts everything after the len field (type + body)
+//	            and must be in [1, MaxFrame].
+//	hello   := magic "btrw" | version u8 | cluster u64 | node u32
+//	            First frame on every connection, sent by the dialer; the
+//	            acceptor learns the peer's identity from it and rejects
+//	            cross-cluster or cross-version connections.
+//	msg     := class u8 | src u32 | dst u32 | from u32 | to u32 |
+//	           hops u16 | payload
+//	            One transport message hop. The payload is opaque runtime
+//	            framing (data / evidence / membership), exactly the bytes
+//	            the in-process transports carry.
+//	heartbeat := empty body
+//	            Keeps the connection's liveness clock fresh when the link
+//	            is otherwise idle.
+//
+// The handshake and reconnect state machine built on these frames is
+// documented on network.TCPBus (and in the README's wire-protocol
+// section).
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Frame types.
+const (
+	TypeHello     = byte('H')
+	TypeMsg       = byte('M')
+	TypeHeartbeat = byte('B')
+)
+
+// Magic and Version identify the protocol. A peer speaking a different
+// version (or random TCP noise) is rejected at the handshake.
+const (
+	Magic   = "btrw"
+	Version = 1
+)
+
+// MaxFrame is the ceiling on the encoded size of one frame (type byte +
+// body). It bounds the allocation a length prefix can demand from a
+// receiver and the frame an encoder may emit; both sides enforce it.
+const MaxFrame = 1 << 20
+
+// maxMsgPayload is the largest msg payload MaxFrame admits.
+const maxMsgPayload = MaxFrame - 1 - msgHeaderSize
+
+// msgHeaderSize is the fixed part of a msg body: class u8 + four node
+// IDs (u32 each) + hops u16.
+const msgHeaderSize = 1 + 4*4 + 2
+
+// Errors the codec can return. ErrOversize fires on the encode side —
+// the caller handed the codec something that cannot be framed without
+// truncating a length field; refusing loudly here is the hardening this
+// package exists for.
+var (
+	ErrOversize  = errors.New("wire: frame exceeds MaxFrame")
+	ErrTruncated = errors.New("wire: truncated frame")
+)
+
+// Hello is the handshake frame: the dialer announces who it is and which
+// cluster it belongs to before any traffic flows.
+type Hello struct {
+	Cluster uint64 // deployment tag (derived from the seed); must match
+	Node    uint32 // the sender's node slot
+}
+
+// Msg is one transport message hop.
+type Msg struct {
+	Class   uint8
+	Src     uint32
+	Dst     uint32
+	From    uint32
+	To      uint32
+	Hops    uint16
+	Payload []byte
+}
+
+// AppendHello appends an encoded hello frame (including the length
+// prefix) to dst.
+func AppendHello(dst []byte, h Hello) []byte {
+	body := len(Magic) + 1 + 8 + 4
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(1+body))
+	dst = append(dst, TypeHello)
+	dst = append(dst, Magic...)
+	dst = append(dst, Version)
+	dst = binary.LittleEndian.AppendUint64(dst, h.Cluster)
+	return binary.LittleEndian.AppendUint32(dst, h.Node)
+}
+
+// AppendHeartbeat appends an encoded heartbeat frame to dst.
+func AppendHeartbeat(dst []byte) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, 1)
+	return append(dst, TypeHeartbeat)
+}
+
+// AppendMsg appends an encoded msg frame to dst. It returns ErrOversize
+// (with dst unchanged) when the payload cannot fit a frame — the
+// encode-side guard: a payload one byte too large is an error here, not
+// a corrupt frame at the receiver.
+func AppendMsg(dst []byte, m Msg) ([]byte, error) {
+	if len(m.Payload) > maxMsgPayload {
+		return dst, fmt.Errorf("%w (payload %d > %d)", ErrOversize, len(m.Payload), maxMsgPayload)
+	}
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(1+msgHeaderSize+len(m.Payload)))
+	dst = append(dst, TypeMsg)
+	dst = append(dst, m.Class)
+	dst = binary.LittleEndian.AppendUint32(dst, m.Src)
+	dst = binary.LittleEndian.AppendUint32(dst, m.Dst)
+	dst = binary.LittleEndian.AppendUint32(dst, m.From)
+	dst = binary.LittleEndian.AppendUint32(dst, m.To)
+	dst = binary.LittleEndian.AppendUint16(dst, m.Hops)
+	return append(dst, m.Payload...), nil
+}
+
+// ReadFrame reads one length-prefixed frame from r, returning its type
+// byte and body. A length prefix outside [1, MaxFrame] is rejected
+// before any body allocation.
+func ReadFrame(r *bufio.Reader) (typ byte, body []byte, err error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.LittleEndian.Uint32(lenBuf[:])
+	if n < 1 || n > MaxFrame {
+		return 0, nil, fmt.Errorf("wire: bad frame length %d", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return 0, nil, fmt.Errorf("wire: short frame: %w", err)
+	}
+	return buf[0], buf[1:], nil
+}
+
+// ParseHello decodes a hello frame body, rejecting wrong magic, version,
+// or framing.
+func ParseHello(body []byte) (Hello, error) {
+	want := len(Magic) + 1 + 8 + 4
+	if len(body) != want {
+		return Hello{}, fmt.Errorf("wire: bad hello length %d", len(body))
+	}
+	if string(body[:len(Magic)]) != Magic {
+		return Hello{}, fmt.Errorf("wire: bad hello magic")
+	}
+	if body[len(Magic)] != Version {
+		return Hello{}, fmt.Errorf("wire: protocol version %d (want %d)", body[len(Magic)], Version)
+	}
+	off := len(Magic) + 1
+	return Hello{
+		Cluster: binary.LittleEndian.Uint64(body[off:]),
+		Node:    binary.LittleEndian.Uint32(body[off+8:]),
+	}, nil
+}
+
+// ParseMsg decodes a msg frame body. Strict: a body shorter than the
+// fixed header is ErrTruncated; everything after the header is the
+// payload (its length was already bounded by the frame length check).
+func ParseMsg(body []byte) (Msg, error) {
+	if len(body) < msgHeaderSize {
+		return Msg{}, ErrTruncated
+	}
+	m := Msg{
+		Class: body[0],
+		Src:   binary.LittleEndian.Uint32(body[1:]),
+		Dst:   binary.LittleEndian.Uint32(body[5:]),
+		From:  binary.LittleEndian.Uint32(body[9:]),
+		To:    binary.LittleEndian.Uint32(body[13:]),
+		Hops:  binary.LittleEndian.Uint16(body[17:]),
+	}
+	m.Payload = append([]byte(nil), body[msgHeaderSize:]...)
+	return m, nil
+}

@@ -1,0 +1,226 @@
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"testing"
+)
+
+func TestHelloRoundTrip(t *testing.T) {
+	h := Hello{Cluster: 0xdeadbeefcafe, Node: 7}
+	frame := AppendHello(nil, h)
+	typ, body, err := ReadFrame(bufio.NewReader(bytes.NewReader(frame)))
+	if err != nil {
+		t.Fatalf("ReadFrame: %v", err)
+	}
+	if typ != TypeHello {
+		t.Fatalf("type = %c, want %c", typ, TypeHello)
+	}
+	got, err := ParseHello(body)
+	if err != nil {
+		t.Fatalf("ParseHello: %v", err)
+	}
+	if got != h {
+		t.Fatalf("hello = %+v, want %+v", got, h)
+	}
+}
+
+func TestHelloRejectsBadMagicAndVersion(t *testing.T) {
+	frame := AppendHello(nil, Hello{Cluster: 1, Node: 2})
+	body := frame[5:] // skip len+type
+
+	bad := append([]byte(nil), body...)
+	bad[0] = 'X'
+	if _, err := ParseHello(bad); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+
+	bad = append([]byte(nil), body...)
+	bad[len(Magic)] = Version + 1
+	if _, err := ParseHello(bad); err == nil {
+		t.Fatal("bad version accepted")
+	}
+
+	if _, err := ParseHello(body[:len(body)-1]); err == nil {
+		t.Fatal("short hello accepted")
+	}
+}
+
+func TestMsgRoundTrip(t *testing.T) {
+	m := Msg{Class: 1, Src: 2, Dst: 3, From: 4, To: 5, Hops: 6, Payload: []byte("payload")}
+	frame, err := AppendMsg(nil, m)
+	if err != nil {
+		t.Fatalf("AppendMsg: %v", err)
+	}
+	typ, body, err := ReadFrame(bufio.NewReader(bytes.NewReader(frame)))
+	if err != nil {
+		t.Fatalf("ReadFrame: %v", err)
+	}
+	if typ != TypeMsg {
+		t.Fatalf("type = %c, want %c", typ, TypeMsg)
+	}
+	got, err := ParseMsg(body)
+	if err != nil {
+		t.Fatalf("ParseMsg: %v", err)
+	}
+	if got.Class != m.Class || got.Src != m.Src || got.Dst != m.Dst ||
+		got.From != m.From || got.To != m.To || got.Hops != m.Hops ||
+		!bytes.Equal(got.Payload, m.Payload) {
+		t.Fatalf("msg = %+v, want %+v", got, m)
+	}
+}
+
+func TestMsgEmptyPayload(t *testing.T) {
+	frame, err := AppendMsg(nil, Msg{Class: 2})
+	if err != nil {
+		t.Fatalf("AppendMsg: %v", err)
+	}
+	_, body, err := ReadFrame(bufio.NewReader(bytes.NewReader(frame)))
+	if err != nil {
+		t.Fatalf("ReadFrame: %v", err)
+	}
+	got, err := ParseMsg(body)
+	if err != nil {
+		t.Fatalf("ParseMsg: %v", err)
+	}
+	if len(got.Payload) != 0 {
+		t.Fatalf("payload = %q, want empty", got.Payload)
+	}
+}
+
+// TestMsgOversizeBoundary pins the encode-side guard exactly at the
+// boundary: the largest admissible payload encodes, one more byte is
+// ErrOversize with dst untouched.
+func TestMsgOversizeBoundary(t *testing.T) {
+	atLimit := Msg{Payload: make([]byte, maxMsgPayload)}
+	frame, err := AppendMsg(nil, atLimit)
+	if err != nil {
+		t.Fatalf("AppendMsg at limit: %v", err)
+	}
+	if got := binary.LittleEndian.Uint32(frame); got != MaxFrame {
+		t.Fatalf("frame length = %d, want %d", got, MaxFrame)
+	}
+	if _, _, err := ReadFrame(bufio.NewReader(bytes.NewReader(frame))); err != nil {
+		t.Fatalf("ReadFrame at limit: %v", err)
+	}
+
+	over := Msg{Payload: make([]byte, maxMsgPayload+1)}
+	dst := []byte("prefix")
+	out, err := AppendMsg(dst, over)
+	if !errors.Is(err, ErrOversize) {
+		t.Fatalf("err = %v, want ErrOversize", err)
+	}
+	if !bytes.Equal(out, dst) {
+		t.Fatal("dst mutated on oversize error")
+	}
+}
+
+func TestReadFrameRejectsBadLengths(t *testing.T) {
+	zero := binary.LittleEndian.AppendUint32(nil, 0)
+	if _, _, err := ReadFrame(bufio.NewReader(bytes.NewReader(zero))); err == nil {
+		t.Fatal("zero-length frame accepted")
+	}
+	huge := binary.LittleEndian.AppendUint32(nil, MaxFrame+1)
+	if _, _, err := ReadFrame(bufio.NewReader(bytes.NewReader(huge))); err == nil {
+		t.Fatal("oversized frame length accepted")
+	}
+}
+
+func TestReadFrameShortBody(t *testing.T) {
+	frame := binary.LittleEndian.AppendUint32(nil, 10)
+	frame = append(frame, TypeMsg, 1, 2) // 7 bytes missing
+	if _, _, err := ReadFrame(bufio.NewReader(bytes.NewReader(frame))); err == nil {
+		t.Fatal("short frame accepted")
+	}
+}
+
+func TestParseMsgTruncated(t *testing.T) {
+	if _, err := ParseMsg(make([]byte, msgHeaderSize-1)); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("err = %v, want ErrTruncated", err)
+	}
+}
+
+// TestStreamOfFrames decodes several back-to-back frames from one
+// reader, the shape the connection read loop sees.
+func TestStreamOfFrames(t *testing.T) {
+	var stream []byte
+	stream = AppendHello(stream, Hello{Cluster: 9, Node: 1})
+	var err error
+	stream, err = AppendMsg(stream, Msg{Class: 1, Payload: []byte("a")})
+	if err != nil {
+		t.Fatalf("AppendMsg: %v", err)
+	}
+	stream = AppendHeartbeat(stream)
+	stream, err = AppendMsg(stream, Msg{Class: 0, Payload: []byte("bb")})
+	if err != nil {
+		t.Fatalf("AppendMsg: %v", err)
+	}
+
+	r := bufio.NewReader(bytes.NewReader(stream))
+	wantTypes := []byte{TypeHello, TypeMsg, TypeHeartbeat, TypeMsg}
+	for i, want := range wantTypes {
+		typ, _, err := ReadFrame(r)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if typ != want {
+			t.Fatalf("frame %d type = %c, want %c", i, typ, want)
+		}
+	}
+	if _, _, err := ReadFrame(r); err == nil {
+		t.Fatal("expected EOF after last frame")
+	}
+}
+
+// FuzzFrameRoundTrip feeds arbitrary bytes through the frame reader and,
+// when a msg parses, re-encodes it checking for a fixed point.
+func FuzzFrameRoundTrip(f *testing.F) {
+	seed, _ := AppendMsg(nil, Msg{Class: 1, Src: 2, Dst: 3, From: 4, To: 5, Hops: 6, Payload: []byte("x")})
+	f.Add(seed)
+	f.Add(AppendHello(nil, Hello{Cluster: 1, Node: 2}))
+	f.Add([]byte{0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		typ, body, err := ReadFrame(bufio.NewReader(bytes.NewReader(data)))
+		if err != nil {
+			return
+		}
+		switch typ {
+		case TypeMsg:
+			m, err := ParseMsg(body)
+			if err != nil {
+				return
+			}
+			re, err := AppendMsg(nil, m)
+			if err != nil {
+				t.Fatalf("re-encode of parsed msg failed: %v", err)
+			}
+			typ2, body2, err := ReadFrame(bufio.NewReader(bytes.NewReader(re)))
+			if err != nil || typ2 != TypeMsg {
+				t.Fatalf("re-decode: typ=%c err=%v", typ2, err)
+			}
+			m2, err := ParseMsg(body2)
+			if err != nil {
+				t.Fatalf("re-parse: %v", err)
+			}
+			if m2.Class != m.Class || m2.Src != m.Src || m2.Dst != m.Dst ||
+				m2.From != m.From || m2.To != m.To || m2.Hops != m.Hops ||
+				!bytes.Equal(m2.Payload, m.Payload) {
+				t.Fatalf("round trip mismatch: %+v vs %+v", m, m2)
+			}
+		case TypeHello:
+			if h, err := ParseHello(body); err == nil {
+				re := AppendHello(nil, h)
+				_, body2, err := ReadFrame(bufio.NewReader(bytes.NewReader(re)))
+				if err != nil {
+					t.Fatalf("hello re-decode: %v", err)
+				}
+				h2, err := ParseHello(body2)
+				if err != nil || h2 != h {
+					t.Fatalf("hello round trip: %+v vs %+v (%v)", h, h2, err)
+				}
+			}
+		}
+	})
+}
