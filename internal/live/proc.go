@@ -297,7 +297,10 @@ func RunNodeProc(spec ProcSpec, in io.Reader, out io.Writer) error {
 		}
 		close(cmds)
 	}()
-	if addrs == nil {
+	// Same predicate as the listen-address switch above: any empty vector
+	// (nil or zero-length) means dynamic ports, so the full vector must
+	// arrive on stdin before the transport can be built.
+	if len(addrs) == 0 {
 		line, ok := <-cmds
 		fields := strings.Fields(line)
 		if !ok || len(fields) != topo.N+1 || fields[0] != "peers" {

@@ -120,6 +120,10 @@ func TestRunNodeProcValidatesSpec(t *testing.T) {
 		"zero period":         func(s *ProcSpec) { s.PeriodUS = 0 },
 		"zero horizon":        func(s *ProcSpec) { s.Horizon = 0 },
 		"short address slice": func(s *ProcSpec) { s.Addrs = []string{"127.0.0.1:1"} },
+		// A non-nil empty vector means dynamic ports exactly like nil: with
+		// no peers line on stdin the child must error out waiting for it,
+		// not reach NewTCPBus with zero addresses (which panics).
+		"empty address slice": func(s *ProcSpec) { s.Addrs = []string{} },
 	} {
 		spec := base
 		mutate(&spec)

@@ -71,10 +71,11 @@ type TCPBus struct {
 	down     []bool
 
 	// mu guards the link plane: outgoing supervisors, registered inbound
-	// connections, the partition set, and closed.
+	// connections (latest per peer — a new Hello supersedes and closes
+	// the old connection), the partition set, and closed.
 	mu      sync.Mutex
 	links   map[NodeID]*tcpLink
-	inbound map[net.Conn]NodeID
+	inbound map[NodeID]net.Conn
 	refused map[NodeID]bool
 	closed  bool
 
@@ -171,7 +172,7 @@ func NewTCPBus(sched sim.Scheduler, topo *Topology, self NodeID, addrs []string,
 		filters:  make([]ForwardFilter, topo.N),
 		down:     make([]bool, topo.N),
 		links:    map[NodeID]*tcpLink{},
-		inbound:  map[net.Conn]NodeID{},
+		inbound:  map[NodeID]net.Conn{},
 		refused:  map[NodeID]bool{},
 		rng:      sched.RNG().Fork(),
 	}
@@ -350,11 +351,23 @@ func (b *TCPBus) serveConn(conn net.Conn) {
 		b.mu.Unlock()
 		return
 	}
-	b.inbound[conn] = peer
+	// Close-on-replace: when a redialing peer establishes a new
+	// connection, any stale one (whose reader may still be draining
+	// kernel-buffered frames for up to cfg.Liveness) is severed and
+	// superseded. Staleness is re-checked at dispatch time below, so a
+	// superseded reader can never deliver behind the replacement —
+	// per-(link, class) FIFO holds across reconnects, at the cost of
+	// dropping the old connection's in-flight tail.
+	if old, ok := b.inbound[peer]; ok {
+		old.Close()
+	}
+	b.inbound[peer] = conn
 	b.mu.Unlock()
 	defer func() {
 		b.mu.Lock()
-		delete(b.inbound, conn)
+		if b.inbound[peer] == conn {
+			delete(b.inbound, peer)
+		}
 		b.mu.Unlock()
 	}()
 	for {
@@ -371,7 +384,17 @@ func (b *TCPBus) serveConn(conn net.Conn) {
 			if err != nil {
 				return
 			}
-			if int(wm.To) >= len(b.addrs) || NodeID(wm.To) != b.self {
+			// Range-check every field read off the wire before it can
+			// index anything: class and node IDs index fixed-size arrays
+			// downstream (stats, per-class queues, handlers), so a
+			// crafted frame from a Byzantine peer holding the cluster tag
+			// must sever the connection here, not panic a correct node.
+			if wm.Class >= uint8(numClasses) ||
+				int(wm.Src) >= len(b.addrs) || int(wm.Dst) >= len(b.addrs) ||
+				int(wm.From) >= len(b.addrs) || int(wm.To) >= len(b.addrs) {
+				return // protocol violation
+			}
+			if NodeID(wm.To) != b.self {
 				continue // misrouted; drop
 			}
 			m := &Message{
@@ -386,13 +409,33 @@ func (b *TCPBus) serveConn(conn net.Conn) {
 			}
 			// Hand delivery to the scheduler so handlers serialize with
 			// every other runtime callback. Per-(link, class) FIFO holds
-			// because one connection's reader schedules in read order and
-			// the scheduler dispatches same-time events in insertion order.
-			b.sched.At(b.sched.Now(), func() { b.arrive(m) })
+			// because one connection's reader schedules in read order, the
+			// scheduler dispatches same-time events in insertion order,
+			// and a frame from a superseded connection is dropped at
+			// dispatch rather than delivered behind its replacement's.
+			b.sched.At(b.sched.Now(), func() {
+				if b.staleInbound(peer, conn) {
+					b.countDropped(m.Class)
+					return
+				}
+				b.arrive(m)
+			})
 		default:
 			return
 		}
 	}
+}
+
+// staleInbound reports whether conn has been superseded (or dropped) as
+// peer's registered inbound connection. Checked at dispatch time, which
+// the scheduler serializes: a replacement connection registers before
+// reading its first frame, so once any of its frames has been delivered,
+// every frame still queued from the old connection fails this check and
+// is dropped instead of delivered out of order.
+func (b *TCPBus) staleInbound(peer NodeID, conn net.Conn) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.inbound[peer] != conn
 }
 
 // Topology returns the active wiring.
@@ -473,7 +516,7 @@ func (b *TCPBus) SetWiring(t *Topology) {
 	for _, p := range t.Neighbors(b.self) {
 		adj[p] = true
 	}
-	for conn, peer := range b.inbound {
+	for peer, conn := range b.inbound {
 		if !adj[peer] {
 			conn.Close()
 		}
@@ -498,10 +541,8 @@ func (b *TCPBus) SetPeerRefused(peer NodeID, refused bool) {
 		}
 		l.mu.Unlock()
 	}
-	for conn, p := range b.inbound {
-		if p == peer {
-			conn.Close()
-		}
+	if conn, ok := b.inbound[peer]; ok {
+		conn.Close()
 	}
 }
 
@@ -731,7 +772,7 @@ func (b *TCPBus) Close() {
 		b.stopLink(l)
 	}
 	b.links = map[NodeID]*tcpLink{}
-	for conn := range b.inbound {
+	for _, conn := range b.inbound {
 		conn.Close()
 	}
 	b.mu.Unlock()

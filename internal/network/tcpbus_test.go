@@ -2,13 +2,16 @@ package network
 
 import (
 	"encoding/binary"
+	"errors"
 	"net"
+	"os"
 	"runtime"
 	"sync"
 	"testing"
 	"time"
 
 	"btr/internal/sim"
+	"btr/internal/wire"
 )
 
 // tcpCluster boots one TCPBus + WallScheduler per node slot of topo on
@@ -270,6 +273,140 @@ func TestTCPBusRejectsForeignHello(t *testing.T) {
 	case <-delivered:
 		t.Fatal("garbage connection reached a handler")
 	case <-time.After(50 * time.Millisecond):
+	}
+}
+
+// soloTCPBus boots one TCPBus for node 0 of a 2-slot topology whose peer
+// address is dead (a reserved-then-closed port), so inbound connections
+// come only from the test's raw dials.
+func soloTCPBus(t *testing.T, cluster uint64) (*sim.WallScheduler, *TCPBus, string) {
+	t.Helper()
+	topo := FullMesh(2, 20_000_000, 50*sim.Microsecond)
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	dead, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	deadAddr := dead.Addr().String()
+	dead.Close()
+	w := sim.NewWallScheduler(1)
+	b := NewTCPBus(w, topo, 0, []string{lis.Addr().String(), deadAddr}, lis, DefaultTCPConfig(cluster))
+	t.Cleanup(func() {
+		w.Close()
+		b.Close()
+	})
+	return w, b, lis.Addr().String()
+}
+
+// TestTCPBusRejectsMalformedMsgFields is the Byzantine-frame regression:
+// a peer holding the cluster tag sends msg frames whose class or node-ID
+// fields are outside the deployment's ranges. Each must sever the
+// connection — never index a fixed-size stats or queue array — and a
+// well-formed frame on a fresh connection still delivers, proving the
+// rejections are the validation firing rather than harness breakage.
+func TestTCPBusRejectsMalformedMsgFields(t *testing.T) {
+	const cluster = 0xbeef
+	w, b, addr := soloTCPBus(t, cluster)
+	delivered := make(chan *Message, 8)
+	b.Handle(0, func(m *Message) { delivered <- m })
+	w.Start()
+
+	hello := wire.AppendHello(nil, wire.Hello{Cluster: cluster, Node: 1})
+	sendFrame := func(wm wire.Msg) net.Conn {
+		t.Helper()
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			t.Fatalf("dial: %v", err)
+		}
+		frame, err := wire.AppendMsg(append([]byte(nil), hello...), wm)
+		if err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+		if _, err := conn.Write(frame); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+		return conn
+	}
+	for name, wm := range map[string]wire.Msg{
+		"class out of range": {Class: 7, Src: 1, Dst: 0, From: 1, To: 0},
+		"src out of range":   {Class: uint8(ClassForeground), Src: 9, Dst: 0, From: 1, To: 0},
+		"dst out of range":   {Class: uint8(ClassForeground), Src: 1, Dst: 9, From: 1, To: 0},
+		"from out of range":  {Class: uint8(ClassForeground), Src: 1, Dst: 0, From: 9, To: 0},
+		"to out of range":    {Class: uint8(ClassForeground), Src: 1, Dst: 0, From: 1, To: 9},
+	} {
+		conn := sendFrame(wm)
+		buf := make([]byte, 1)
+		conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+		if _, err := conn.Read(buf); err == nil || errors.Is(err, os.ErrDeadlineExceeded) {
+			t.Errorf("%s: connection not severed (read err %v)", name, err)
+		}
+		conn.Close()
+	}
+	select {
+	case m := <-delivered:
+		t.Fatalf("malformed frame reached a handler: %+v", m)
+	case <-time.After(50 * time.Millisecond):
+	}
+	conn := sendFrame(wire.Msg{Class: uint8(ClassForeground), Src: 1, Dst: 0, From: 1, To: 0, Payload: []byte("ok")})
+	defer conn.Close()
+	select {
+	case m := <-delivered:
+		if string(m.Payload) != "ok" {
+			t.Fatalf("control delivery wrong: %+v", m)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("well-formed control frame never delivered")
+	}
+}
+
+// TestTCPBusInboundCloseOnReplace pins the reconnect-ordering guard: a
+// second connection Hello-ing as the same peer supersedes the first,
+// which must be closed rather than left draining kernel buffers behind
+// its replacement (the FIFO-across-reconnect hazard).
+func TestTCPBusInboundCloseOnReplace(t *testing.T) {
+	const cluster = 0xbeef
+	w, b, addr := soloTCPBus(t, cluster)
+	delivered := make(chan *Message, 2)
+	b.Handle(0, func(m *Message) { delivered <- m })
+	w.Start()
+
+	hello := wire.AppendHello(nil, wire.Hello{Cluster: cluster, Node: 1})
+	send := func(payload string) net.Conn {
+		t.Helper()
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			t.Fatalf("dial: %v", err)
+		}
+		frame, err := wire.AppendMsg(append([]byte(nil), hello...), wire.Msg{
+			Class: uint8(ClassForeground), Src: 1, Dst: 0, From: 1, To: 0, Payload: []byte(payload),
+		})
+		if err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+		if _, err := conn.Write(frame); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+		select {
+		case m := <-delivered:
+			if string(m.Payload) != payload {
+				t.Fatalf("delivery wrong: %+v", m)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("%q never delivered", payload)
+		}
+		return conn
+	}
+	c1 := send("one")
+	defer c1.Close()
+	c2 := send("two") // registering c2 must close c1
+	defer c2.Close()
+	buf := make([]byte, 1)
+	c1.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := c1.Read(buf); err == nil || errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Errorf("superseded inbound connection was not closed (read err %v)", err)
 	}
 }
 
