@@ -13,7 +13,7 @@ FUZZTIME ?= 30s
 # Minimum total statement coverage `make cover` enforces.
 COVER_MIN ?= 75
 
-.PHONY: all build test vet fmt fmt-check race ci cover bench bench-json bench-new bench-check fuzz campaign smoke-proc clean
+.PHONY: all build test vet fmt fmt-check race ci cover docs-check bench bench-json bench-new bench-check fuzz campaign smoke-proc clean
 
 all: build
 
@@ -53,6 +53,13 @@ cover:
 	@$(GO) tool cover -func=cover.out | awk '/^total:/ { pct = $$3; sub("%","",pct); \
 		if (pct+0 < $(COVER_MIN)) { printf "coverage %s%% below the $(COVER_MIN)%% floor\n", pct; exit 1 } \
 		else printf "coverage %s%% (floor $(COVER_MIN)%%)\n", pct }'
+
+# Docs gate: the FAULT_MODEL.md matrix must cover the full behavior
+# catalog with citations resolving to real tests/bench gates, and every
+# relative link/anchor in the markdown docs must resolve.
+docs-check:
+	$(GO) run ./cmd/btrfaultmodel -check
+	$(GO) run ./cmd/btrfaultmodel -links README.md ROADMAP.md FAULT_MODEL.md BENCH_SCHEMA.md
 
 # One-iteration benchmark smoke: every experiment benchmark, the campaign
 # serial/parallel pair, the plan-cache cold/warm/delta benchmarks, the

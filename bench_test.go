@@ -297,6 +297,18 @@ type campaignBench struct {
 	// gates; the latencies themselves are wall-clock and machine-bound.
 	LiveProc []liveProcBenchRow `json:"liveproc"`
 
+	// FaultRate records the C8 high-fault-rate sweep (schema v7):
+	// continuous Poisson-style fault arrivals at rate λ against
+	// parole-clock deployments, every bad sink-period classified
+	// tolerated (within R of a within-budget fault), detected (inside a
+	// signed over-budget window) or untolerated (silent miss). All
+	// quantities are simulated-time and machine-independent.
+	// btrcheckbench gates: the section must be present, every topology's
+	// knee must be positive, and every row at or below its topology's
+	// knee must have zero untolerated periods and reconcile within the
+	// bound.
+	FaultRate faultrateBench `json:"faultrate"`
+
 	// Churn records the C6 membership-churn family (schema v5): per
 	// topology, the epoch count, worst epoch-switch latency vs the worst
 	// per-epoch bound R, the within-R / clean-churn invariants, and the
@@ -340,6 +352,65 @@ type kernelBench struct {
 	EventsPerSec       float64 `json:"events_per_sec"`
 	LegacyEventsPerSec float64 `json:"legacy_events_per_sec"`
 	Speedup            float64 `json:"speedup"`
+}
+
+// faultrateBench is the C8 section: the full (topology × λ) sweep plus
+// the graceful-degradation knee per topology.
+type faultrateBench struct {
+	Rows  []faultrateBenchRow `json:"rows"`
+	Knees []faultrateKnee     `json:"knees"`
+}
+
+type faultrateBenchRow struct {
+	Topology      string  `json:"topology"`
+	LambdaPerSec  float64 `json:"lambda_per_sec"`
+	Arrivals      int     `json:"arrivals"`
+	Tolerated     int     `json:"tolerated"`
+	Detected      int     `json:"detected"`
+	Untolerated   int     `json:"untolerated"`
+	Windows       int     `json:"windows"`
+	WorstWindowMS float64 `json:"worst_window_ms"`
+	BoundWindowMS float64 `json:"bound_window_ms"`
+	Reconciled    bool    `json:"reconciled"`
+}
+
+type faultrateKnee struct {
+	Topology         string  `json:"topology"`
+	KneeLambdaPerSec float64 `json:"knee_lambda_per_sec"`
+}
+
+// measureFaultRate runs the full C8 sweep — every topology at every
+// swept λ, full horizon — and records the per-row classification plus
+// the knee each topology sustains.
+func measureFaultRate(t *testing.T) faultrateBench {
+	var out faultrateBench
+	for _, kind := range exp.FaultRateKinds() {
+		var rows []exp.C8Row
+		for _, lambda := range exp.FaultRateLambdas() {
+			row, err := exp.RunFaultRateBench(kind, lambda, 1)
+			if err != nil {
+				t.Fatalf("faultrate bench %s λ=%g: %v", kind, lambda, err)
+			}
+			rows = append(rows, row)
+			out.Rows = append(out.Rows, faultrateBenchRow{
+				Topology:      row.Topology,
+				LambdaPerSec:  row.Lambda,
+				Arrivals:      row.Arrivals,
+				Tolerated:     row.Tolerated,
+				Detected:      row.Detected,
+				Untolerated:   row.Untolerated,
+				Windows:       row.Windows,
+				WorstWindowMS: row.WorstWindow.Millis(),
+				BoundWindowMS: row.Bound.Millis(),
+				Reconciled:    row.Reconciled,
+			})
+		}
+		out.Knees = append(out.Knees, faultrateKnee{
+			Topology:         kind,
+			KneeLambdaPerSec: exp.C8Knee(rows),
+		})
+	}
+	return out
 }
 
 type churnBenchRow struct {
@@ -479,7 +550,7 @@ func TestEmitCampaignBench(t *testing.T) {
 	cachedNs, uncachedNs := sig.MeasureVerifySpeedup(64)
 	curTP, legacyTP := sim.MeasureKernelThroughput(1 << 19)
 	bench := campaignBench{
-		Schema: "btr-campaign-bench/v6",
+		Schema: "btr-campaign-bench/v7",
 		Seed:   1, Quick: quick,
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		HostCores:  runtime.NumCPU(),
@@ -492,9 +563,10 @@ func TestEmitCampaignBench(t *testing.T) {
 			LegacyEventsPerSec: legacyTP,
 			Speedup:            curTP / legacyTP,
 		},
-		Live:     measureLiveSoak(p),
-		LiveProc: measureLiveProc(p),
-		Churn:    measureChurn(t),
+		Live:      measureLiveSoak(p),
+		LiveProc:  measureLiveProc(p),
+		Churn:     measureChurn(t),
+		FaultRate: measureFaultRate(t),
 		Crypto: cryptoBench{
 			VerifyCachedNsOp:   cachedNs,
 			VerifyUncachedNsOp: uncachedNs,
@@ -513,11 +585,11 @@ func TestEmitCampaignBench(t *testing.T) {
 			WorkMS: float64(r.Work.Microseconds()) / 1000,
 		})
 	}
-	// The C4 plan-cache and C6 churn sweeps ride along outside the timed
-	// serial/par4 pair so the historical wall-clock trajectory stays
-	// comparable.
+	// The C4 plan-cache, C6 churn and C8 fault-rate sweeps ride along
+	// outside the timed serial/par4 pair so the historical wall-clock
+	// trajectory stays comparable.
 	for _, sc := range exp.Scenarios() {
-		if sc.ID != "C4" && sc.ID != "C6" {
+		if sc.ID != "C4" && sc.ID != "C6" && sc.ID != "C8" {
 			continue
 		}
 		res := campaign.Run([]campaign.Scenario{sc}, campaign.Options{Workers: 1, Params: p})
@@ -547,11 +619,12 @@ func TestEmitCampaignBench(t *testing.T) {
 	if err := enc.Encode(bench); err != nil {
 		t.Fatalf("encode: %v", err)
 	}
-	t.Logf("wrote %s: serial %.0fms (uncached %.0fms, crypto %.2fx, memo hit rate %.1f%%), workers=4 %.0fms, speedup %.2fx (GOMAXPROCS=%d, %d host core(s)); plan cache warm %.2fms vs cold %.2fms (%.1fx); kernel %.2fx vs legacy; verify memo %.1fx; %d live soak row(s); %d multi-process row(s); %d churn row(s)",
+	t.Logf("wrote %s: serial %.0fms (uncached %.0fms, crypto %.2fx, memo hit rate %.1f%%), workers=4 %.0fms, speedup %.2fx (GOMAXPROCS=%d, %d host core(s)); plan cache warm %.2fms vs cold %.2fms (%.1fx); kernel %.2fx vs legacy; verify memo %.1fx; %d live soak row(s); %d multi-process row(s); %d churn row(s); %d fault-rate row(s) across %d knee(s)",
 		out, bench.SerialMS, bench.Crypto.UncachedSerialMS, bench.Crypto.CampaignSpeedup,
 		bench.Crypto.MemoHitRate*100, bench.Par4MS, bench.Speedup, bench.GOMAXPROCS, bench.HostCores,
 		bench.PlanCache.WarmMS, bench.PlanCache.ColdMS, bench.PlanCache.Speedup,
-		bench.Kernel.Speedup, bench.Crypto.VerifySpeedup, len(bench.Live), len(bench.LiveProc), len(bench.Churn))
+		bench.Kernel.Speedup, bench.Crypto.VerifySpeedup, len(bench.Live), len(bench.LiveProc), len(bench.Churn),
+		len(bench.FaultRate.Rows), len(bench.FaultRate.Knees))
 }
 
 func BenchmarkE1Recovery(b *testing.B) {

@@ -1,0 +1,84 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+)
+
+var readmeFlagRE = regexp.MustCompile("^\\| `-([^`]+)` \\|")
+
+// readmeFlagsTable returns the flag names of the README table that
+// follows the given marker comment.
+func readmeFlagsTable(t *testing.T, marker string) map[string]bool {
+	t.Helper()
+	src, err := os.ReadFile("../../README.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(string(src), "\n")
+	names := map[string]bool{}
+	inTable := false
+	for _, line := range lines {
+		tl := strings.TrimSpace(line)
+		if !inTable {
+			if tl == marker {
+				inTable = true
+			}
+			continue
+		}
+		if m := readmeFlagRE.FindStringSubmatch(tl); m != nil {
+			names[m[1]] = true
+			continue
+		}
+		if !strings.HasPrefix(tl, "|") {
+			break
+		}
+	}
+	if !inTable {
+		t.Fatalf("README.md has no %s marker", marker)
+	}
+	if len(names) == 0 {
+		t.Fatalf("no flag rows found after %s", marker)
+	}
+	return names
+}
+
+// diffFlagSets fails the test when the README table and the registered
+// flag set disagree in either direction.
+func diffFlagSets(t *testing.T, documented map[string]bool, fs *flag.FlagSet) {
+	t.Helper()
+	registered := map[string]bool{}
+	fs.VisitAll(func(f *flag.Flag) { registered[f.Name] = true })
+	var missing, stale []string
+	for name := range registered {
+		if !documented[name] {
+			missing = append(missing, name)
+		}
+	}
+	for name := range documented {
+		if !registered[name] {
+			stale = append(stale, name)
+		}
+	}
+	sort.Strings(missing)
+	sort.Strings(stale)
+	if len(missing) > 0 {
+		t.Errorf("flags registered but missing from the README table: %v", missing)
+	}
+	if len(stale) > 0 {
+		t.Errorf("flags documented in the README table but not registered: %v", stale)
+	}
+}
+
+// TestReadmeFlagsTableMatches pins the README's btrcampaign flags table
+// to the live flag set: a flag added or removed in registerFlags must
+// update the table, and vice versa.
+func TestReadmeFlagsTableMatches(t *testing.T) {
+	fs := flag.NewFlagSet("btrcampaign", flag.ContinueOnError)
+	registerFlags(fs)
+	diffFlagSets(t, readmeFlagsTable(t, "<!-- flags:btrcampaign -->"), fs)
+}

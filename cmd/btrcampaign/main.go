@@ -1,5 +1,5 @@
 // Command btrcampaign runs fault-injection campaigns: every scenario
-// (the paper reproductions E1–E10 and the sweep families C1–C3) fanned
+// (the paper reproductions E1–E10 and the sweep families C1–C8) fanned
 // out over a deterministic worker pool. Aggregated tables are
 // byte-identical for any -workers value. Usage:
 //
@@ -64,22 +64,44 @@ func selectScenarios(all []campaign.Scenario, only, family string) ([]campaign.S
 	return selected, nil
 }
 
+// campaignFlags holds every flag value btrcampaign parses.
+type campaignFlags struct {
+	workers, trials               *int
+	seed                          *uint64
+	quick, jsonOut, list, verbose *bool
+	only, family                  *string
+	prof                          *prof.Flags
+}
+
+// registerFlags registers the full btrcampaign flag set on fs. It is
+// the single source of truth the README flags table is pinned against
+// (TestReadmeFlagsTableMatches).
+func registerFlags(fs *flag.FlagSet) *campaignFlags {
+	return &campaignFlags{
+		workers: fs.Int("workers", runtime.NumCPU(), "worker pool size (output is identical for any value)"),
+		trials:  fs.Int("trials", 1, "Monte Carlo multiplier for randomized scenario families"),
+		seed:    fs.Uint64("seed", 1, "campaign master seed (every trial seed is split from it)"),
+		quick:   fs.Bool("quick", false, "smaller sweeps (for smoke runs)"),
+		jsonOut: fs.Bool("json", false, "emit the machine-readable result bundle as JSON"),
+		only:    fs.String("only", "", "run a single scenario (e.g. E6 or C1)"),
+		family:  fs.String("family", "", "run one scenario family (paper | campaign | churn | live | liveproc | faultrate)"),
+		list:    fs.Bool("list", false, "list scenarios and exit"),
+		verbose: fs.Bool("v", false, "print per-trial progress to stderr"),
+		prof:    prof.RegisterOn(fs),
+	}
+}
+
 func main() {
 	// The C7 family re-executes this binary as node processes; the hook
 	// turns those re-executions into deployment nodes instead of
 	// recursive campaigns. No-op unless BTR_PROC_SPEC is set.
 	live.MaybeRunNodeProc()
 
-	workers := flag.Int("workers", runtime.NumCPU(), "worker pool size (output is identical for any value)")
-	trials := flag.Int("trials", 1, "Monte Carlo multiplier for randomized scenario families")
-	seed := flag.Uint64("seed", 1, "campaign master seed (every trial seed is split from it)")
-	quick := flag.Bool("quick", false, "smaller sweeps (for smoke runs)")
-	jsonOut := flag.Bool("json", false, "emit the machine-readable result bundle as JSON")
-	only := flag.String("only", "", "run a single scenario (e.g. E6 or C1)")
-	family := flag.String("family", "", "run one scenario family (paper | campaign | churn | live | liveproc)")
-	list := flag.Bool("list", false, "list scenarios and exit")
-	verbose := flag.Bool("v", false, "print per-trial progress to stderr")
-	profFlags := prof.Register()
+	cf := registerFlags(flag.CommandLine)
+	workers, trials, seed := cf.workers, cf.trials, cf.seed
+	quick, jsonOut, only := cf.quick, cf.jsonOut, cf.only
+	family, list, verbose := cf.family, cf.list, cf.verbose
+	profFlags := cf.prof
 	flag.Parse()
 	if *workers < 1 {
 		*workers = 1

@@ -21,6 +21,10 @@
 //     matter how fast the host is). E4, the crypto-bound scenario, is
 //     the fast path's canary: its share is gated without the absolute
 //     slack;
+//   - invariant sections always checked: every live/liveproc row within
+//     R, churn clean with zero warm replans, and the fault-rate sweep
+//     (schema v7) non-empty with a positive knee per topology and zero
+//     untolerated periods (reconciled windows) at and below each knee;
 //   - absolute wall-clock comparisons (campaign serial wall,
 //     per-scenario work, plan-cache cold synthesis) are meaningful only
 //     between runs on the same host at the same parallelism, so they
@@ -73,7 +77,35 @@ type benchFile struct {
 
 	Churn []churnRow `json:"churn"`
 
+	FaultRate faultrateSection `json:"faultrate"`
+
 	Scenarios []benchScenario `json:"scenarios"`
+}
+
+// faultrateSection is the C8 high-fault-rate sweep (schema v7):
+// per-(topology, λ) classification of every bad sink-period plus the
+// graceful-degradation knee each topology sustains. All quantities are
+// simulated-time and machine-independent, so they gate everywhere.
+type faultrateSection struct {
+	Rows  []faultrateRow  `json:"rows"`
+	Knees []faultrateKnee `json:"knees"`
+}
+
+type faultrateRow struct {
+	Topology      string  `json:"topology"`
+	LambdaPerSec  float64 `json:"lambda_per_sec"`
+	Arrivals      int     `json:"arrivals"`
+	Tolerated     int     `json:"tolerated"`
+	Detected      int     `json:"detected"`
+	Untolerated   int     `json:"untolerated"`
+	WorstWindowMS float64 `json:"worst_window_ms"`
+	BoundWindowMS float64 `json:"bound_window_ms"`
+	Reconciled    bool    `json:"reconciled"`
+}
+
+type faultrateKnee struct {
+	Topology         string  `json:"topology"`
+	KneeLambdaPerSec float64 `json:"knee_lambda_per_sec"`
 }
 
 // churnRow is one C6 membership-churn entry of the bundle's churn
@@ -262,6 +294,43 @@ func compare(base, cur benchFile, tol, minWarmSpeedup, minKernelSpeedup, minCryp
 		}
 	}
 
+	// High-fault-rate regime (schema v7): every topology must sustain a
+	// positive knee — some swept arrival rate at which continuous faults
+	// never produce a silent miss — and every row at or below its
+	// topology's knee must have zero untolerated periods and reconcile
+	// its degraded windows within the bound. Rows above the knee are
+	// informational: beyond the knee the conviction machinery itself can
+	// starve, which is exactly what the knee locates.
+	if len(cur.FaultRate.Rows) == 0 || len(cur.FaultRate.Knees) == 0 {
+		failf("new bundle carries no fault-rate sweep")
+	}
+	kneeByTopo := map[string]float64{}
+	for _, k := range cur.FaultRate.Knees {
+		kneeByTopo[k.Topology] = k.KneeLambdaPerSec
+		if k.KneeLambdaPerSec <= 0 {
+			failf("faultrate %s: knee λ=%g — even the smallest swept rate produced a silent miss or an unreconciled window",
+				k.Topology, k.KneeLambdaPerSec)
+		}
+	}
+	for _, row := range cur.FaultRate.Rows {
+		knee, ok := kneeByTopo[row.Topology]
+		if !ok {
+			failf("faultrate %s: row without a knee entry", row.Topology)
+			continue
+		}
+		if row.LambdaPerSec > knee {
+			continue
+		}
+		if row.Untolerated > 0 {
+			failf("faultrate %s λ=%g (at/below knee %g): %d untolerated (silent) period(s)",
+				row.Topology, row.LambdaPerSec, knee, row.Untolerated)
+		}
+		if !row.Reconciled {
+			failf("faultrate %s λ=%g (at/below knee %g): worst degraded window %.1fms exceeded the %.1fms reconcile bound",
+				row.Topology, row.LambdaPerSec, knee, row.WorstWindowMS, row.BoundWindowMS)
+		}
+	}
+
 	if base.Quick != cur.Quick {
 		notef("skipping perf comparison: baseline quick=%v vs new quick=%v", base.Quick, cur.Quick)
 		return failures, notices
@@ -370,8 +439,8 @@ func main() {
 		}
 		os.Exit(1)
 	}
-	fmt.Printf("bench check OK: %d scenario(s), serial %.0fms, plan-cache warm %.2fx, kernel %.2fx, verify memo %.2fx, crypto campaign %.2fx (E4 share %.1f%%), %d live row(s) within R, %d multi-process row(s) within R, %d churn row(s) within R (warm replans 0)\n",
+	fmt.Printf("bench check OK: %d scenario(s), serial %.0fms, plan-cache warm %.2fx, kernel %.2fx, verify memo %.2fx, crypto campaign %.2fx (E4 share %.1f%%), %d live row(s) within R, %d multi-process row(s) within R, %d churn row(s) within R (warm replans 0), %d fault-rate row(s) clean at/below %d knee(s)\n",
 		len(cur.Scenarios), cur.SerialMS, cur.PlanCache.Speedup, cur.Kernel.Speedup,
 		cur.Crypto.VerifySpeedup, cur.Crypto.CampaignSpeedup, cur.Crypto.E4WorkShare*100,
-		len(cur.Live), len(cur.LiveProc), len(cur.Churn))
+		len(cur.Live), len(cur.LiveProc), len(cur.Churn), len(cur.FaultRate.Rows), len(cur.FaultRate.Knees))
 }

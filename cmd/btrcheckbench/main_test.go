@@ -29,6 +29,14 @@ func bundle(gomaxprocs int, serial float64, warmSpeedup float64) benchFile {
 	}
 	f.Churn = []churnRow{{Topology: "full-mesh", Epochs: 3, WorstSwitchMS: 25, BoundMS: 103,
 		WithinR: true, CleanChurn: true, ColdReplans: 4, WarmReplans: 0}}
+	f.FaultRate = faultrateSection{
+		Rows: []faultrateRow{
+			{Topology: "full-mesh", LambdaPerSec: 1, Arrivals: 2, WorstWindowMS: 0, BoundWindowMS: 500, Reconciled: true},
+			{Topology: "full-mesh", LambdaPerSec: 4, Arrivals: 13, Detected: 3, WorstWindowMS: 99, BoundWindowMS: 500, Reconciled: true},
+			{Topology: "full-mesh", LambdaPerSec: 8, Arrivals: 22, Detected: 4, Untolerated: 1, WorstWindowMS: 319, BoundWindowMS: 500, Reconciled: true},
+		},
+		Knees: []faultrateKnee{{Topology: "full-mesh", KneeLambdaPerSec: 4}},
+	}
 	f.Scenarios = []benchScenario{
 		{ID: "E1", Trials: 6, WorkMS: 1000},
 		{ID: "C4", Trials: 7, WorkMS: 100},
@@ -240,6 +248,46 @@ func TestCompareGatesLiveProc(t *testing.T) {
 	cur.LiveProc[1].Reconnected = nil
 	if fails, _ := compare(base, cur, 0.20, 5, 2, 2, 0, false); len(fails) != 0 {
 		t.Fatalf("null reconnect verdict must not gate: %v", fails)
+	}
+}
+
+func TestCompareGatesFaultRate(t *testing.T) {
+	base := bundle(4, 10000, 20)
+	// Missing faultrate section fails: v7 bundles must carry the sweep.
+	cur := bundle(4, 10000, 20)
+	cur.FaultRate = faultrateSection{}
+	if fails, _ := compare(base, cur, 0.20, 5, 2, 2, 0, false); !hasFailure(fails, "no fault-rate sweep") {
+		t.Fatalf("missing faultrate section not flagged: %v", fails)
+	}
+	// A topology whose knee collapsed to zero fails.
+	cur = bundle(4, 10000, 20)
+	cur.FaultRate.Knees[0].KneeLambdaPerSec = 0
+	if fails, _ := compare(base, cur, 0.20, 5, 2, 2, 0, false); !hasFailure(fails, "knee λ=0") {
+		t.Fatalf("zero knee not flagged: %v", fails)
+	}
+	// A silent miss at/below the knee fails; the same count above the
+	// knee is informational only.
+	cur = bundle(4, 10000, 20)
+	cur.FaultRate.Rows[1].Untolerated = 2
+	if fails, _ := compare(base, cur, 0.20, 5, 2, 2, 0, false); !hasFailure(fails, "untolerated (silent)") {
+		t.Fatalf("below-knee silent miss not flagged: %v", fails)
+	}
+	cur = bundle(4, 10000, 20)
+	cur.FaultRate.Rows[2].Untolerated = 5 // λ=8 > knee 4: above-knee rows may miss
+	if fails, _ := compare(base, cur, 0.20, 5, 2, 2, 0, false); len(fails) != 0 {
+		t.Fatalf("above-knee row must not gate: %v", fails)
+	}
+	// An unreconciled degraded window at/below the knee fails.
+	cur = bundle(4, 10000, 20)
+	cur.FaultRate.Rows[1].Reconciled = false
+	if fails, _ := compare(base, cur, 0.20, 5, 2, 2, 0, false); !hasFailure(fails, "reconcile bound") {
+		t.Fatalf("below-knee unreconciled window not flagged: %v", fails)
+	}
+	// A row whose topology has no knee entry fails.
+	cur = bundle(4, 10000, 20)
+	cur.FaultRate.Rows = append(cur.FaultRate.Rows, faultrateRow{Topology: "ring", LambdaPerSec: 1, Reconciled: true})
+	if fails, _ := compare(base, cur, 0.20, 5, 2, 2, 0, false); !hasFailure(fails, "without a knee entry") {
+		t.Fatalf("knee-less row not flagged: %v", fails)
 	}
 }
 

@@ -176,31 +176,57 @@ func main() {
 	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
 }
 
+// liveFlags holds every flag value btrlive parses.
+type liveFlags struct {
+	topoKind, faultKind, peers         *string
+	joinSpec, retireSpec, replaceSpec  *string
+	nodes, f, nodeID, membersN         *int
+	period, margin                     *time.Duration
+	horizon, seed, atPeriod, healAfter *uint64
+	orchestrate, verbose               *bool
+	prof                               *prof.Flags
+}
+
+// registerFlags registers the full btrlive flag set on fs. It is the
+// single source of truth the README flags table is pinned against
+// (TestReadmeFlagsTableMatches).
+func registerFlags(fs *flag.FlagSet) *liveFlags {
+	return &liveFlags{
+		topoKind:    fs.String("topo", "full-mesh", "topology family: "+strings.Join(live.TopoKinds, ", ")),
+		nodes:       fs.Int("nodes", 6, "node slot count (grid is fixed 3x3)"),
+		f:           fs.Int("f", 1, "fault bound the planner covers"),
+		period:      fs.Duration("period", 100*time.Millisecond, "control period"),
+		margin:      fs.Duration("margin", 20*time.Millisecond, "arrival-watchdog margin (jitter budget)"),
+		horizon:     fs.Uint64("horizon", 20, "periods to run"),
+		seed:        fs.Uint64("seed", 1, "deployment seed"),
+		faultKind:   fs.String("fault", "corrupt-all", "fault to inject: "+strings.Join(live.ProcFaultKinds, ", ")),
+		atPeriod:    fs.Uint64("at", 3, "injection period index (must be < -horizon)"),
+		healAfter:   fs.Uint64("heal-after", 3, "periods between fault and repair (-orchestrate)"),
+		orchestrate: fs.Bool("orchestrate", false, "one process per node over TCP, judged by an orchestrator plant"),
+		nodeID:      fs.Int("node", -1, "run one node slot of a multi-process deployment"),
+		peers:       fs.String("peers", "", "comma-separated listen addresses, index = node ID (with -node)"),
+		membersN:    fs.Int("members", 0, "initially active slots 0..K-1 (0 = all)"),
+		joinSpec:    fs.String("join", "", "scripted joins, slot@period[,slot@period...]"),
+		retireSpec:  fs.String("retire", "", "scripted retires, slot@period[,...]"),
+		replaceSpec: fs.String("replace", "", "scripted replaces, new:old@period[,...]"),
+		verbose:     fs.Bool("v", false, "stream evidence and mode switches to stderr"),
+		prof:        prof.RegisterOn(fs),
+	}
+}
+
 // run is main minus os.Exit: every path returns through it, so the
 // deferred profile flush below runs on failures too (the internal/prof
 // contract — a failing run must still write a valid profile).
 func run(args []string, stdin io.Reader, stdout, stderr io.Writer) (code int) {
 	fs := flag.NewFlagSet("btrlive", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	topoKind := fs.String("topo", "full-mesh", "topology family: "+strings.Join(live.TopoKinds, ", "))
-	nodes := fs.Int("nodes", 6, "node slot count (grid is fixed 3x3)")
-	f := fs.Int("f", 1, "fault bound the planner covers")
-	period := fs.Duration("period", 100*time.Millisecond, "control period")
-	margin := fs.Duration("margin", 20*time.Millisecond, "arrival-watchdog margin (jitter budget)")
-	horizon := fs.Uint64("horizon", 20, "periods to run")
-	seed := fs.Uint64("seed", 1, "deployment seed")
-	faultKind := fs.String("fault", "corrupt-all", "fault to inject: "+strings.Join(live.ProcFaultKinds, ", "))
-	atPeriod := fs.Uint64("at", 3, "injection period index (must be < -horizon)")
-	healAfter := fs.Uint64("heal-after", 3, "periods between fault and repair (-orchestrate)")
-	orchestrate := fs.Bool("orchestrate", false, "one process per node over TCP, judged by an orchestrator plant")
-	nodeID := fs.Int("node", -1, "run one node slot of a multi-process deployment")
-	peers := fs.String("peers", "", "comma-separated listen addresses, index = node ID (with -node)")
-	membersN := fs.Int("members", 0, "initially active slots 0..K-1 (0 = all)")
-	joinSpec := fs.String("join", "", "scripted joins, slot@period[,slot@period...]")
-	retireSpec := fs.String("retire", "", "scripted retires, slot@period[,...]")
-	replaceSpec := fs.String("replace", "", "scripted replaces, new:old@period[,...]")
-	verbose := fs.Bool("v", false, "stream evidence and mode switches to stderr")
-	profFlags := prof.RegisterOn(fs)
+	lf := registerFlags(fs)
+	topoKind, nodes, f := lf.topoKind, lf.nodes, lf.f
+	period, margin, horizon, seed := lf.period, lf.margin, lf.horizon, lf.seed
+	faultKind, atPeriod, healAfter := lf.faultKind, lf.atPeriod, lf.healAfter
+	orchestrate, nodeID, peers := lf.orchestrate, lf.nodeID, lf.peers
+	membersN, joinSpec, retireSpec, replaceSpec := lf.membersN, lf.joinSpec, lf.retireSpec, lf.replaceSpec
+	verbose, profFlags := lf.verbose, lf.prof
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}

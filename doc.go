@@ -31,6 +31,16 @@
 // across five topology families, holding recovery within the per-epoch
 // bound R across every epoch boundary.
 //
+// The fault model is machine-checked: FAULT_MODEL.md states, for every
+// behavior in the catalog, what happens at ≤ f active faults (tolerated
+// within the provable bound R), beyond f transiently (detected — signed
+// over-budget verdicts open a degraded window that a reconciled verdict
+// closes when convictions expire on the parole clock,
+// runtime.Config.ForgiveAfter), and under a sustained fault arrival
+// rate (the C8 campaign family, internal/faultrate, locates the knee).
+// Every tolerated/detected cell cites the test or bench gate proving
+// it, and cmd/btrfaultmodel verifies the citations in CI.
+//
 // Host-side crypto cost is amortized by the internal/sig memo fast path:
 // verification and sealing are deterministic, so they are memoized
 // (positive entries only, full-triple keys) and evidence blobs are

@@ -65,6 +65,12 @@ type Config struct {
 	// EvidenceRateLimit forwards to the runtime (0 = default).
 	EvidenceRateLimit int
 
+	// ForgiveAfter forwards to the runtime: non-zero puts convictions on
+	// a parole clock and enables the over-budget / reconciled verdicts
+	// that feed Report.Degraded (the high-fault-rate regime,
+	// internal/faultrate). 0 keeps the classic append-only fault set.
+	ForgiveAfter sim.Time
+
 	// OnActuation, if set, observes every actuation command (a physical
 	// plant subscribes here; it should apply first-command-per-period
 	// semantics itself, as plant.Loop.Apply does).
@@ -89,6 +95,14 @@ type System struct {
 
 	oracle Oracle
 	report *Report
+
+	// Degradation tracking (high-fault-rate regime): which reporters have
+	// an open over-budget declaration, and when the current globally
+	// degraded window opened. The flood bound Delta is far below the gap
+	// between a reporter's consecutive capacity crossings (≥ one period),
+	// so first observations arrive in emission order.
+	degradedBy map[network.NodeID]bool
+	degradedAt sim.Time
 }
 
 // Report aggregates everything a run measured.
@@ -115,6 +129,14 @@ type Report struct {
 	// planner performed — near zero on a warm cache.
 	Epochs       []EpochRow
 	EpochReplans uint64
+
+	// Degraded lists the windows during which at least one node had
+	// declared itself over budget (signed KindOverBudget verdict without
+	// a matching KindReconciled yet) — the spans where the recovery
+	// guarantee is suspended-but-flagged rather than live. A window still
+	// open at the horizon is closed there. Empty without
+	// Config.ForgiveAfter.
+	Degraded []metrics.Interval
 }
 
 // EpochRow is one membership epoch's lifecycle measurements (recorded
@@ -187,6 +209,7 @@ func NewSystem(cfg Config) (*System, error) {
 	s := &System{
 		Cfg: cfg, Kernel: k, Net: nw, Registry: reg, Strategy: strategy,
 		PlanEngine: eng, MemberPlanner: mplanner,
+		degradedBy: map[network.NodeID]bool{},
 	}
 	source := cfg.Source
 	if source == nil {
@@ -217,6 +240,7 @@ func NewSystem(cfg Config) (*System, error) {
 		Kernel: k, Net: nw, Registry: reg, Strategy: strategy, Planner: planner, Epochs: epochCfg,
 		Compute: cfg.Compute, Source: source,
 		EvidenceRateLimit: cfg.EvidenceRateLimit,
+		ForgiveAfter:      cfg.ForgiveAfter,
 		OnActuation: func(node network.NodeID, sink flow.TaskID, period uint64, value []byte, at sim.Time) {
 			rep.Actuations++
 			if cfg.OnActuation != nil {
@@ -233,6 +257,25 @@ func NewSystem(cfg Config) (*System, error) {
 			rep.EvidenceByKind[ev.Kind]++
 			if at < rep.FirstEvidenceAt {
 				rep.FirstEvidenceAt = at
+			}
+			// Degradation windows open on the first over-budget
+			// observation from a reporter and close when every open
+			// declaration has been matched by a reconciled one.
+			switch ev.Kind {
+			case evidence.KindOverBudget:
+				if !s.degradedBy[ev.Reporter] {
+					if len(s.degradedBy) == 0 {
+						s.degradedAt = at
+					}
+					s.degradedBy[ev.Reporter] = true
+				}
+			case evidence.KindReconciled:
+				if s.degradedBy[ev.Reporter] {
+					delete(s.degradedBy, ev.Reporter)
+					if len(s.degradedBy) == 0 {
+						rep.Degraded = append(rep.Degraded, metrics.Interval{Start: s.degradedAt, End: at})
+					}
+				}
 			}
 		},
 		OnSwitch: func(node network.NodeID, from, to string, at sim.Time) {
@@ -283,6 +326,12 @@ func (s *System) Reconfigure(t sim.Time, d member.Delta) {
 func (s *System) Run() *Report {
 	s.Runtime.Start()
 	s.Kernel.Run(s.report.Horizon)
+	if len(s.degradedBy) > 0 {
+		// Still degraded at the horizon: close the window there so the
+		// unreconciled span is visible rather than dropped.
+		s.report.Degraded = append(s.report.Degraded, metrics.Interval{Start: s.degradedAt, End: s.report.Horizon})
+		s.degradedBy = map[network.NodeID]bool{}
+	}
 	s.report.NetStats = s.Net.Snapshot()
 	if s.MemberPlanner != nil {
 		s.report.EpochReplans = s.MemberPlanner.Replans()

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"testing"
+
+	"btr/internal/adversary"
+	"btr/internal/evidence"
+	"btr/internal/network"
+	"btr/internal/sim"
+)
+
+// twoHosts returns two distinct task-hosting nodes of the base plan, in
+// deterministic order.
+func twoHosts(s *System, t *testing.T) (network.NodeID, network.NodeID) {
+	t.Helper()
+	base := s.Strategy.Plans[""]
+	first := network.NodeID(-1)
+	for _, id := range base.Aug.TaskIDs() {
+		n := base.Assign[id]
+		if first == -1 {
+			first = n
+		} else if n != first {
+			return first, n
+		}
+	}
+	t.Fatal("base plan places every replica on one node")
+	return -1, -1
+}
+
+// TestDegradedWindowOpensAndReconciles is the mechanism pin for the
+// > f regimes of the fault-model matrix: with a parole clock
+// (Config.ForgiveAfter) and two staggered Byzantine nodes against f=1,
+// every correct node's fault set crosses the budget — raising signed
+// over-budget verdicts that open a Report.Degraded window — and the
+// parole of the first conviction closes it again with reconciled
+// verdicts, before the horizon. Degradation is flagged, never silent.
+func TestDegradedWindowOpensAndReconciles(t *testing.T) {
+	cfg := chainConfig(9)
+	cfg.Horizon = 80
+	cfg.ForgiveAfter = 8 * 25 * sim.Millisecond
+	s, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1, v2 := twoHosts(s, t)
+	p := s.Strategy.Base.Period
+	// Both victims heal before their paroles land — an unhealed Byzantine
+	// node would simply be re-convicted after parole and re-open the
+	// window (correct, but not the shape this test pins).
+	adversary.CorruptEverything(v1, 5*p).Install(s)
+	adversary.CorruptEverything(v2, 15*p).Install(s)
+	s.Kernel.At(20*p, func() {
+		s.Runtime.SetBehavior(v1, nil)
+		s.Runtime.SetBehavior(v2, nil)
+	})
+	rep := s.Run()
+
+	if rep.EvidenceByKind[evidence.KindOverBudget] == 0 {
+		t.Fatal("no over-budget verdicts despite two convictions against f=1")
+	}
+	if rep.EvidenceByKind[evidence.KindReconciled] == 0 {
+		t.Fatal("no reconciled verdicts: parole never brought the fault sets back within budget")
+	}
+	if len(rep.Degraded) == 0 {
+		t.Fatal("no degraded window recorded")
+	}
+	for _, w := range rep.Degraded {
+		if w.End >= rep.Horizon {
+			t.Errorf("degraded window %v still open at the horizon — reconciliation never completed", w)
+		}
+		if w.End <= w.Start {
+			t.Errorf("degenerate degraded window %v", w)
+		}
+	}
+}
+
+// TestClassicModeRaisesNoBudgetVerdicts pins the compatibility
+// guarantee: without ForgiveAfter the same two-fault run convicts
+// append-only (§4.4) and produces no budget verdicts and no degraded
+// windows — the classic configuration is byte-for-byte unaffected by
+// the degradation machinery.
+func TestClassicModeRaisesNoBudgetVerdicts(t *testing.T) {
+	cfg := chainConfig(9)
+	cfg.Horizon = 80
+	s, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1, v2 := twoHosts(s, t)
+	p := s.Strategy.Base.Period
+	adversary.CorruptEverything(v1, 5*p).Install(s)
+	adversary.CorruptEverything(v2, 15*p).Install(s)
+	rep := s.Run()
+
+	if n := rep.EvidenceByKind[evidence.KindOverBudget] + rep.EvidenceByKind[evidence.KindReconciled]; n != 0 {
+		t.Errorf("%d budget verdict(s) raised without ForgiveAfter", n)
+	}
+	if len(rep.Degraded) != 0 {
+		t.Errorf("degraded windows without ForgiveAfter: %v", rep.Degraded)
+	}
+}
+
+// TestRestartAfterCrashResumesOutput pins System.Restart: a crashed and
+// restarted node re-arms its period chain exactly once and the
+// deployment keeps actuating to the horizon.
+func TestRestartAfterCrashResumesOutput(t *testing.T) {
+	cfg := chainConfig(9)
+	cfg.Horizon = 60
+	cfg.ForgiveAfter = 8 * 25 * sim.Millisecond
+	s, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1, _ := twoHosts(s, t)
+	p := s.Strategy.Base.Period
+	adversary.Crash(v1, 5*p).Install(s)
+	s.Kernel.At(13*p, func() { s.Runtime.Restart(v1) })
+	rep := s.Run()
+	if rep.Actuations == 0 {
+		t.Fatal("no actuations after crash+restart")
+	}
+	// The tail of the run must be clean: conviction, parole and rejoin
+	// all complete well before the horizon.
+	for _, tl := range rep.PerSink {
+		for _, iv := range tl.FalseIntervals(rep.Horizon) {
+			if iv.End > rep.Horizon-5*p {
+				t.Errorf("bad output %v persists near the horizon after restart", iv)
+			}
+		}
+	}
+}

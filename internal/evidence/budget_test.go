@@ -1,0 +1,90 @@
+package evidence
+
+import (
+	"errors"
+	"testing"
+
+	"btr/internal/network"
+	"btr/internal/sig"
+)
+
+func TestBudgetVerdictRoundTrip(t *testing.T) {
+	b := BudgetVerdict{Reporter: 3, Active: 2, Capacity: 1}
+	d, err := DecodeBudgetVerdict(b.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != b {
+		t.Errorf("round trip mismatch: %+v vs %+v", d, b)
+	}
+	enc := b.Encode()
+	for _, raw := range [][]byte{{}, enc[:3], enc[:len(enc)-1], append(append([]byte{}, enc...), 9)} {
+		if _, err := DecodeBudgetVerdict(raw); err == nil {
+			t.Errorf("decode accepted malformed input of len %d", len(raw))
+		}
+	}
+}
+
+// mkBudget seals a budget verdict by the reporter and wraps it in an
+// Evidence of the given kind.
+func mkBudget(reg *sig.Registry, kind Kind, rep network.NodeID, active, capacity uint32) Evidence {
+	b := BudgetVerdict{Reporter: rep, Active: active, Capacity: capacity}
+	return Evidence{
+		Kind: kind, Accused: -1, Reporter: rep, DetectedAt: 10,
+		Primary: reg.Seal(rep, b.Encode()),
+	}
+}
+
+func TestBudgetVerdictValid(t *testing.T) {
+	reg := sig.NewRegistry(1, 4)
+	v := testValidator(reg)
+	if err := v.Validate(mkBudget(reg, KindOverBudget, 2, 2, 1)); err != nil {
+		t.Errorf("valid over-budget rejected: %v", err)
+	}
+	if err := v.Validate(mkBudget(reg, KindReconciled, 2, 1, 1)); err != nil {
+		t.Errorf("valid reconciled rejected: %v", err)
+	}
+}
+
+func TestBudgetVerdictRejectsInconsistentCounts(t *testing.T) {
+	reg := sig.NewRegistry(1, 4)
+	v := testValidator(reg)
+	// An over-budget claim whose own body says the set is within budget
+	// is not a fault declaration at all.
+	if err := v.Validate(mkBudget(reg, KindOverBudget, 2, 1, 1)); !errors.Is(err, ErrNotAFault) {
+		t.Errorf("within-budget over-budget claim: err=%v, want ErrNotAFault", err)
+	}
+	// A reconciled claim still over capacity is malformed.
+	if err := v.Validate(mkBudget(reg, KindReconciled, 2, 2, 1)); !errors.Is(err, ErrMalformed) {
+		t.Errorf("over-capacity reconciled claim: err=%v, want ErrMalformed", err)
+	}
+}
+
+func TestBudgetVerdictCannotFrame(t *testing.T) {
+	reg := sig.NewRegistry(1, 4)
+	v := testValidator(reg)
+	// Body reporter differs from the signer: node 1 cannot publish a
+	// verdict in node 2's name.
+	b := BudgetVerdict{Reporter: 2, Active: 2, Capacity: 1}
+	e := Evidence{Kind: KindOverBudget, Accused: -1, Reporter: 2, DetectedAt: 10,
+		Primary: reg.Seal(1, b.Encode())}
+	if err := v.Validate(e); !errors.Is(err, ErrMalformed) {
+		t.Errorf("signer/reporter mismatch: err=%v, want ErrMalformed", err)
+	}
+	// A verdict must not accuse anyone — smuggling an accusation through
+	// the non-proof kind is rejected.
+	e2 := mkBudget(reg, KindOverBudget, 2, 2, 1)
+	e2.Accused = 4
+	if err := v.Validate(e2); !errors.Is(err, ErrMalformed) {
+		t.Errorf("accusing verdict: err=%v, want ErrMalformed", err)
+	}
+}
+
+func TestBudgetKindsAreNotProofs(t *testing.T) {
+	if KindOverBudget.Proof() || KindReconciled.Proof() {
+		t.Error("budget verdicts must not count as proofs of misbehavior")
+	}
+	if KindOverBudget.String() != "over-budget" || KindReconciled.String() != "reconciled" {
+		t.Errorf("kind names: %s / %s", KindOverBudget, KindReconciled)
+	}
+}

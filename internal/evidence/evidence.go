@@ -40,6 +40,16 @@ const (
 	// (§4.3: "invalid evidence can be counted as evidence against the
 	// signer").
 	KindBogus
+	// KindOverBudget: a signed declaration by the reporter that its local
+	// fault set has grown past the plan capacity f — the guarantee is
+	// suspended, not silently violated (Building on Quicksand's
+	// detect-and-apologize stance). Accuses no one (Accused = -1); the
+	// body is a BudgetVerdict.
+	KindOverBudget
+	// KindReconciled: the matching close: the reporter's fault set is
+	// back within plan capacity and the bound is live again. Accuses no
+	// one; the body is a BudgetVerdict.
+	KindReconciled
 )
 
 func (k Kind) String() string {
@@ -56,14 +66,21 @@ func (k Kind) String() string {
 		return "path-accusation"
 	case KindBogus:
 		return "bogus-endorsement"
+	case KindOverBudget:
+		return "over-budget"
+	case KindReconciled:
+		return "reconciled"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
 }
 
 // Proof reports whether this kind is independently verifiable (true) or an
-// aggregatable accusation (false).
-func (k Kind) Proof() bool { return k != KindPathAccusation }
+// aggregatable accusation (false). Budget verdicts convict nobody either
+// way, so they are grouped with the non-proofs.
+func (k Kind) Proof() bool {
+	return k != KindPathAccusation && k != KindOverBudget && k != KindReconciled
+}
 
 // Accusation is the body of a KindPathAccusation: the reporter claims the
 // message for Edge at Period did not arrive in time over Path.
@@ -108,6 +125,37 @@ func DecodeAccusation(b []byte) (Accusation, error) {
 		return Accusation{}, err
 	}
 	return a, nil
+}
+
+// BudgetVerdict is the body of a KindOverBudget / KindReconciled
+// statement: the reporter's local active-fault count versus the plan
+// capacity f at the moment the budget boundary was crossed.
+type BudgetVerdict struct {
+	Reporter network.NodeID
+	Active   uint32 // convicted faults the reporter holds active
+	Capacity uint32 // the plan's fault budget f
+}
+
+// Encode serializes the verdict.
+func (b BudgetVerdict) Encode() []byte {
+	var w buf
+	w.u32(uint32(b.Reporter))
+	w.u32(b.Active)
+	w.u32(b.Capacity)
+	return w.b
+}
+
+// DecodeBudgetVerdict parses an encoded budget verdict.
+func DecodeBudgetVerdict(p []byte) (BudgetVerdict, error) {
+	rd := &reader{b: p}
+	var b BudgetVerdict
+	b.Reporter = network.NodeID(rd.u32())
+	b.Active = rd.u32()
+	b.Capacity = rd.u32()
+	if err := rd.done(); err != nil {
+		return BudgetVerdict{}, err
+	}
+	return b, nil
 }
 
 // Evidence is one typed, transportable piece of evidence.
@@ -291,6 +339,8 @@ func (v *Validator) Validate(e Evidence) error {
 		return v.validateAccusation(e)
 	case KindBogus:
 		return v.validateBogus(e)
+	case KindOverBudget, KindReconciled:
+		return v.validateBudget(e)
 	default:
 		return fmt.Errorf("%w: unknown kind %d", ErrMalformed, e.Kind)
 	}
@@ -450,6 +500,29 @@ func (v *Validator) validateBogus(e Evidence) error {
 	}
 	if e.Accused != e.Primary.Signer {
 		return fmt.Errorf("%w: accused is not the endorser", ErrMalformed)
+	}
+	return nil
+}
+
+func (v *Validator) validateBudget(e Evidence) error {
+	if !v.Reg.Check(e.Primary) {
+		return fmt.Errorf("%w: budget verdict envelope", ErrBadSignature)
+	}
+	b, err := DecodeBudgetVerdict(e.Primary.Body)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrMalformed, err)
+	}
+	if b.Reporter != e.Primary.Signer || b.Reporter != e.Reporter {
+		return fmt.Errorf("%w: budget verdict reporter mismatch", ErrMalformed)
+	}
+	if e.Accused != -1 {
+		return fmt.Errorf("%w: budget verdicts accuse no one", ErrMalformed)
+	}
+	if e.Kind == KindOverBudget && b.Active <= b.Capacity {
+		return fmt.Errorf("%w: %d active within capacity %d", ErrNotAFault, b.Active, b.Capacity)
+	}
+	if e.Kind == KindReconciled && b.Active > b.Capacity {
+		return fmt.Errorf("%w: %d active still beyond capacity %d", ErrMalformed, b.Active, b.Capacity)
 	}
 	return nil
 }

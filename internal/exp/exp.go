@@ -68,6 +68,7 @@ func Scenarios() []campaign.Scenario {
 		C5Scenario(),
 		C6Scenario(),
 		C7Scenario(),
+		C8Scenario(),
 	}
 }
 

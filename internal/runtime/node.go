@@ -55,6 +55,12 @@ type Node struct {
 
 	behavior *Behavior
 	crashed  bool
+	// chainArmed tracks whether the self-rescheduling period chain is
+	// still alive: schedulePeriod re-arms it, and the chain dies (flag
+	// cleared) when a link fires while crashed or non-member. Restart
+	// consults it so a crash healed within the same period does not end
+	// up with two concurrent chains.
+	chainArmed bool
 
 	// strat and planner are the node's *current epoch's* strategy and
 	// plan source. Without membership epochs they alias cfg.Strategy /
@@ -146,8 +152,10 @@ func (n *Node) periodStart(p uint64) sim.Time {
 // the chain here.
 func (n *Node) schedulePeriod(p uint64) {
 	if n.crashed || !n.memberNow {
+		n.chainArmed = false
 		return
 	}
+	n.chainArmed = true
 	k := n.cfg.Kernel
 	base := n.periodStart(p)
 	cur := n.cur // capture: activation may swap plans mid-period

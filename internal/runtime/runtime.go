@@ -115,6 +115,17 @@ type Config struct {
 	// period (DoS bound). 0 means the default of 16.
 	EvidenceRateLimit int
 
+	// ForgiveAfter, when non-zero, puts every conviction on a clock: a
+	// convicted node is paroled — removed from the local fault set, with
+	// the plan re-activated — at the first period boundary at least
+	// ForgiveAfter past the conviction's DetectedAt. This opens the
+	// high-fault-rate regime (faults arriving continuously at rate λ)
+	// where the fault set must be able to shrink again; each node flags
+	// the capacity crossings with signed over-budget / reconciled
+	// verdicts on the evidence share. 0 keeps the classic §4.4
+	// append-only fault set, byte for byte.
+	ForgiveAfter sim.Time
+
 	// Epochs enables online membership reconfiguration (see epoch.go).
 	// When set, Strategy and Planner must describe the genesis epoch.
 	Epochs *EpochConfig
@@ -197,6 +208,27 @@ func (s *System) SetBehavior(id network.NodeID, b *Behavior) {
 func (s *System) Crash(id network.NodeID) {
 	s.nodes[int(id)].crashed = true
 	s.cfg.Net.SetDown(id, true)
+}
+
+// Restart clears a crash: the network carries the node's traffic again
+// and its period chain resumes at the next strictly-future period
+// boundary — the simulated analogue of the orchestrator's kill-restart
+// path (StartNodeFrom) without the process boundary. The node keeps its
+// pre-crash fault set (paroles kept firing while it was down, so the set
+// matches what every other correct node holds) and re-activates the plan
+// for it immediately.
+func (s *System) Restart(id network.NodeID) {
+	nd := s.nodes[int(id)]
+	if !nd.crashed {
+		return
+	}
+	nd.crashed = false
+	s.cfg.Net.SetDown(id, false)
+	nd.activate()
+	if nd.chainArmed {
+		return // crashed and restarted within one period: chain still live
+	}
+	nd.schedulePeriod(uint64(s.cfg.Kernel.Now()/nd.strat.Base.Period) + 1)
 }
 
 // FaultSetOf returns node id's current local fault set (for tests).

@@ -22,6 +22,12 @@ import (
 
 // actOnEvidence updates the fault set from validated evidence.
 func (n *Node) actOnEvidence(ev evidence.Evidence) {
+	if ev.Kind == evidence.KindOverBudget || ev.Kind == evidence.KindReconciled {
+		// Budget verdicts convict no one: they exist so degradation is a
+		// signed, flooded fact instead of a silent condition. Observers
+		// (core's correctness monitor) subscribe via Config.OnEvidence.
+		return
+	}
 	if ev.Kind.Proof() {
 		n.addFault(ev.Accused, ev.DetectedAt)
 		return
@@ -44,6 +50,7 @@ func (n *Node) addFault(x network.NodeID, detectedAt sim.Time) {
 	if x < 0 || n.faults.Contains(x) || x == n.id {
 		return
 	}
+	wasOver := n.overBudget()
 	n.faults = n.faults.With(x)
 	p := n.strat.Base.Period
 	delta := n.strat.Delta
@@ -56,6 +63,65 @@ func (n *Node) addFault(x network.NodeID, detectedAt sim.Time) {
 		at = now
 	}
 	n.cfg.Kernel.At(at, n.activate)
+	if fa := n.cfg.ForgiveAfter; fa > 0 {
+		// Parole is the conviction's expiry: boundary-aligned like the
+		// activation above and derived from the same DetectedAt that rides
+		// in the evidence, so every correct node paroles the same node at
+		// the same instant without any agreement protocol (§4.4's argument,
+		// run in reverse).
+		pb := ((detectedAt+fa+delta)/p+1)*p - 1
+		if pb < now {
+			pb = now
+		}
+		n.cfg.Kernel.At(pb, func() { n.parole(x) })
+	}
+	// Budget verdicts exist only in the parole regime: the classic
+	// append-only configuration (ForgiveAfter = 0) must stay byte-for-byte
+	// unchanged, silent over-budget fallback included.
+	if n.cfg.ForgiveAfter > 0 && !wasOver && n.overBudget() {
+		n.raiseBudgetVerdict(evidence.KindOverBudget)
+	}
+}
+
+// overBudget reports whether the local fault set exceeds the plan
+// capacity f — the regime where Strategy.PlanFor falls back to the
+// largest covered subset and the recovery bound is suspended.
+func (n *Node) overBudget() bool { return n.faults.Len() > n.strat.Opts.F }
+
+// parole removes an expired conviction (Config.ForgiveAfter elapsed since
+// its DetectedAt) from the fault set and re-activates the plan. The fault
+// set mutation is applied even while crashed so a later Restart resumes
+// with the same set every other correct node holds; activate itself
+// no-ops while crashed.
+func (n *Node) parole(x network.NodeID) {
+	if !n.faults.Contains(x) {
+		return
+	}
+	wasOver := n.overBudget()
+	n.faults = n.faults.Without(x)
+	n.activate()
+	if wasOver && !n.overBudget() {
+		n.raiseBudgetVerdict(evidence.KindReconciled)
+	}
+}
+
+// raiseBudgetVerdict seals and floods this node's declaration that its
+// fault set just crossed the plan capacity boundary (in either
+// direction): over-budget on the way up, reconciled on the way back.
+func (n *Node) raiseBudgetVerdict(kind evidence.Kind) {
+	bv := evidence.BudgetVerdict{
+		Reporter: n.id,
+		Active:   uint32(n.faults.Len()),
+		Capacity: uint32(n.strat.Opts.F),
+	}
+	env := n.cfg.Registry.Seal(n.id, bv.Encode())
+	n.raiseEvidence(evidence.Evidence{
+		Kind:       kind,
+		Accused:    -1,
+		Reporter:   n.id,
+		DetectedAt: n.cfg.Kernel.Now(),
+		Primary:    env,
+	})
 }
 
 // planFor resolves the plan for a fault set: the current epoch's
