@@ -64,9 +64,11 @@ docs-check:
 # One-iteration benchmark smoke: every experiment benchmark, the campaign
 # serial/parallel pair, the plan-cache cold/warm/delta benchmarks, the
 # kernel-throughput pair (current vs frozen legacy baseline), the
-# verify/seal memo pairs, and the evidence-flood encode-once/legacy pair.
+# verify/seal memo pairs (plus batch-vs-sequential verify), the
+# evidence-flood encode-once/legacy pair, the wire batch-frame codec, and
+# the transport coalescing/shedding paths.
 bench:
-	$(GO) test -run='^$$' -bench=. -benchtime=1x . ./internal/sim ./internal/sig ./internal/evidence
+	$(GO) test -run='^$$' -bench=. -benchtime=1x . ./internal/sim ./internal/sig ./internal/evidence ./internal/network ./internal/wire
 
 # Regenerate the tracked campaign perf bundle (full, non-quick sweep).
 bench-json:

@@ -297,6 +297,16 @@ type campaignBench struct {
 	// gates; the latencies themselves are wall-clock and machine-bound.
 	LiveProc []liveProcBenchRow `json:"liveproc"`
 
+	// Saturation records the throughput fast path (schema v8): the
+	// cofactored ed25519 batch-verify speedup over the frozen sequential
+	// sweep (same process, same working set — the ratio is
+	// machine-independent and gated >=2x at batch >= 16 by
+	// cmd/btrcheckbench), plus the C9 saturation probe: per topology,
+	// the sustainable flood events/sec the live transport absorbs
+	// without material shedding, and a recovery-under-load run at >=80%
+	// of that rate whose within_r invariant the comparator gates.
+	Saturation saturationBench `json:"saturation"`
+
 	// FaultRate records the C8 high-fault-rate sweep (schema v7):
 	// continuous Poisson-style fault arrivals at rate λ against
 	// parole-clock deployments, every bad sink-period classified
@@ -346,6 +356,72 @@ type cryptoBench struct {
 	// E4WorkShare is the crypto-bound scenario's share of total serial
 	// compute — the canary btrcheckbench regression-gates.
 	E4WorkShare float64 `json:"e4_work_share"`
+}
+
+// saturationBench is the v8 saturation section: batch-verify ratios at
+// the ingest batch sizes plus the C9 probe rows.
+type saturationBench struct {
+	BatchVerify []batchVerifyBench   `json:"batch_verify"`
+	Rows        []saturationBenchRow `json:"rows"`
+}
+
+type batchVerifyBench struct {
+	BatchSize      int     `json:"batch_size"`
+	BatchNsOp      float64 `json:"batch_ns_op"`
+	SequentialNsOp float64 `json:"sequential_ns_op"`
+	Speedup        float64 `json:"speedup"`
+}
+
+type saturationBenchRow struct {
+	Topology       string  `json:"topology"`
+	Nodes          int     `json:"nodes"`
+	F              int     `json:"f"`
+	SustainableEPS float64 `json:"sustainable_eps"`
+	LoadEPS        float64 `json:"load_eps"`
+	LoadFraction   float64 `json:"load_fraction"`
+	RecoveryMS     float64 `json:"recovery_ms"`
+	BoundMS        float64 `json:"bound_ms"`
+	WithinR        bool    `json:"within_r"`
+	Delivered      uint64  `json:"delivered"`
+	Dropped        uint64  `json:"dropped"`
+	Shed           uint64  `json:"shed"`
+}
+
+// measureSaturation records the batch-verify ratios at the two ingest
+// batch shapes (the gate floor applies at >=16; 64 is the flood-ingest
+// coalescing size) and runs the full C9 probe per topology.
+func measureSaturation(t *testing.T) saturationBench {
+	var out saturationBench
+	for _, batch := range []int{16, 64} {
+		batchNs, seqNs := sig.MeasureBatchSpeedup(batch)
+		out.BatchVerify = append(out.BatchVerify, batchVerifyBench{
+			BatchSize:      batch,
+			BatchNsOp:      batchNs,
+			SequentialNsOp: seqNs,
+			Speedup:        seqNs / batchNs,
+		})
+	}
+	for _, kind := range exp.SaturationKinds() {
+		row, err := exp.RunSaturationBench(kind, 1)
+		if err != nil {
+			t.Fatalf("saturation bench %s: %v", kind, err)
+		}
+		out.Rows = append(out.Rows, saturationBenchRow{
+			Topology:       row.Topology,
+			Nodes:          row.Nodes,
+			F:              row.F,
+			SustainableEPS: row.SustainableEPS,
+			LoadEPS:        row.LoadEPS,
+			LoadFraction:   row.LoadFraction,
+			RecoveryMS:     row.Recovery.Millis(),
+			BoundMS:        row.Bound.Millis(),
+			WithinR:        row.WithinR,
+			Delivered:      row.Delivered,
+			Dropped:        row.Dropped,
+			Shed:           row.Shed,
+		})
+	}
+	return out
 }
 
 type kernelBench struct {
@@ -550,7 +626,7 @@ func TestEmitCampaignBench(t *testing.T) {
 	cachedNs, uncachedNs := sig.MeasureVerifySpeedup(64)
 	curTP, legacyTP := sim.MeasureKernelThroughput(1 << 19)
 	bench := campaignBench{
-		Schema: "btr-campaign-bench/v7",
+		Schema: "btr-campaign-bench/v8",
 		Seed:   1, Quick: quick,
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		HostCores:  runtime.NumCPU(),
@@ -563,10 +639,11 @@ func TestEmitCampaignBench(t *testing.T) {
 			LegacyEventsPerSec: legacyTP,
 			Speedup:            curTP / legacyTP,
 		},
-		Live:      measureLiveSoak(p),
-		LiveProc:  measureLiveProc(p),
-		Churn:     measureChurn(t),
-		FaultRate: measureFaultRate(t),
+		Live:       measureLiveSoak(p),
+		LiveProc:   measureLiveProc(p),
+		Churn:      measureChurn(t),
+		FaultRate:  measureFaultRate(t),
+		Saturation: measureSaturation(t),
 		Crypto: cryptoBench{
 			VerifyCachedNsOp:   cachedNs,
 			VerifyUncachedNsOp: uncachedNs,
@@ -619,12 +696,14 @@ func TestEmitCampaignBench(t *testing.T) {
 	if err := enc.Encode(bench); err != nil {
 		t.Fatalf("encode: %v", err)
 	}
-	t.Logf("wrote %s: serial %.0fms (uncached %.0fms, crypto %.2fx, memo hit rate %.1f%%), workers=4 %.0fms, speedup %.2fx (GOMAXPROCS=%d, %d host core(s)); plan cache warm %.2fms vs cold %.2fms (%.1fx); kernel %.2fx vs legacy; verify memo %.1fx; %d live soak row(s); %d multi-process row(s); %d churn row(s); %d fault-rate row(s) across %d knee(s)",
+	t.Logf("wrote %s: serial %.0fms (uncached %.0fms, crypto %.2fx, memo hit rate %.1f%%), workers=4 %.0fms, speedup %.2fx (GOMAXPROCS=%d, %d host core(s)); plan cache warm %.2fms vs cold %.2fms (%.1fx); kernel %.2fx vs legacy; verify memo %.1fx; batch verify %.2fx@%d; %d live soak row(s); %d multi-process row(s); %d churn row(s); %d fault-rate row(s) across %d knee(s); %d saturation row(s)",
 		out, bench.SerialMS, bench.Crypto.UncachedSerialMS, bench.Crypto.CampaignSpeedup,
 		bench.Crypto.MemoHitRate*100, bench.Par4MS, bench.Speedup, bench.GOMAXPROCS, bench.HostCores,
 		bench.PlanCache.WarmMS, bench.PlanCache.ColdMS, bench.PlanCache.Speedup,
-		bench.Kernel.Speedup, bench.Crypto.VerifySpeedup, len(bench.Live), len(bench.LiveProc), len(bench.Churn),
-		len(bench.FaultRate.Rows), len(bench.FaultRate.Knees))
+		bench.Kernel.Speedup, bench.Crypto.VerifySpeedup,
+		bench.Saturation.BatchVerify[0].Speedup, bench.Saturation.BatchVerify[0].BatchSize,
+		len(bench.Live), len(bench.LiveProc), len(bench.Churn),
+		len(bench.FaultRate.Rows), len(bench.FaultRate.Knees), len(bench.Saturation.Rows))
 }
 
 func BenchmarkE1Recovery(b *testing.B) {

@@ -84,7 +84,7 @@ func registerFlags(fs *flag.FlagSet) *campaignFlags {
 		quick:   fs.Bool("quick", false, "smaller sweeps (for smoke runs)"),
 		jsonOut: fs.Bool("json", false, "emit the machine-readable result bundle as JSON"),
 		only:    fs.String("only", "", "run a single scenario (e.g. E6 or C1)"),
-		family:  fs.String("family", "", "run one scenario family (paper | campaign | churn | live | liveproc | faultrate)"),
+		family:  fs.String("family", "", "run one scenario family (paper | campaign | churn | live | liveproc | faultrate | saturation)"),
 		list:    fs.Bool("list", false, "list scenarios and exit"),
 		verbose: fs.Bool("v", false, "print per-trial progress to stderr"),
 		prof:    prof.RegisterOn(fs),

@@ -473,6 +473,11 @@ func runSingle(topoKind string, nodes, f int, seed uint64, p, m sim.Time, horizo
 
 	fmt.Fprintf(stdout, "ran %v wall; %d actuations, %d evidence, %d mode switches, %d missed, %d wrong\n",
 		wall, rep.Actuations, rep.EvidenceTotal(), len(rep.SwitchTimes), rep.MissedPeriods, rep.WrongValues)
+	if verbose {
+		st := rep.NetStats
+		fmt.Fprintf(stderr, "transport: sent=%v delivered=%v dropped=%v shed=%v (backpressure sheds: %d)\n",
+			st.MsgsSent, st.MsgsDelivered, st.MsgsDropped, st.MsgsShed, st.TotalShed())
+	}
 	epochsOK := true
 	for _, e := range rep.Epochs {
 		if e.Err != "" {

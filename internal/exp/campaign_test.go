@@ -177,6 +177,46 @@ func TestC7ProcSmoke(t *testing.T) {
 	}
 }
 
+// TestC9SaturationSmoke boots the quick saturation family end to end:
+// the ladder must locate a positive sustainable rate (the bottom rung is
+// far below the evidence channel's modeled bandwidth, so a zero knee
+// means the probe itself broke) and the loaded recovery trial must
+// complete. Whether recovery landed within R is a wall-clock measurement
+// gated in the perf bundle, not here, so the test stays meaningful under
+// the race detector's slowdown.
+func TestC9SaturationSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("saturation wall-clock probe in -short mode")
+	}
+	results := campaign.Run([]campaign.Scenario{C9Scenario()}, campaign.Options{
+		Workers: 1,
+		Params:  campaign.Params{Seed: 1, Quick: true, Trials: 1},
+	})
+	r := results[0]
+	for _, tr := range r.Trials {
+		if tr.Err != nil {
+			t.Errorf("C9/%s failed: %v", tr.Name, tr.Err)
+			continue
+		}
+		row, ok := campaign.Value[C9Row](tr)
+		if !ok {
+			t.Errorf("C9/%s: no row", tr.Name)
+			continue
+		}
+		if row.SustainableEPS <= 0 {
+			t.Errorf("C9/%s: no sustainable rate located (points: %+v)", tr.Name, row.Points)
+		}
+		if row.LoadFraction < 0.8 {
+			t.Errorf("C9/%s: loaded recovery ran at fraction %.2f, want >= 0.8", tr.Name, row.LoadFraction)
+		}
+	}
+	var b strings.Builder
+	WriteResult(&b, r)
+	if !strings.Contains(b.String(), "C9: saturation ladder") || !strings.Contains(b.String(), "C9: recovery under load") {
+		t.Errorf("C9 tables missing:\n%s", b.String())
+	}
+}
+
 // TestC6ChurnHoldsBounds runs the full (non-quick) churn family and
 // asserts the acceptance invariant: on all five topology families,
 // every epoch activates, recovery stays within the per-epoch bound

@@ -44,11 +44,12 @@ type Experiment struct {
 
 // Scenarios lists every scenario in order: the paper reproductions E1–E10,
 // the simulated campaign sweep families C1–C4, the live wall-clock soak
-// family C5, the membership-churn family C6, and the multi-process TCP
-// deployment family C7. Families: "paper", "campaign", and "churn" are
-// deterministic (byte-identical tables for any seed+worker count); "live"
-// and "liveproc" run on the wall clock and their tables carry real
-// measured timings.
+// family C5, the membership-churn family C6, the multi-process TCP
+// deployment family C7, the high-fault-rate family C8, and the
+// saturation family C9. Families: "paper", "campaign", "churn", and
+// "faultrate" are deterministic (byte-identical tables for any
+// seed+worker count); "live", "liveproc", and "saturation" run on the
+// wall clock and their tables carry real measured timings.
 func Scenarios() []campaign.Scenario {
 	return []campaign.Scenario{
 		e1Scenario(),
@@ -69,16 +70,17 @@ func Scenarios() []campaign.Scenario {
 		C6Scenario(),
 		C7Scenario(),
 		C8Scenario(),
+		C9Scenario(),
 	}
 }
 
 // DeterministicScenarios returns every scenario whose tables are pinned
-// byte-identical (everything except the wall-clock families "live" and
-// "liveproc").
+// byte-identical (everything except the wall-clock families "live",
+// "liveproc", and "saturation").
 func DeterministicScenarios() []campaign.Scenario {
 	var out []campaign.Scenario
 	for _, sc := range Scenarios() {
-		if sc.Family != "live" && sc.Family != "liveproc" {
+		if sc.Family != "live" && sc.Family != "liveproc" && sc.Family != "saturation" {
 			out = append(out, sc)
 		}
 	}

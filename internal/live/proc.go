@@ -187,6 +187,9 @@ type ProcLink struct {
 	Reconnects int    `json:"reconnects"`
 	Connected  bool   `json:"connected"`
 	Drops      uint64 `json:"drops"`
+	// Shed is the subset of Drops charged to backpressure shedding (queue
+	// full), as opposed to disconnected-link or encode-guard drops.
+	Shed uint64 `json:"shed,omitempty"`
 }
 
 // ProcEvent is one child-to-parent stdout line.
@@ -427,14 +430,14 @@ func RunNodeProc(spec ProcSpec, in io.Reader, out io.Writer) error {
 
 	if spec.Verbose {
 		st := bus.Snapshot()
-		fmt.Fprintf(os.Stderr, "[node %d] transport: sent=%v delivered=%v dropped=%v\n",
-			spec.Node, st.MsgsSent, st.MsgsDelivered, st.MsgsDropped)
+		fmt.Fprintf(os.Stderr, "[node %d] transport: sent=%v delivered=%v dropped=%v shed=%v\n",
+			spec.Node, st.MsgsSent, st.MsgsDelivered, st.MsgsDropped, st.MsgsShed)
 	}
 	var links []ProcLink
 	for _, st := range bus.LinkStats() {
 		links = append(links, ProcLink{
 			Peer: int(st.Peer), Dials: st.Dials, Reconnects: st.Reconnects,
-			Connected: st.Connected, Drops: st.Drops,
+			Connected: st.Connected, Drops: st.Drops, Shed: st.Shed,
 		})
 	}
 	em.emit(ProcEvent{

@@ -43,6 +43,11 @@ type Bus struct {
 	filters  []ForwardFilter
 	down     []bool
 
+	// pv, when non-nil, is handed coalesced evidence batches on lane
+	// goroutines before delivery is scheduled (see PreVerifier). Guarded
+	// by stateMu like the rest of the control plane.
+	pv PreVerifier
+
 	lanes  map[chanKey]*busLane
 	nextID uint64
 	rng    *sim.RNG
@@ -59,11 +64,16 @@ type Bus struct {
 }
 
 // busLane is one shaped FIFO pipe: a directed link direction carrying one
-// traffic class.
+// traffic class. The class is recorded so the worker and the shedding
+// policy can tell evidence lanes (drop-oldest: the freshest evidence is
+// the most valuable, and batch verification downstream wants recent
+// records) from foreground lanes (tail-drop: stale sensor frames are
+// superseded anyway).
 type busLane struct {
 	ch       chan busFrame
 	capacity int64
 	prop     sim.Time
+	class    Class
 }
 
 // busFrame is one queued transmission: the message plus the modeled
@@ -153,6 +163,7 @@ func (b *Bus) syncLanes(topo *Topology) {
 			ch:       make(chan busFrame, laneDepth),
 			capacity: b.capacity(l, key.class),
 			prop:     l.Prop,
+			class:    key.class,
 		}
 		b.lanes[key] = lane
 		b.wg.Add(1)
@@ -186,19 +197,54 @@ func (b *Bus) capacity(l Link, class Class) int64 {
 // worker.
 const shapeSleepSlack = 500 * sim.Microsecond
 
-// shape is the lane worker: serialize (account the tx time against the
-// lane's busy-until credit, sleeping only when genuinely backlogged),
-// then schedule delivery at the modeled arrival instant. Exits when the
-// lane channel closes.
+// shape is the lane worker: serialize (account each frame's tx time
+// against the lane's busy-until credit), then schedule delivery at the
+// modeled arrival instant. It coalesces: each wakeup drains the whole
+// lane backlog, hands an evidence batch to the pre-verifier (bulk
+// crypto, concurrent with the executor), schedules every frame at its
+// exact modeled instant, and sleeps at most once per batch — under
+// saturation the worker wakes O(1) times per backlog instead of once
+// per frame. Modeled arrival times are identical to the one-frame-per-
+// iteration loop: busy-until accounting is per frame either way, and
+// the scheduler dispatches events at their modeled instants regardless
+// of how early they enter the heap. Exits when the lane channel closes.
 func (b *Bus) shape(lane *busLane) {
 	defer b.wg.Done()
 	var busyUntil sim.Time
+	batch := make([]busFrame, 0, 64)
 	for f := range lane.ch {
-		tx := txTime(f.m.Size(), lane.capacity)
-		if busyUntil < f.start {
-			busyUntil = f.start
+		batch = append(batch[:0], f)
+	drain:
+		for {
+			select {
+			case g, ok := <-lane.ch:
+				if !ok {
+					break drain // closed mid-drain; deliver what we hold
+				}
+				batch = append(batch, g)
+			default:
+				break drain
+			}
 		}
-		busyUntil += tx
+		if lane.class == ClassEvidence && len(batch) > 1 {
+			if pv := b.preVerifier(); pv != nil {
+				ms := make([]*Message, len(batch))
+				for i := range batch {
+					ms[i] = batch[i].m
+				}
+				pv(ms)
+			}
+		}
+		for i := range batch {
+			f := batch[i]
+			tx := txTime(f.m.Size(), lane.capacity)
+			if busyUntil < f.start {
+				busyUntil = f.start
+			}
+			busyUntil += tx
+			m := f.m
+			b.sched.At(busyUntil+lane.prop, func() { b.arrive(m) })
+		}
 		// Throttle only when the modeled backlog runs ahead of the wall
 		// clock by more than the slack; modeled arrival times stay exact
 		// either way. Pacing uses the raw wall clock: the logical Now can
@@ -207,8 +253,6 @@ func (b *Bus) shape(lane *busLane) {
 		if wait := busyUntil - b.wallNow(); wait > shapeSleepSlack {
 			time.Sleep(time.Duration(wait) * time.Microsecond)
 		}
-		m := f.m
-		b.sched.At(busyUntil+lane.prop, func() { b.arrive(m) })
 	}
 }
 
@@ -254,6 +298,20 @@ func (b *Bus) filterFor(id NodeID) ForwardFilter {
 	b.stateMu.RLock()
 	defer b.stateMu.RUnlock()
 	return b.filters[id]
+}
+
+// SetPreVerifier installs pv (nil uninstalls). Safe from any goroutine;
+// lanes pick the change up on their next batch.
+func (b *Bus) SetPreVerifier(pv PreVerifier) {
+	b.stateMu.Lock()
+	b.pv = pv
+	b.stateMu.Unlock()
+}
+
+func (b *Bus) preVerifier() PreVerifier {
+	b.stateMu.RLock()
+	defer b.stateMu.RUnlock()
+	return b.pv
 }
 
 // SetWiring replaces the active wiring at runtime: lanes for removed
@@ -313,6 +371,15 @@ func (b *Bus) countDropped(class Class) {
 	b.statsMu.Unlock()
 }
 
+// countShed records a queue-full backpressure shed: it is a drop (the
+// message is lost) that is additionally surfaced as shedding.
+func (b *Bus) countShed(class Class) {
+	b.statsMu.Lock()
+	b.stats.MsgsDropped[class]++
+	b.stats.MsgsShed[class]++
+	b.statsMu.Unlock()
+}
+
 func (b *Bus) countDelivered(class Class) {
 	b.statsMu.Lock()
 	b.stats.MsgsDelivered[class]++
@@ -353,8 +420,13 @@ func (b *Bus) newMessage(src, dst NodeID, class Class, payload []byte) *Message 
 	}
 }
 
-// transmit enqueues m on its hop's lane. A full lane drops the message
-// (bounded queueing; the counters make the loss visible).
+// transmit enqueues m on its hop's lane. A full lane sheds by class
+// policy instead of silently tail-dropping: evidence lanes evict their
+// oldest queued frame so the newest evidence still gets through (batch
+// verification and conviction want fresh records; under sustained flood
+// the stale backlog is the right victim), foreground lanes shed the
+// arriving frame (periodic dataflow supersedes itself). Every shed is
+// surfaced in MsgsShed as well as MsgsDropped.
 func (b *Bus) transmit(m *Message) bool {
 	if b.IsDown(m.From) {
 		b.countDropped(m.Class)
@@ -375,16 +447,44 @@ func (b *Bus) transmit(m *Message) bool {
 		b.mu.Unlock()
 		return false
 	}
+	f := busFrame{m: m, start: b.sched.Now()}
 	select {
-	case lane.ch <- busFrame{m: m, start: b.sched.Now()}:
+	case lane.ch <- f:
 		b.mu.Unlock()
 		b.countSent(m.Class, m.Size())
 		return true
 	default:
+	}
+	if lane.class == ClassEvidence {
+		// Evict the oldest queued frame, then retry once. The worker may
+		// drain the queue concurrently, in which case the retry simply
+		// succeeds without an eviction.
+		var evicted *Message
+		select {
+		case old := <-lane.ch:
+			evicted = old.m
+		default:
+		}
+		select {
+		case lane.ch <- f:
+			b.mu.Unlock()
+			if evicted != nil {
+				b.countShed(evicted.Class)
+			}
+			b.countSent(m.Class, m.Size())
+			return true
+		default:
+		}
 		b.mu.Unlock()
-		b.countDropped(m.Class)
+		if evicted != nil {
+			b.countShed(evicted.Class)
+		}
+		b.countShed(m.Class)
 		return false
 	}
+	b.mu.Unlock()
+	b.countShed(m.Class)
+	return false
 }
 
 // arrive runs on the scheduler: deliver if final, else forward — the same

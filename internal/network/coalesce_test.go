@@ -1,0 +1,299 @@
+package network
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"btr/internal/sim"
+)
+
+// TestTCPBusCoalescedFlushDelivers proves the write-side coalescing end
+// to end: a backlog accumulated while the peer is partitioned is flushed
+// as batch frames when the link heals — evidence first, FIFO within each
+// class — and the receiver's pre-verifier sees the coalesced evidence
+// batch before delivery (only batch frames reach the pre-verifier, so a
+// nonzero count also proves a TypeBatch frame crossed the wire).
+func TestTCPBusCoalescedFlushDelivers(t *testing.T) {
+	topo := FullMesh(2, 20_000_000, 50*sim.Microsecond)
+	scheds, buses := tcpCluster(t, topo, nil)
+
+	const nFg, nEv = 30, 10
+	var mu sync.Mutex
+	var order []string
+	done := make(chan struct{}, nFg+nEv)
+	buses[1].Handle(1, func(m *Message) {
+		mu.Lock()
+		order = append(order, string(m.Payload))
+		mu.Unlock()
+		done <- struct{}{}
+	})
+	var preVerified atomic.Int64
+	buses[1].SetPreVerifier(func(ms []*Message) {
+		for _, m := range ms {
+			if m.Class != ClassEvidence {
+				t.Errorf("pre-verifier handed a %v message", m.Class)
+			}
+		}
+		preVerified.Add(int64(len(ms)))
+	})
+
+	// Partition the outgoing direction so the backlog piles up in pend.
+	buses[0].SetPeerRefused(1, true)
+	sent := make(chan struct{})
+	scheds[0].At(0, func() {
+		for i := 0; i < nFg; i++ {
+			if !buses[0].SendDirect(0, 1, ClassForeground, []byte(fmt.Sprintf("f%02d", i))) {
+				t.Errorf("foreground send %d refused", i)
+			}
+		}
+		for i := 0; i < nEv; i++ {
+			if !buses[0].SendDirect(0, 1, ClassEvidence, []byte(fmt.Sprintf("e%02d", i))) {
+				t.Errorf("evidence send %d refused", i)
+			}
+		}
+		close(sent)
+	})
+	for _, w := range scheds {
+		w.Start()
+	}
+	<-sent
+	buses[0].SetPeerRefused(1, false) // heal: the flush is one coalesced write
+
+	for i := 0; i < nFg+nEv; i++ {
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			t.Fatalf("only %d/%d messages arrived", i, nFg+nEv)
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	// Evidence drains ahead of the foreground backlog, FIFO within class.
+	for i := 0; i < nEv; i++ {
+		if want := fmt.Sprintf("e%02d", i); order[i] != want {
+			t.Fatalf("order[%d] = %q, want %q (evidence first, FIFO): %v", i, order[i], want, order)
+		}
+	}
+	for i := 0; i < nFg; i++ {
+		if want := fmt.Sprintf("f%02d", i); order[nEv+i] != want {
+			t.Fatalf("order[%d] = %q, want %q (foreground FIFO): %v", nEv+i, order[nEv+i], want, order)
+		}
+	}
+	if got := preVerified.Load(); got != nEv {
+		t.Errorf("pre-verifier saw %d evidence messages, want %d", got, nEv)
+	}
+}
+
+// TestTCPBusShedsClassAware pins the backpressure policy on a link whose
+// peer never answers: foreground tail-drops at QueueDepth, evidence
+// borrows foreground's budget by evicting its oldest, and only an
+// all-evidence backlog makes evidence evict evidence. Every shed is
+// surfaced in MsgsShed (a subset of MsgsDropped) and per-link counters.
+func TestTCPBusShedsClassAware(t *testing.T) {
+	topo := FullMesh(2, 20_000_000, 50*sim.Microsecond)
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	dead, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	deadAddr := dead.Addr().String()
+	dead.Close()
+	w := sim.NewWallScheduler(1)
+	cfg := DefaultTCPConfig(1)
+	cfg.QueueDepth = 4 // budget: 4 foreground + 4 borrowed by evidence
+	b := NewTCPBus(w, topo, 0, []string{lis.Addr().String(), deadAddr}, lis, cfg)
+	defer func() {
+		w.Close()
+		b.Close()
+	}()
+	w.Start()
+	done := make(chan struct{})
+	send := func(class Class, n int) (accepted int) {
+		for i := 0; i < n; i++ {
+			if b.SendDirect(0, 1, class, []byte("x")) {
+				accepted++
+			}
+		}
+		return accepted
+	}
+	w.At(0, func() {
+		defer close(done)
+		// Foreground fills its QueueDepth share; the 5th sheds itself.
+		if got := send(ClassForeground, 5); got != 4 {
+			t.Errorf("foreground accepted = %d, want 4", got)
+		}
+		// Evidence fills the rest of the shared budget without shedding.
+		if got := send(ClassEvidence, 4); got != 4 {
+			t.Errorf("evidence accepted = %d, want 4", got)
+		}
+		// At the ceiling, evidence evicts the oldest queued foreground.
+		if got := send(ClassEvidence, 4); got != 4 {
+			t.Errorf("evidence over budget accepted = %d, want 4 (evict foreground)", got)
+		}
+		// Foreground exhausted: evidence now evicts its own oldest.
+		if got := send(ClassEvidence, 2); got != 2 {
+			t.Errorf("evidence self-evict accepted = %d, want 2", got)
+		}
+	})
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("sends never completed")
+	}
+	st := b.Snapshot()
+	if st.MsgsSent[ClassForeground] != 4 || st.MsgsSent[ClassEvidence] != 10 {
+		t.Errorf("sent = %d fg / %d ev, want 4 / 10", st.MsgsSent[ClassForeground], st.MsgsSent[ClassEvidence])
+	}
+	// Foreground sheds: 1 tail-drop + 4 evictions; evidence sheds: 2.
+	if st.MsgsShed[ClassForeground] != 5 || st.MsgsShed[ClassEvidence] != 2 {
+		t.Errorf("shed = %d fg / %d ev, want 5 / 2", st.MsgsShed[ClassForeground], st.MsgsShed[ClassEvidence])
+	}
+	if st.MsgsDropped != st.MsgsShed {
+		t.Errorf("every drop here is a shed: dropped %v, shed %v", st.MsgsDropped, st.MsgsShed)
+	}
+	if got := st.TotalShed(); got != 7 {
+		t.Errorf("TotalShed = %d, want 7", got)
+	}
+	for _, ls := range b.LinkStats() {
+		if ls.Drops != 7 || ls.Shed != 7 {
+			t.Errorf("link counters = drops %d / shed %d, want 7 / 7", ls.Drops, ls.Shed)
+		}
+	}
+}
+
+// TestBusLaneSheddingPolicy pins the Bus analogue: a lane wedged behind
+// a huge frame fills to laneDepth, after which foreground sheds the
+// arriving frame (tail-drop) while evidence evicts its oldest so the
+// send is still accepted — and both surface in MsgsShed.
+func TestBusLaneSheddingPolicy(t *testing.T) {
+	// 2 MB/s split evenly: ~1 MB/s per class lane, so a 1.2 MB payload
+	// wedges the lane worker in a ~1.2 s shaping sleep while we fill.
+	topo := FullMesh(2, 2_000_000, 0)
+	w, b := busFixture(t, topo, Config{EvidenceShare: 0.5})
+	const extra = 50
+	big := make([]byte, 1_200_000)
+	done := make(chan struct{})
+	w.At(0, func() {
+		if !b.SendDirect(0, 1, ClassForeground, big) {
+			t.Error("big foreground send refused")
+		}
+		if !b.SendDirect(0, 1, ClassEvidence, big) {
+			t.Error("big evidence send refused")
+		}
+	})
+	w.At(100*sim.Millisecond, func() {
+		defer close(done)
+		// Both lane workers are mid-sleep: fill each lane to laneDepth,
+		// then push extras into the full queues.
+		for i := 0; i < laneDepth; i++ {
+			if !b.SendDirect(0, 1, ClassForeground, []byte("f")) {
+				t.Errorf("foreground fill %d refused", i)
+				return
+			}
+			if !b.SendDirect(0, 1, ClassEvidence, []byte("e")) {
+				t.Errorf("evidence fill %d refused", i)
+				return
+			}
+		}
+		for i := 0; i < extra; i++ {
+			if b.SendDirect(0, 1, ClassForeground, []byte("F")) {
+				t.Errorf("foreground over laneDepth accepted (want tail-drop)")
+				return
+			}
+			if !b.SendDirect(0, 1, ClassEvidence, []byte("E")) {
+				t.Errorf("evidence over laneDepth refused (want drop-oldest)")
+				return
+			}
+		}
+	})
+	w.Start()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("sends never completed")
+	}
+	st := b.Snapshot()
+	if st.MsgsShed[ClassForeground] != extra {
+		t.Errorf("foreground shed = %d, want %d", st.MsgsShed[ClassForeground], extra)
+	}
+	if st.MsgsShed[ClassEvidence] != extra {
+		t.Errorf("evidence shed = %d, want %d", st.MsgsShed[ClassEvidence], extra)
+	}
+	if st.MsgsSent[ClassEvidence] != 1+laneDepth+extra {
+		t.Errorf("evidence sent = %d, want %d (drop-oldest accepts the newest)",
+			st.MsgsSent[ClassEvidence], 1+laneDepth+extra)
+	}
+	if st.MsgsSent[ClassForeground] != 1+laneDepth {
+		t.Errorf("foreground sent = %d, want %d", st.MsgsSent[ClassForeground], 1+laneDepth)
+	}
+}
+
+// TestBusEvidencePreVerify proves the Bus lane worker hands coalesced
+// evidence batches to the installed pre-verifier before delivery.
+func TestBusEvidencePreVerify(t *testing.T) {
+	// ~100 KB/s evidence lane: a 20 KB frame wedges the worker ~200 ms so
+	// the two trailing messages coalesce into one drained batch.
+	topo := FullMesh(2, 200_000, 0)
+	w, b := busFixture(t, topo, Config{EvidenceShare: 0.5})
+	var preVerified atomic.Int64
+	b.SetPreVerifier(func(ms []*Message) { preVerified.Add(int64(len(ms))) })
+	delivered := make(chan string, 8)
+	b.Handle(1, func(m *Message) { delivered <- string(m.Payload[:1]) })
+	w.At(0, func() {
+		b.SendDirect(0, 1, ClassEvidence, make([]byte, 20_000))
+	})
+	w.At(50*sim.Millisecond, func() {
+		b.SendDirect(0, 1, ClassEvidence, []byte("a"))
+		b.SendDirect(0, 1, ClassEvidence, []byte("b"))
+	})
+	w.Start()
+	want := []string{"\x00", "a", "b"}
+	for i, expect := range want {
+		select {
+		case got := <-delivered:
+			if got != expect {
+				t.Fatalf("delivery %d = %q, want %q", i, got, expect)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("only %d/%d deliveries arrived", i, len(want))
+		}
+	}
+	if got := preVerified.Load(); got != 2 {
+		t.Errorf("pre-verifier saw %d messages, want 2 (the coalesced batch)", got)
+	}
+}
+
+// BenchmarkTCPBusEnqueue measures the deferred-encode send path (the
+// per-message cost the coalescing write loop amortizes syscalls over),
+// including the class-aware shed policy once the backlog saturates.
+func BenchmarkTCPBusEnqueue(b *testing.B) {
+	topo := FullMesh(2, 20_000_000, 50*sim.Microsecond)
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatalf("listen: %v", err)
+	}
+	dead, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatalf("listen: %v", err)
+	}
+	deadAddr := dead.Addr().String()
+	dead.Close()
+	w := sim.NewWallScheduler(1)
+	bus := NewTCPBus(w, topo, 0, []string{lis.Addr().String(), deadAddr}, lis, DefaultTCPConfig(1))
+	defer func() {
+		w.Close()
+		bus.Close()
+	}()
+	payload := make([]byte, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bus.SendDirect(0, 1, ClassEvidence, payload)
+	}
+}

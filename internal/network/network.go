@@ -132,9 +132,37 @@ type Stats struct {
 	MsgsSent      [numClasses]uint64
 	MsgsDelivered [numClasses]uint64
 	MsgsDropped   [numClasses]uint64
-	BytesSent     [numClasses]uint64
+	// MsgsShed is the subset of MsgsDropped lost to queue-full
+	// backpressure shedding on the live transports (a lane or link queue
+	// at capacity chose a victim by class policy). The simulated Network
+	// models unbounded busy-until queueing and never sheds. Surfacing the
+	// counter separately is what makes overload visible: drops from
+	// crashed nodes or missing routes are faults, sheds are saturation.
+	MsgsShed  [numClasses]uint64
+	BytesSent [numClasses]uint64
 	// BusyUntil tracking yields utilization via BytesSent / capacity·time.
 }
+
+// TotalShed sums shed counts across classes (the overload signal live
+// reports surface).
+func (s Stats) TotalShed() uint64 {
+	var t uint64
+	for _, v := range s.MsgsShed {
+		t += v
+	}
+	return t
+}
+
+// PreVerifier, when installed on a live transport, is handed every
+// coalesced inbound batch of evidence-class messages on the transport's
+// own reader/lane goroutine, before the batch re-enters the scheduler
+// for delivery. The runtime installs a signature pre-verifier here so
+// bulk crypto (the batched cofactored verify) runs concurrently with the
+// executor and primes the verify memo; by the time the handler sees each
+// message, its signatures are memo hits. Implementations MUST be
+// thread-safe and MUST NOT mutate the messages: delivery semantics are
+// identical with or without a pre-verifier.
+type PreVerifier func(ms []*Message)
 
 // Config tunes the transport.
 type Config struct {

@@ -26,11 +26,17 @@ import (
 // Connection model — directed, mirroring Bus's directed lanes: for every
 // peer adjacent to self in the active wiring, a link supervisor
 // goroutine owns the OUTGOING connection (dial with exponential backoff,
-// wire.Hello handshake, then a write loop draining two bounded per-class
-// queues with evidence priority — the reserved-share analogue — plus a
-// heartbeat ticker). INCOMING traffic arrives on connections peers
-// dialed; the accept loop validates the Hello (magic, version, cluster
-// tag, adjacency) and a per-connection reader hands every message frame
+// wire.Hello handshake, then a coalescing write loop draining a bounded
+// per-class backlog with evidence priority — the reserved-share
+// analogue — into batch frames, one write per wakeup, plus a heartbeat
+// ticker for idle gaps). A full backlog sheds class-aware rather than
+// tail-dropping silently: heartbeats are never queued, foreground
+// tail-drops at its QueueDepth share, and evidence evicts the oldest
+// queued foreground (then oldest evidence) — heartbeats shed first,
+// evidence last, every shed surfaced in Stats.MsgsShed and per-link
+// counters. INCOMING traffic arrives on connections peers dialed; the
+// accept loop validates the Hello (magic, version, cluster tag,
+// adjacency) and a per-connection reader hands message and batch frames
 // back to the scheduler, so handlers run serialized with all other
 // runtime callbacks — the Transport contract.
 //
@@ -69,6 +75,9 @@ type TCPBus struct {
 	handlers []Handler
 	filters  []ForwardFilter
 	down     []bool
+	// pv, when non-nil, is handed coalesced inbound evidence batches on
+	// connection reader goroutines before delivery (see PreVerifier).
+	pv PreVerifier
 
 	// mu guards the link plane: outgoing supervisors, registered inbound
 	// connections (latest per peer — a new Hello supersedes and closes
@@ -95,8 +104,10 @@ type TCPConfig struct {
 	// Cluster is the deployment tag carried in every Hello (derive it
 	// from the seed); connections from another cluster are refused.
 	Cluster uint64
-	// QueueDepth bounds each per-class send queue; a full queue drops
-	// (counted in Snapshot and per-link Drops).
+	// QueueDepth bounds each link's foreground send backlog (evidence may
+	// borrow up to one extra QueueDepth on top); a full backlog sheds by
+	// class policy (counted in Snapshot MsgsShed/MsgsDropped and per-link
+	// Drops/Shed).
 	QueueDepth int
 	// DialMin / DialMax bound the exponential redial backoff.
 	DialMin, DialMax time.Duration
@@ -121,18 +132,26 @@ func DefaultTCPConfig(cluster uint64) TCPConfig {
 	}
 }
 
-// tcpLink is one outgoing link supervisor's shared state.
+// tcpLink is one outgoing link supervisor's shared state. Outbound
+// messages wait in pend (decoded, per class) rather than as pre-encoded
+// frames: the write loop drains the whole backlog per wakeup and
+// coalesces it into batch frames, so encoding is deferred to the moment
+// the frame boundary is known. The backlog survives reconnects (FIFO
+// across reconnects) and is bounded by a shared per-link budget with
+// class-aware shedding (see enqueue).
 type tcpLink struct {
 	peer NodeID
 	addr string
-	q    [numClasses]chan []byte // encoded frames, per class
 	stop chan struct{}
+	wake chan struct{} // cap 1: pend gained work; write loop should drain
 
 	mu            sync.Mutex
+	pend          [numClasses][]wire.Msg
 	conn          net.Conn // current outgoing connection, nil while down
 	dials         int
 	reconnects    int
-	drops         uint64
+	drops         uint64 // every message lost at this link's queue
+	shed          uint64 // subset of drops: backpressure sheds
 	everConnected bool
 }
 
@@ -143,6 +162,7 @@ type LinkStat struct {
 	Dials      int // dial attempts (successful or not)
 	Reconnects int // connections lost after being established
 	Drops      uint64
+	Shed       uint64 // subset of Drops: queue-full backpressure sheds
 	Connected  bool
 }
 
@@ -203,9 +223,11 @@ func (b *TCPBus) syncLinks(topo *Topology) {
 		if _, have := b.links[peer]; have {
 			continue
 		}
-		l := &tcpLink{peer: peer, addr: b.addrs[peer], stop: make(chan struct{})}
-		for c := range l.q {
-			l.q[c] = make(chan []byte, b.cfg.QueueDepth)
+		l := &tcpLink{
+			peer: peer,
+			addr: b.addrs[peer],
+			stop: make(chan struct{}),
+			wake: make(chan struct{}, 1),
 		}
 		b.links[peer] = l
 		b.wg.Add(1)
@@ -285,31 +307,68 @@ func (b *TCPBus) runLink(l *tcpLink) {
 
 var heartbeatFrame = wire.AppendHeartbeat(nil)
 
-// writeLoop drains the link's queues onto conn until a write fails or
-// the link stops. Evidence frames are drained preferentially (the
-// reserved-share analogue: foreground backlog can never starve
-// evidence), heartbeats fill idle gaps.
+// writeLoop drains the link's backlog onto conn until a write fails or
+// the link stops. It coalesces: each wakeup takes the ENTIRE pending
+// backlog — evidence first (the reserved-share analogue: foreground
+// backlog can never starve evidence), then foreground — encodes it into
+// one buffer (a single msg frame for a lone message, batch frames
+// otherwise, chunked at wire.MaxFrame), and issues one conn.Write per
+// wakeup: under saturation the syscall and frame-header cost amortize
+// over the whole backlog instead of being paid per message. Heartbeats
+// are only ever written when the backlog is empty — the keepalive is the
+// first traffic shed under load, by construction.
 func (b *TCPBus) writeLoop(l *tcpLink, conn net.Conn) {
 	hb := time.NewTicker(b.cfg.Heartbeat)
 	defer hb.Stop()
+	var buf []byte
+	var batch []wire.Msg
 	for {
-		var frame []byte
 		select {
 		case <-l.stop:
 			return
-		case frame = <-l.q[ClassEvidence]:
 		default:
+		}
+		l.mu.Lock()
+		batch = append(batch[:0], l.pend[ClassEvidence]...)
+		batch = append(batch, l.pend[ClassForeground]...)
+		l.pend[ClassEvidence] = l.pend[ClassEvidence][:0]
+		l.pend[ClassForeground] = l.pend[ClassForeground][:0]
+		l.mu.Unlock()
+		if len(batch) == 0 {
 			select {
 			case <-l.stop:
 				return
-			case frame = <-l.q[ClassEvidence]:
-			case frame = <-l.q[ClassForeground]:
+			case <-l.wake:
+				continue
 			case <-hb.C:
-				frame = heartbeatFrame
+				conn.SetWriteDeadline(time.Now().Add(b.cfg.Liveness))
+				if _, err := conn.Write(heartbeatFrame); err != nil {
+					return
+				}
+				continue
+			}
+		}
+		buf = buf[:0]
+		if len(batch) == 1 {
+			var err error
+			buf, err = wire.AppendMsg(buf, batch[0])
+			if err != nil {
+				continue // unreachable: enqueue applies the encode-side guard
+			}
+		} else {
+			rest := batch
+			for len(rest) > 0 {
+				var n int
+				var err error
+				buf, n, err = wire.AppendBatch(buf, rest)
+				if err != nil || n == 0 {
+					break // unreachable: enqueue applies the encode-side guard
+				}
+				rest = rest[n:]
 			}
 		}
 		conn.SetWriteDeadline(time.Now().Add(b.cfg.Liveness))
-		if _, err := conn.Write(frame); err != nil {
+		if _, err := conn.Write(buf); err != nil {
 			return
 		}
 	}
@@ -384,46 +443,103 @@ func (b *TCPBus) serveConn(conn net.Conn) {
 			if err != nil {
 				return
 			}
-			// Range-check every field read off the wire before it can
-			// index anything: class and node IDs index fixed-size arrays
-			// downstream (stats, per-class queues, handlers), so a
-			// crafted frame from a Byzantine peer holding the cluster tag
-			// must sever the connection here, not panic a correct node.
-			if wm.Class >= uint8(numClasses) ||
-				int(wm.Src) >= len(b.addrs) || int(wm.Dst) >= len(b.addrs) ||
-				int(wm.From) >= len(b.addrs) || int(wm.To) >= len(b.addrs) {
+			m, ok := b.inboundMessage(wm)
+			if !ok {
 				return // protocol violation
 			}
-			if NodeID(wm.To) != b.self {
+			if m == nil {
 				continue // misrouted; drop
 			}
-			m := &Message{
-				Src:     NodeID(wm.Src),
-				Dst:     NodeID(wm.Dst),
-				From:    NodeID(wm.From),
-				To:      NodeID(wm.To),
-				Class:   Class(wm.Class),
-				Payload: wm.Payload,
-				Hops:    int(wm.Hops),
-				Sent:    b.sched.Now(),
+			b.dispatchInbound(peer, conn, []*Message{m})
+		case wire.TypeBatch:
+			wms, err := wire.ParseBatch(body)
+			if err != nil {
+				return
 			}
-			// Hand delivery to the scheduler so handlers serialize with
-			// every other runtime callback. Per-(link, class) FIFO holds
-			// because one connection's reader schedules in read order, the
-			// scheduler dispatches same-time events in insertion order,
-			// and a frame from a superseded connection is dropped at
-			// dispatch rather than delivered behind its replacement's.
-			b.sched.At(b.sched.Now(), func() {
-				if b.staleInbound(peer, conn) {
-					b.countDropped(m.Class)
-					return
+			ms := make([]*Message, 0, len(wms))
+			for _, wm := range wms {
+				m, ok := b.inboundMessage(wm)
+				if !ok {
+					return // protocol violation severs, even mid-batch
 				}
-				b.arrive(m)
-			})
+				if m == nil {
+					continue // misrouted entry; skip it, keep the rest
+				}
+				ms = append(ms, m)
+			}
+			if len(ms) == 0 {
+				continue
+			}
+			b.dispatchInbound(peer, conn, ms)
 		default:
 			return
 		}
 	}
+}
+
+// inboundMessage range-checks one decoded wire message and converts it.
+// Every field read off the wire is checked before it can index anything:
+// class and node IDs index fixed-size arrays downstream (stats, queues,
+// handlers), so a crafted frame from a Byzantine peer holding the
+// cluster tag must sever the connection, not panic a correct node.
+// Returns (nil, false) on a protocol violation, (nil, true) for a
+// misrouted-but-well-formed message (skip it), and (m, true) otherwise.
+func (b *TCPBus) inboundMessage(wm wire.Msg) (*Message, bool) {
+	if wm.Class >= uint8(numClasses) ||
+		int(wm.Src) >= len(b.addrs) || int(wm.Dst) >= len(b.addrs) ||
+		int(wm.From) >= len(b.addrs) || int(wm.To) >= len(b.addrs) {
+		return nil, false
+	}
+	if NodeID(wm.To) != b.self {
+		return nil, true
+	}
+	return &Message{
+		Src:     NodeID(wm.Src),
+		Dst:     NodeID(wm.Dst),
+		From:    NodeID(wm.From),
+		To:      NodeID(wm.To),
+		Class:   Class(wm.Class),
+		Payload: wm.Payload,
+		Hops:    int(wm.Hops),
+		Sent:    b.sched.Now(),
+	}, true
+}
+
+// dispatchInbound hands one read batch to the scheduler as ONE event so
+// handlers serialize with every other runtime callback. Per-(link,
+// class) FIFO holds because one connection's reader schedules in read
+// order, the scheduler dispatches same-time events in insertion order,
+// a batch event delivers its entries in order, and a frame from a
+// superseded connection is dropped at dispatch rather than delivered
+// behind its replacement's. Before scheduling, a coalesced evidence
+// batch is handed to the pre-verifier on this reader goroutine: the
+// bulk crypto runs concurrently with the executor and primes the verify
+// memo, so by dispatch time the handler's signature checks are hits.
+func (b *TCPBus) dispatchInbound(peer NodeID, conn net.Conn, ms []*Message) {
+	if len(ms) > 1 {
+		if pv := b.preVerifier(); pv != nil {
+			ev := make([]*Message, 0, len(ms))
+			for _, m := range ms {
+				if m.Class == ClassEvidence {
+					ev = append(ev, m)
+				}
+			}
+			if len(ev) > 1 {
+				pv(ev)
+			}
+		}
+	}
+	b.sched.At(b.sched.Now(), func() {
+		if b.staleInbound(peer, conn) {
+			for _, m := range ms {
+				b.countDropped(m.Class)
+			}
+			return
+		}
+		for _, m := range ms {
+			b.arrive(m)
+		}
+	})
 }
 
 // staleInbound reports whether conn has been superseded (or dropped) as
@@ -488,6 +604,20 @@ func (b *TCPBus) filterFor(id NodeID) ForwardFilter {
 	b.stateMu.RLock()
 	defer b.stateMu.RUnlock()
 	return b.filters[id]
+}
+
+// SetPreVerifier installs pv (nil uninstalls). Safe from any goroutine;
+// readers pick the change up on their next batch.
+func (b *TCPBus) SetPreVerifier(pv PreVerifier) {
+	b.stateMu.Lock()
+	b.pv = pv
+	b.stateMu.Unlock()
+}
+
+func (b *TCPBus) preVerifier() PreVerifier {
+	b.stateMu.RLock()
+	defer b.stateMu.RUnlock()
+	return b.pv
 }
 
 // SetWiring replaces the active wiring: supervisors for links self lost
@@ -590,6 +720,7 @@ func (b *TCPBus) LinkStats() []LinkStat {
 			Dials:      l.dials,
 			Reconnects: l.reconnects,
 			Drops:      l.drops,
+			Shed:       l.shed,
 			Connected:  l.conn != nil,
 		})
 		l.mu.Unlock()
@@ -614,6 +745,15 @@ func (b *TCPBus) countSent(class Class, size int64) {
 func (b *TCPBus) countDropped(class Class) {
 	b.statsMu.Lock()
 	b.stats.MsgsDropped[class]++
+	b.statsMu.Unlock()
+}
+
+// countShed records a queue-full backpressure shed: a drop that is
+// additionally surfaced as shedding.
+func (b *TCPBus) countShed(class Class) {
+	b.statsMu.Lock()
+	b.stats.MsgsDropped[class]++
+	b.stats.MsgsShed[class]++
 	b.statsMu.Unlock()
 }
 
@@ -658,9 +798,11 @@ func (b *TCPBus) newMessage(src, dst NodeID, class Class, payload []byte) *Messa
 	}
 }
 
-// transmit encodes m and enqueues it on the outgoing link to m.To. A
-// missing link (not adjacent / not wired), a full queue, or an oversize
-// payload (the wire codec's encode-side guard) drops with accounting.
+// transmit enqueues m on the outgoing link to m.To for the coalescing
+// write loop to encode. A missing link (not adjacent / not wired) or an
+// oversize payload (the wire codec's encode-side guard, applied here
+// because encoding is deferred past the queue) drops with accounting; a
+// full queue sheds by class policy (see enqueue).
 func (b *TCPBus) transmit(m *Message) bool {
 	if b.IsDown(m.From) {
 		b.countDropped(m.Class)
@@ -679,16 +821,7 @@ func (b *TCPBus) transmit(m *Message) bool {
 		return false
 	}
 	b.mu.Unlock()
-	frame, err := wire.AppendMsg(nil, wire.Msg{
-		Class:   uint8(m.Class),
-		Src:     uint32(m.Src),
-		Dst:     uint32(m.Dst),
-		From:    uint32(m.From),
-		To:      uint32(m.To),
-		Hops:    uint16(m.Hops),
-		Payload: m.Payload,
-	})
-	if err != nil {
+	if len(m.Payload) > wire.MaxMsgPayload {
 		b.countDropped(m.Class)
 		return false
 	}
@@ -696,17 +829,83 @@ func (b *TCPBus) transmit(m *Message) bool {
 	if b.cfg.EvidenceShare == 0 {
 		qc = ClassForeground // single shared queue
 	}
-	select {
-	case l.q[qc] <- frame:
-		b.countSent(m.Class, m.Size())
-		return true
-	default:
-		l.mu.Lock()
-		l.drops++
-		l.mu.Unlock()
-		b.countDropped(m.Class)
+	if !b.enqueue(l, qc, wire.Msg{
+		Class:   uint8(m.Class),
+		Src:     uint32(m.Src),
+		Dst:     uint32(m.Dst),
+		From:    uint32(m.From),
+		To:      uint32(m.To),
+		Hops:    uint16(m.Hops),
+		Payload: m.Payload,
+	}) {
+		b.countShed(m.Class)
 		return false
 	}
+	b.countSent(m.Class, m.Size())
+	return true
+}
+
+// enqueue appends wm to link l's class-qc backlog under the link's
+// budget, shedding class-aware when full, and wakes the write loop. The
+// shedding order is the priority order inverted — least valuable
+// traffic goes first:
+//
+//   - Heartbeats are never queued at all (the write loop emits them only
+//     when idle), so keepalive chatter is structurally the first shed.
+//   - Foreground is capped at QueueDepth; an arriving foreground message
+//     over the cap sheds ITSELF (tail-drop: periodic dataflow supersedes
+//     itself, and the pinned queue-capacity semantics keep foreground's
+//     budget exactly QueueDepth).
+//   - Evidence may additionally borrow foreground's budget: at the
+//     shared ceiling it first evicts the OLDEST queued foreground
+//     message, and only when the entire budget is evidence does it evict
+//     the oldest evidence (drop-oldest: the freshest records are the
+//     ones conviction and batch verification want).
+//
+// Every shed is counted on the link (drops, shed) and, for evicted
+// victims, against the victim's own class in the transport stats; the
+// caller accounts the rejected message itself.
+func (b *TCPBus) enqueue(l *tcpLink, qc Class, wm wire.Msg) bool {
+	budget := b.cfg.QueueDepth
+	if b.cfg.EvidenceShare != 0 {
+		budget *= int(numClasses)
+	}
+	l.mu.Lock()
+	accepted := true
+	var evicted *wire.Msg
+	if qc == ClassForeground {
+		if len(l.pend[ClassForeground]) >= b.cfg.QueueDepth {
+			accepted = false
+		}
+	} else if len(l.pend[ClassForeground])+len(l.pend[ClassEvidence]) >= budget {
+		victim := ClassForeground
+		if len(l.pend[ClassForeground]) == 0 {
+			victim = ClassEvidence
+		}
+		q := l.pend[victim]
+		old := q[0]
+		evicted = &old
+		copy(q, q[1:])
+		l.pend[victim] = q[:len(q)-1]
+	}
+	if accepted {
+		l.pend[qc] = append(l.pend[qc], wm)
+	}
+	if !accepted || evicted != nil {
+		l.drops++
+		l.shed++
+	}
+	l.mu.Unlock()
+	if evicted != nil {
+		b.countShed(Class(evicted.Class))
+	}
+	if accepted {
+		select {
+		case l.wake <- struct{}{}:
+		default:
+		}
+	}
+	return accepted
 }
 
 // arrive runs on the scheduler for every message read off a socket:

@@ -1,0 +1,172 @@
+// Copyright (c) 2021 The Go Authors. All rights reserved.
+// Use of this source code is governed by a BSD-style
+// license that can be found in the LICENSE file.
+
+package edwards25519
+
+// This file extends the vendored package with the two operations the
+// upstream copy lacks but batch verification needs: a variable-time
+// multi-scalar multiplication (interleaved width-5 NAF Straus, the same
+// shape as filippo.io/edwards25519) and multiplication by the curve
+// cofactor. Variable-time is fine here: batch verification handles only
+// public data (public keys, signatures, message hashes).
+
+// VarTimeMultiScalarMult sets v = sum(scalars[i] * points[i]), and
+// returns v. Execution time depends on the inputs, so it must be used
+// only with public scalars and points.
+//
+// Both slices must have the same length, and the points must be
+// initialized (the zero Point is not the identity; use
+// NewIdentityPoint).
+func (v *Point) VarTimeMultiScalarMult(scalars []*Scalar, points []*Point) *Point {
+	if len(scalars) != len(points) {
+		panic("edwards25519: called VarTimeMultiScalarMult with different size inputs")
+	}
+	checkInitialized(points...)
+
+	// Proceed as in the single-base VarTimeDoubleScalarBaseMult, but
+	// over the joint 255-bit window: one shared doubling per bit, one
+	// table addition per non-zero NAF digit of any scalar.
+	nafs := make([][256]int8, len(scalars))
+	tables := make([]nafLookupTable5, len(points))
+	for i := range scalars {
+		nafs[i] = scalars[i].nonAdjacentForm(5)
+		tables[i].FromP3(points[i])
+	}
+
+	multiple := &projCached{}
+	tmp1 := &projP1xP1{}
+	tmp2 := &projP2{}
+	tmp2.Zero()
+
+	// Move from the high bit downward, so that at any point tmp2 holds
+	// the partial result scaled by 2^i.
+	for i := 255; i >= 0; i-- {
+		tmp1.Double(tmp2)
+
+		for j := range nafs {
+			if nafs[j][i] > 0 {
+				v.fromP1xP1(tmp1)
+				tables[j].SelectInto(multiple, nafs[j][i])
+				tmp1.Add(v, multiple)
+			} else if nafs[j][i] < 0 {
+				v.fromP1xP1(tmp1)
+				tables[j].SelectInto(multiple, -nafs[j][i])
+				tmp1.Sub(v, multiple)
+			}
+		}
+
+		tmp2.FromP1xP1(tmp1)
+	}
+
+	v.fromP2(tmp2)
+	return v
+}
+
+// AffineNafTable is a precomputed width-8 NAF lookup table for a fixed
+// point — 64 affine odd multiples, built once (63 point additions plus
+// the batch inversion inside FromP3) and then shared read-only across
+// any number of VarTimeBatchMult calls. Batch verification caches one
+// per registered public key, so a signer's per-batch marginal cost is
+// lookups and affine additions, never decompression or table builds.
+type AffineNafTable struct {
+	t nafLookupTable8
+}
+
+// NewAffineNafTable builds the width-8 NAF table for p.
+func NewAffineNafTable(p *Point) *AffineNafTable {
+	checkInitialized(p)
+	v := &AffineNafTable{}
+	v.t.FromP3(p)
+	return v
+}
+
+// VarTimeBatchMult sets v = base*B + sum(fresh[i] * freshPoints[i]) +
+// sum(fixed[j] * fixedTables[j].point), where B is the generator, and
+// returns v. It is the batch-equation workhorse: the generator and the
+// fixed points use width-8 NAF over precomputed affine tables (the
+// generator's is the package's own), while the fresh points (signature
+// R values, seen once) get width-5 NAF tables built on the fly.
+// Execution time depends on the inputs, so it must be used only with
+// public scalars and points.
+func (v *Point) VarTimeBatchMult(base *Scalar, fresh []*Scalar, freshPoints []*Point, fixed []*Scalar, fixedTables []*AffineNafTable) *Point {
+	if len(fresh) != len(freshPoints) || len(fixed) != len(fixedTables) {
+		panic("edwards25519: called VarTimeBatchMult with different size inputs")
+	}
+	checkInitialized(freshPoints...)
+
+	baseNaf := base.nonAdjacentForm(8)
+	baseTable := basepointNafTable()
+	freshNafs := make([][256]int8, len(fresh))
+	freshTables := make([]nafLookupTable5, len(fresh))
+	for i := range fresh {
+		freshNafs[i] = fresh[i].nonAdjacentForm(5)
+		freshTables[i].FromP3(freshPoints[i])
+	}
+	fixedNafs := make([][256]int8, len(fixed))
+	for i := range fixed {
+		fixedNafs[i] = fixed[i].nonAdjacentForm(8)
+	}
+
+	multProj := &projCached{}
+	multAffine := &affineCached{}
+	tmp1 := &projP1xP1{}
+	tmp2 := &projP2{}
+	tmp2.Zero()
+
+	for i := 255; i >= 0; i-- {
+		tmp1.Double(tmp2)
+
+		if d := baseNaf[i]; d > 0 {
+			v.fromP1xP1(tmp1)
+			baseTable.SelectInto(multAffine, d)
+			tmp1.AddAffine(v, multAffine)
+		} else if d < 0 {
+			v.fromP1xP1(tmp1)
+			baseTable.SelectInto(multAffine, -d)
+			tmp1.SubAffine(v, multAffine)
+		}
+
+		for j := range freshNafs {
+			if d := freshNafs[j][i]; d > 0 {
+				v.fromP1xP1(tmp1)
+				freshTables[j].SelectInto(multProj, d)
+				tmp1.Add(v, multProj)
+			} else if d < 0 {
+				v.fromP1xP1(tmp1)
+				freshTables[j].SelectInto(multProj, -d)
+				tmp1.Sub(v, multProj)
+			}
+		}
+
+		for j := range fixedNafs {
+			if d := fixedNafs[j][i]; d > 0 {
+				v.fromP1xP1(tmp1)
+				fixedTables[j].t.SelectInto(multAffine, d)
+				tmp1.AddAffine(v, multAffine)
+			} else if d < 0 {
+				v.fromP1xP1(tmp1)
+				fixedTables[j].t.SelectInto(multAffine, -d)
+				tmp1.SubAffine(v, multAffine)
+			}
+		}
+
+		tmp2.FromP1xP1(tmp1)
+	}
+
+	v.fromP2(tmp2)
+	return v
+}
+
+// MultByCofactor sets v = 8 * p, and returns v.
+func (v *Point) MultByCofactor(p *Point) *Point {
+	checkInitialized(p)
+	result := projP1xP1{}
+	pp := (&projP2{}).FromP3(p)
+	result.Double(pp)
+	pp.FromP1xP1(&result)
+	result.Double(pp)
+	pp.FromP1xP1(&result)
+	result.Double(pp)
+	return v.fromP1xP1(&result)
+}

@@ -1,0 +1,92 @@
+package edwards25519
+
+import (
+	"crypto/sha512"
+	"testing"
+)
+
+func testScalar(t *testing.T, seed byte) *Scalar {
+	t.Helper()
+	var raw [64]byte
+	for i := range raw {
+		raw[i] = seed ^ byte(i*37)
+	}
+	h := sha512.Sum512(raw[:])
+	s, err := NewScalar().SetUniformBytes(h[:])
+	if err != nil {
+		t.Fatalf("SetUniformBytes: %v", err)
+	}
+	return s
+}
+
+func TestVarTimeMultiScalarMultMatchesSingle(t *testing.T) {
+	a := testScalar(t, 1)
+	b := testScalar(t, 2)
+	B := NewGeneratorPoint()
+	P := new(Point).ScalarBaseMult(testScalar(t, 3))
+
+	// a*B via the constant-time single-base path.
+	want := new(Point).ScalarBaseMult(a)
+	got := new(Point).VarTimeMultiScalarMult([]*Scalar{a}, []*Point{B})
+	if want.Equal(got) != 1 {
+		t.Fatalf("VarTimeMultiScalarMult([a],[B]) != ScalarBaseMult(a)")
+	}
+
+	// a*B + b*P against the var-time double-scalar path.
+	want = new(Point).VarTimeDoubleScalarBaseMult(b, P, a)
+	got = new(Point).VarTimeMultiScalarMult([]*Scalar{a, b}, []*Point{B, P})
+	if want.Equal(got) != 1 {
+		t.Fatalf("VarTimeMultiScalarMult([a,b],[B,P]) != aB+bP")
+	}
+
+	// Wider joint: sum of k single multiplications.
+	scalars := []*Scalar{testScalar(t, 9), testScalar(t, 10), testScalar(t, 11), testScalar(t, 12)}
+	points := []*Point{B, P, new(Point).ScalarBaseMult(testScalar(t, 13)), new(Point).ScalarBaseMult(testScalar(t, 14))}
+	sum := NewIdentityPoint()
+	for i := range scalars {
+		sum.Add(sum, new(Point).ScalarMult(scalars[i], points[i]))
+	}
+	got = new(Point).VarTimeMultiScalarMult(scalars, points)
+	if sum.Equal(got) != 1 {
+		t.Fatalf("VarTimeMultiScalarMult over 4 points != sum of ScalarMult")
+	}
+}
+
+func TestVarTimeBatchMultMatchesGeneric(t *testing.T) {
+	base := testScalar(t, 20)
+	fresh := []*Scalar{testScalar(t, 21), testScalar(t, 22)}
+	freshPts := []*Point{new(Point).ScalarBaseMult(testScalar(t, 23)), new(Point).ScalarBaseMult(testScalar(t, 24))}
+	fixed := []*Scalar{testScalar(t, 25), testScalar(t, 26)}
+	fixedPts := []*Point{new(Point).ScalarBaseMult(testScalar(t, 27)), new(Point).ScalarBaseMult(testScalar(t, 28))}
+	tables := []*AffineNafTable{NewAffineNafTable(fixedPts[0]), NewAffineNafTable(fixedPts[1])}
+
+	scalars := append(append([]*Scalar{base}, fresh...), fixed...)
+	points := append(append([]*Point{NewGeneratorPoint()}, freshPts...), fixedPts...)
+	want := new(Point).VarTimeMultiScalarMult(scalars, points)
+	got := new(Point).VarTimeBatchMult(base, fresh, freshPts, fixed, tables)
+	if want.Equal(got) != 1 {
+		t.Fatalf("VarTimeBatchMult != VarTimeMultiScalarMult on the same combination")
+	}
+
+	// Degenerate shapes: no fresh terms, no fixed terms.
+	want = new(Point).ScalarBaseMult(base)
+	got = new(Point).VarTimeBatchMult(base, nil, nil, nil, nil)
+	if want.Equal(got) != 1 {
+		t.Fatalf("VarTimeBatchMult(base only) != ScalarBaseMult(base)")
+	}
+}
+
+func TestMultByCofactor(t *testing.T) {
+	p := new(Point).ScalarBaseMult(testScalar(t, 5))
+	want := NewIdentityPoint()
+	for i := 0; i < 8; i++ {
+		want.Add(want, p)
+	}
+	got := new(Point).MultByCofactor(p)
+	if want.Equal(got) != 1 {
+		t.Fatalf("MultByCofactor(p) != 8p")
+	}
+	if new(Point).MultByCofactor(NewIdentityPoint()).Equal(NewIdentityPoint()) != 1 {
+		t.Fatalf("MultByCofactor(identity) != identity")
+	}
+}

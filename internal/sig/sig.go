@@ -20,8 +20,10 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"btr/internal/network"
+	edwards "btr/internal/sig/edwards25519"
 	"btr/internal/sim"
 )
 
@@ -55,6 +57,11 @@ type Registry struct {
 	// controls node keys of compromised nodes, never the operator key.
 	opPriv ed25519.PrivateKey
 	opPub  ed25519.PublicKey
+	// btabs lazily caches each node key's decompressed point as a
+	// precomputed NAF table for the batch-verification equation
+	// (batch.go). Built at most once per node per registry; a racing
+	// double build is harmless (both results are identical).
+	btabs []atomic.Pointer[edwards.AffineNafTable]
 }
 
 // NewRegistry creates keypairs for nodes 0..n-1, derived from seed.
@@ -62,6 +69,7 @@ func NewRegistry(seed uint64, n int) *Registry {
 	r := &Registry{
 		privs: make([]ed25519.PrivateKey, n),
 		pubs:  make([]ed25519.PublicKey, n),
+		btabs: make([]atomic.Pointer[edwards.AffineNafTable], n),
 		Costs: DefaultCosts(),
 	}
 	if memosEnabled.Load() {
@@ -166,20 +174,6 @@ func (r *Registry) Seal(signer network.NodeID, body []byte) Envelope {
 // Check verifies the envelope's signature.
 func (r *Registry) Check(e Envelope) bool {
 	return r.Verify(e.Signer, e.Body, e.Sig)
-}
-
-// CheckBatch verifies a batch of envelopes through the memo, stopping at
-// the first failure. It returns (-1, true) when every envelope verifies,
-// or (i, false) for the first envelope that does not. Validation paths
-// that need all-or-nothing semantics (e.g. wrong-output attachment sets)
-// use it so the common all-valid case runs one tight memoized sweep.
-func (r *Registry) CheckBatch(envs []Envelope) (int, bool) {
-	for i := range envs {
-		if !r.Check(envs[i]) {
-			return i, false
-		}
-	}
-	return -1, true
 }
 
 // SealedPayload returns prefix || Seal(signer, body).Encode() — the framed

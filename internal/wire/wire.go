@@ -23,6 +23,13 @@
 //	heartbeat := empty body
 //	            Keeps the connection's liveness clock fresh when the link
 //	            is otherwise idle.
+//	batch   := count u16 | entry*count
+//	entry   := class u8 | src u32 | dst u32 | from u32 | to u32 |
+//	           hops u16 | plen u32 | payload
+//	            A coalesced write: the sender drained its whole per-class
+//	            queue into one frame, one syscall. Entries are msgs in
+//	            send order; every entry must also fit a single msg frame,
+//	            so coalescing can never smuggle an oversize message.
 //
 // The handshake and reconnect state machine built on these frames is
 // documented on network.TCPBus (and in the README's wire-protocol
@@ -42,6 +49,7 @@ const (
 	TypeHello     = byte('H')
 	TypeMsg       = byte('M')
 	TypeHeartbeat = byte('B')
+	TypeBatch     = byte('G') // gathered msgs: one frame, many hops
 )
 
 // Magic and Version identify the protocol. A peer speaking a different
@@ -56,8 +64,10 @@ const (
 // receiver and the frame an encoder may emit; both sides enforce it.
 const MaxFrame = 1 << 20
 
-// maxMsgPayload is the largest msg payload MaxFrame admits.
-const maxMsgPayload = MaxFrame - 1 - msgHeaderSize
+// MaxMsgPayload is the largest msg payload MaxFrame admits. Exported
+// so senders that defer encoding (the coalescing write path) can apply
+// the encode-side guard before queueing.
+const MaxMsgPayload = MaxFrame - 1 - msgHeaderSize
 
 // msgHeaderSize is the fixed part of a msg body: class u8 + four node
 // IDs (u32 each) + hops u16.
@@ -113,8 +123,8 @@ func AppendHeartbeat(dst []byte) []byte {
 // encode-side guard: a payload one byte too large is an error here, not
 // a corrupt frame at the receiver.
 func AppendMsg(dst []byte, m Msg) ([]byte, error) {
-	if len(m.Payload) > maxMsgPayload {
-		return dst, fmt.Errorf("%w (payload %d > %d)", ErrOversize, len(m.Payload), maxMsgPayload)
+	if len(m.Payload) > MaxMsgPayload {
+		return dst, fmt.Errorf("%w (payload %d > %d)", ErrOversize, len(m.Payload), MaxMsgPayload)
 	}
 	dst = binary.LittleEndian.AppendUint32(dst, uint32(1+msgHeaderSize+len(m.Payload)))
 	dst = append(dst, TypeMsg)
@@ -125,6 +135,102 @@ func AppendMsg(dst []byte, m Msg) ([]byte, error) {
 	dst = binary.LittleEndian.AppendUint32(dst, m.To)
 	dst = binary.LittleEndian.AppendUint16(dst, m.Hops)
 	return append(dst, m.Payload...), nil
+}
+
+// batchEntryHeaderSize is the fixed part of one batch entry: the msg
+// header plus a u32 payload length (needed because entries are
+// concatenated inside one frame body).
+const batchEntryHeaderSize = msgHeaderSize + 4
+
+// maxBatchCount is the ceiling on entries per batch frame (count is u16).
+const maxBatchCount = 1<<16 - 1
+
+// AppendBatch appends ONE encoded batch frame holding a maximal prefix
+// of ms to dst and returns the extended slice plus how many messages it
+// consumed; callers loop until the queue is drained. The encode-side
+// guards mirror AppendMsg: a message whose payload could not ride a
+// single msg frame is ErrOversize (with dst unchanged, zero consumed) —
+// it would be just as unframeable inside a batch — and the frame is
+// closed before it would exceed MaxFrame or the u16 entry count.
+// An empty ms consumes nothing and appends nothing.
+func AppendBatch(dst []byte, ms []Msg) ([]byte, int, error) {
+	if len(ms) == 0 {
+		return dst, 0, nil
+	}
+	// Plan the prefix first so the length field is written once, exactly.
+	size := 1 + 2 // type byte + count
+	n := 0
+	for n < len(ms) && n < maxBatchCount {
+		if len(ms[n].Payload) > MaxMsgPayload {
+			if n == 0 {
+				return dst, 0, fmt.Errorf("%w (payload %d > %d)", ErrOversize, len(ms[n].Payload), MaxMsgPayload)
+			}
+			break // emit what fits; the caller will hit the error next call
+		}
+		entry := batchEntryHeaderSize + len(ms[n].Payload)
+		if size+entry > MaxFrame {
+			break
+		}
+		size += entry
+		n++
+	}
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(size))
+	dst = append(dst, TypeBatch)
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(n))
+	for i := 0; i < n; i++ {
+		m := &ms[i]
+		dst = append(dst, m.Class)
+		dst = binary.LittleEndian.AppendUint32(dst, m.Src)
+		dst = binary.LittleEndian.AppendUint32(dst, m.Dst)
+		dst = binary.LittleEndian.AppendUint32(dst, m.From)
+		dst = binary.LittleEndian.AppendUint32(dst, m.To)
+		dst = binary.LittleEndian.AppendUint16(dst, m.Hops)
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(len(m.Payload)))
+		dst = append(dst, m.Payload...)
+	}
+	return dst, n, nil
+}
+
+// ParseBatch decodes a batch frame body. Strict: a zero count, a
+// truncated entry, a per-entry payload length exceeding what a single
+// msg frame admits, or trailing bytes after the last entry are all
+// errors — the decode-side twin of AppendBatch's guards, applied before
+// any per-entry allocation.
+func ParseBatch(body []byte) ([]Msg, error) {
+	if len(body) < 2 {
+		return nil, ErrTruncated
+	}
+	count := int(binary.LittleEndian.Uint16(body))
+	if count == 0 {
+		return nil, fmt.Errorf("wire: empty batch frame")
+	}
+	off := 2
+	ms := make([]Msg, 0, count)
+	for i := 0; i < count; i++ {
+		if len(body)-off < batchEntryHeaderSize {
+			return nil, ErrTruncated
+		}
+		m := Msg{
+			Class: body[off],
+			Src:   binary.LittleEndian.Uint32(body[off+1:]),
+			Dst:   binary.LittleEndian.Uint32(body[off+5:]),
+			From:  binary.LittleEndian.Uint32(body[off+9:]),
+			To:    binary.LittleEndian.Uint32(body[off+13:]),
+			Hops:  binary.LittleEndian.Uint16(body[off+17:]),
+		}
+		plen := int(binary.LittleEndian.Uint32(body[off+19:]))
+		off += batchEntryHeaderSize
+		if plen > MaxMsgPayload || plen > len(body)-off {
+			return nil, fmt.Errorf("wire: bad batch entry payload length %d", plen)
+		}
+		m.Payload = append([]byte(nil), body[off:off+plen]...)
+		off += plen
+		ms = append(ms, m)
+	}
+	if off != len(body) {
+		return nil, fmt.Errorf("wire: %d trailing bytes after batch", len(body)-off)
+	}
+	return ms, nil
 }
 
 // ReadFrame reads one length-prefixed frame from r, returning its type

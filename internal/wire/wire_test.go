@@ -94,7 +94,7 @@ func TestMsgEmptyPayload(t *testing.T) {
 // boundary: the largest admissible payload encodes, one more byte is
 // ErrOversize with dst untouched.
 func TestMsgOversizeBoundary(t *testing.T) {
-	atLimit := Msg{Payload: make([]byte, maxMsgPayload)}
+	atLimit := Msg{Payload: make([]byte, MaxMsgPayload)}
 	frame, err := AppendMsg(nil, atLimit)
 	if err != nil {
 		t.Fatalf("AppendMsg at limit: %v", err)
@@ -106,7 +106,7 @@ func TestMsgOversizeBoundary(t *testing.T) {
 		t.Fatalf("ReadFrame at limit: %v", err)
 	}
 
-	over := Msg{Payload: make([]byte, maxMsgPayload+1)}
+	over := Msg{Payload: make([]byte, MaxMsgPayload+1)}
 	dst := []byte("prefix")
 	out, err := AppendMsg(dst, over)
 	if !errors.Is(err, ErrOversize) {
@@ -174,12 +174,150 @@ func TestStreamOfFrames(t *testing.T) {
 	}
 }
 
+func batchEqual(a, b []Msg) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Class != b[i].Class || a[i].Src != b[i].Src || a[i].Dst != b[i].Dst ||
+			a[i].From != b[i].From || a[i].To != b[i].To || a[i].Hops != b[i].Hops ||
+			!bytes.Equal(a[i].Payload, b[i].Payload) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestBatchRoundTrip(t *testing.T) {
+	ms := []Msg{
+		{Class: 1, Src: 1, Dst: 2, From: 1, To: 2, Hops: 0, Payload: []byte("evidence blob")},
+		{Class: 0, Src: 3, Dst: 4, From: 3, To: 4, Hops: 7, Payload: nil},
+		{Class: 1, Src: 5, Dst: 6, From: 5, To: 6, Hops: 2, Payload: bytes.Repeat([]byte("x"), 4096)},
+	}
+	frame, n, err := AppendBatch(nil, ms)
+	if err != nil || n != len(ms) {
+		t.Fatalf("AppendBatch = (n=%d, %v), want all %d", n, err, len(ms))
+	}
+	typ, body, err := ReadFrame(bufio.NewReader(bytes.NewReader(frame)))
+	if err != nil || typ != TypeBatch {
+		t.Fatalf("ReadFrame: typ=%c err=%v", typ, err)
+	}
+	got, err := ParseBatch(body)
+	if err != nil {
+		t.Fatalf("ParseBatch: %v", err)
+	}
+	if !batchEqual(ms, got) {
+		t.Fatalf("batch round trip mismatch")
+	}
+}
+
+func TestAppendBatchEmpty(t *testing.T) {
+	frame, n, err := AppendBatch(nil, nil)
+	if err != nil || n != 0 || len(frame) != 0 {
+		t.Fatalf("AppendBatch(nil) = (%d bytes, n=%d, %v), want nothing", len(frame), n, err)
+	}
+}
+
+func TestAppendBatchChunksAtMaxFrame(t *testing.T) {
+	// Four messages of ~a third of MaxFrame each cannot share one frame;
+	// AppendBatch must close the frame before overflowing and report how
+	// far it got, so a draining loop emits several valid frames.
+	big := bytes.Repeat([]byte("p"), MaxFrame/3)
+	ms := make([]Msg, 4)
+	for i := range ms {
+		ms[i] = Msg{Class: 1, Src: uint32(i), Payload: big}
+	}
+	var stream []byte
+	total := 0
+	for total < len(ms) {
+		var n int
+		var err error
+		stream, n, err = AppendBatch(stream, ms[total:])
+		if err != nil {
+			t.Fatalf("AppendBatch: %v", err)
+		}
+		if n == 0 {
+			t.Fatalf("AppendBatch consumed nothing at offset %d", total)
+		}
+		total += n
+	}
+	r := bufio.NewReader(bytes.NewReader(stream))
+	var got []Msg
+	for {
+		typ, body, err := ReadFrame(r)
+		if err != nil {
+			break
+		}
+		if typ != TypeBatch {
+			t.Fatalf("unexpected frame type %c", typ)
+		}
+		part, err := ParseBatch(body)
+		if err != nil {
+			t.Fatalf("ParseBatch: %v", err)
+		}
+		if len(body)+4 > MaxFrame+4 {
+			t.Fatalf("emitted frame exceeds MaxFrame")
+		}
+		got = append(got, part...)
+	}
+	if !batchEqual(ms, got) {
+		t.Fatalf("chunked batch stream did not reassemble: got %d msgs", len(got))
+	}
+}
+
+func TestAppendBatchOversizePayload(t *testing.T) {
+	over := Msg{Class: 1, Payload: make([]byte, MaxFrame)}
+	if _, n, err := AppendBatch(nil, []Msg{over}); err == nil || n != 0 {
+		t.Fatalf("AppendBatch(oversize first) = (n=%d, %v), want ErrOversize", n, err)
+	}
+	// An oversize message mid-queue: the valid prefix is emitted, the
+	// error surfaces on the next call.
+	ms := []Msg{{Class: 1, Payload: []byte("ok")}, over}
+	frame, n, err := AppendBatch(nil, ms)
+	if err != nil || n != 1 {
+		t.Fatalf("AppendBatch(ok, oversize) = (n=%d, %v), want (1, nil)", n, err)
+	}
+	if _, _, err := AppendBatch(frame, ms[1:]); err == nil {
+		t.Fatalf("AppendBatch(oversize tail) did not error")
+	}
+}
+
+func TestParseBatchRejectsMalformed(t *testing.T) {
+	valid, _, err := AppendBatch(nil, []Msg{{Class: 1, Payload: []byte("abc")}})
+	if err != nil {
+		t.Fatalf("AppendBatch: %v", err)
+	}
+	body := valid[5:] // strip length prefix + type byte
+	cases := map[string][]byte{
+		"empty body":      {},
+		"one byte":        {1},
+		"zero count":      {0, 0},
+		"truncated entry": append([]byte{2, 0}, body[2:]...),
+		"trailing bytes":  append(append([]byte(nil), body...), 0xff),
+	}
+	// Corrupt the payload length field of the single entry upward.
+	badLen := append([]byte(nil), body...)
+	badLen[2+19] = 0xff
+	badLen[2+19+3] = 0xff
+	cases["payload length overflow"] = badLen
+	for name, b := range cases {
+		if _, err := ParseBatch(b); err == nil {
+			t.Errorf("ParseBatch(%s) accepted malformed body", name)
+		}
+	}
+	if ms, err := ParseBatch(body); err != nil || len(ms) != 1 || !bytes.Equal(ms[0].Payload, []byte("abc")) {
+		t.Fatalf("control: valid body failed to parse: %v", err)
+	}
+}
+
 // FuzzFrameRoundTrip feeds arbitrary bytes through the frame reader and,
 // when a msg parses, re-encodes it checking for a fixed point.
 func FuzzFrameRoundTrip(f *testing.F) {
 	seed, _ := AppendMsg(nil, Msg{Class: 1, Src: 2, Dst: 3, From: 4, To: 5, Hops: 6, Payload: []byte("x")})
 	f.Add(seed)
 	f.Add(AppendHello(nil, Hello{Cluster: 1, Node: 2}))
+	batchSeed, _, _ := AppendBatch(nil, []Msg{{Class: 1, Payload: []byte("a")}, {Class: 0, Src: 7, Payload: []byte("bb")}})
+	f.Add(batchSeed)
 	f.Add([]byte{0, 0, 0, 0})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		typ, body, err := ReadFrame(bufio.NewReader(bytes.NewReader(data)))
@@ -209,6 +347,23 @@ func FuzzFrameRoundTrip(f *testing.F) {
 				!bytes.Equal(m2.Payload, m.Payload) {
 				t.Fatalf("round trip mismatch: %+v vs %+v", m, m2)
 			}
+		case TypeBatch:
+			ms, err := ParseBatch(body)
+			if err != nil {
+				return
+			}
+			re, n, err := AppendBatch(nil, ms)
+			if err != nil || n != len(ms) {
+				t.Fatalf("re-encode of parsed batch failed: n=%d err=%v", n, err)
+			}
+			typ2, body2, err := ReadFrame(bufio.NewReader(bytes.NewReader(re)))
+			if err != nil || typ2 != TypeBatch {
+				t.Fatalf("batch re-decode: typ=%c err=%v", typ2, err)
+			}
+			ms2, err := ParseBatch(body2)
+			if err != nil || !batchEqual(ms, ms2) {
+				t.Fatalf("batch round trip mismatch (%v)", err)
+			}
 		case TypeHello:
 			if h, err := ParseHello(body); err == nil {
 				re := AppendHello(nil, h)
@@ -223,4 +378,63 @@ func FuzzFrameRoundTrip(f *testing.F) {
 			}
 		}
 	})
+}
+
+// The coalescing benchmarks quantify what batching buys at the codec
+// layer: one batch frame for n messages vs n msg frames.
+func benchMsgs(n int) []Msg {
+	ms := make([]Msg, n)
+	for i := range ms {
+		ms[i] = Msg{Class: 1, Src: uint32(i), Dst: 1, From: uint32(i), To: 1, Hops: 1, Payload: bytes.Repeat([]byte{byte(i)}, 256)}
+	}
+	return ms
+}
+
+func BenchmarkAppendMsg64(b *testing.B) {
+	ms := benchMsgs(64)
+	var buf []byte
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = buf[:0]
+		for j := range ms {
+			var err error
+			buf, err = AppendMsg(buf, ms[j])
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkAppendBatch64(b *testing.B) {
+	ms := benchMsgs(64)
+	var buf []byte
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = buf[:0]
+		rest := ms
+		for len(rest) > 0 {
+			var n int
+			var err error
+			buf, n, err = AppendBatch(buf, rest)
+			if err != nil || n == 0 {
+				b.Fatal(err)
+			}
+			rest = rest[n:]
+		}
+	}
+}
+
+func BenchmarkParseBatch64(b *testing.B) {
+	frame, n, err := AppendBatch(nil, benchMsgs(64))
+	if err != nil || n != 64 {
+		b.Fatalf("AppendBatch: n=%d err=%v", n, err)
+	}
+	body := frame[5:] // strip len prefix + type byte
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseBatch(body); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
