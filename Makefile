@@ -91,13 +91,18 @@ campaign:
 
 # Multi-process deployment smoke: one OS process per node over real TCP
 # sockets, SIGKILL the victim mid-run, respawn it, and require recovery
-# within the provable bound plus transport-level rejoin. The period and
-# margin are the proven single-core constants (see internal/live); the
-# timeout bounds a wedged orchestrator, not a slow one (a clean run is
-# ~7s of wall clock).
+# within the provable bound plus transport-level rejoin; then a
+# concurrent > f storm (SIGSTOP one node while partitioning another,
+# parole clock on) that must be flagged, confined, and reconnected.
+# The period and margin are the proven single-core constants (see
+# internal/live); the timeout bounds a wedged orchestrator, not a slow
+# one (a clean run is ~7s of wall clock per leg).
 smoke-proc:
 	timeout 120 $(GO) run ./cmd/btrlive -orchestrate -nodes 4 -f 1 \
 		-period 500ms -margin 200ms -horizon 10 -at 3 -seed 7 -fault kill-restart
+	timeout 120 $(GO) run ./cmd/btrlive -orchestrate -nodes 4 -f 1 \
+		-period 500ms -margin 200ms -horizon 16 -seed 7 \
+		-faults stop@3+3,partition@5+3 -forgive 1s
 
 ci: fmt-check vet build race
 	@echo "ci: OK"

@@ -319,6 +319,18 @@ type campaignBench struct {
 	// bound.
 	FaultRate faultrateBench `json:"faultrate"`
 
+	// MultiFault records the C10 multi-fault family (schema v9): the
+	// extended-catalog sweep — corrupt-sink, delay and skip-actuation
+	// arrivals drawn by the same Poisson process as C8 against
+	// parole-clock deployments — plus the scripted storms: two
+	// concurrent process-level faults (> f) against real multi-process
+	// deployments, each storm's budget verdicts, confinement and
+	// per-victim reconnects. btrcheckbench gates: rows and storms must
+	// be present, every topology's knee must be positive, every row at
+	// or below its knee must be clean-and-reconciled, and every storm
+	// must be flagged, confined and reconnected where checked.
+	MultiFault multifaultBench `json:"multifault"`
+
 	// Churn records the C6 membership-churn family (schema v5): per
 	// topology, the epoch count, worst epoch-switch latency vs the worst
 	// per-epoch bound R, the within-R / clean-churn invariants, and the
@@ -453,6 +465,81 @@ type faultrateBenchRow struct {
 type faultrateKnee struct {
 	Topology         string  `json:"topology"`
 	KneeLambdaPerSec float64 `json:"knee_lambda_per_sec"`
+}
+
+// multifaultBench is the C10 section: the extended-catalog (topology ×
+// λ) sweep with its knees, plus the concurrent-fault storm verdicts.
+type multifaultBench struct {
+	Rows   []faultrateBenchRow  `json:"rows"`
+	Knees  []faultrateKnee      `json:"knees"`
+	Storms []multifaultStormRow `json:"storms"`
+}
+
+type multifaultStormRow struct {
+	Name             string `json:"name"`
+	Topology         string `json:"topology"`
+	Nodes            int    `json:"nodes"`
+	F                int    `json:"f"`
+	Faults           string `json:"faults"`
+	OverBudget       int    `json:"over_budget"`
+	Reconciled       int    `json:"reconciled"`
+	Flagged          bool   `json:"flagged"`
+	Confined         bool   `json:"confined"`
+	ReconnectChecked bool   `json:"reconnect_checked"`
+	Reconnected      bool   `json:"reconnected"`
+}
+
+// measureMultiFault runs the full C10 sweep — every topology at every
+// swept λ with the extended catalog, full horizon — plus every scripted
+// storm against real processes.
+func measureMultiFault(t *testing.T) multifaultBench {
+	var out multifaultBench
+	for _, kind := range exp.MultiFaultKinds() {
+		var rows []exp.C8Row
+		for _, lambda := range exp.MultiFaultLambdas() {
+			row, err := exp.RunMultiFaultBench(kind, lambda, 1)
+			if err != nil {
+				t.Fatalf("multifault bench %s λ=%g: %v", kind, lambda, err)
+			}
+			rows = append(rows, row)
+			out.Rows = append(out.Rows, faultrateBenchRow{
+				Topology:      row.Topology,
+				LambdaPerSec:  row.Lambda,
+				Arrivals:      row.Arrivals,
+				Tolerated:     row.Tolerated,
+				Detected:      row.Detected,
+				Untolerated:   row.Untolerated,
+				Windows:       row.Windows,
+				WorstWindowMS: row.WorstWindow.Millis(),
+				BoundWindowMS: row.Bound.Millis(),
+				Reconciled:    row.Reconciled,
+			})
+		}
+		out.Knees = append(out.Knees, faultrateKnee{
+			Topology:         kind,
+			KneeLambdaPerSec: exp.C8Knee(rows),
+		})
+	}
+	for _, name := range exp.MultiFaultStorms() {
+		row, err := exp.RunMultiFaultStormBench(name, 1)
+		if err != nil {
+			t.Fatalf("multifault storm bench %s: %v", name, err)
+		}
+		out.Storms = append(out.Storms, multifaultStormRow{
+			Name:             row.Name,
+			Topology:         row.Topology,
+			Nodes:            row.Nodes,
+			F:                row.F,
+			Faults:           row.Faults,
+			OverBudget:       row.OverBudget,
+			Reconciled:       row.Reconciled,
+			Flagged:          row.Flagged,
+			Confined:         row.Confined,
+			ReconnectChecked: row.ReconnectChecked,
+			Reconnected:      row.Reconnected,
+		})
+	}
+	return out
 }
 
 // measureFaultRate runs the full C8 sweep — every topology at every
@@ -626,7 +713,7 @@ func TestEmitCampaignBench(t *testing.T) {
 	cachedNs, uncachedNs := sig.MeasureVerifySpeedup(64)
 	curTP, legacyTP := sim.MeasureKernelThroughput(1 << 19)
 	bench := campaignBench{
-		Schema: "btr-campaign-bench/v8",
+		Schema: "btr-campaign-bench/v9",
 		Seed:   1, Quick: quick,
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		HostCores:  runtime.NumCPU(),
@@ -644,6 +731,7 @@ func TestEmitCampaignBench(t *testing.T) {
 		Churn:      measureChurn(t),
 		FaultRate:  measureFaultRate(t),
 		Saturation: measureSaturation(t),
+		MultiFault: measureMultiFault(t),
 		Crypto: cryptoBench{
 			VerifyCachedNsOp:   cachedNs,
 			VerifyUncachedNsOp: uncachedNs,
@@ -696,14 +784,15 @@ func TestEmitCampaignBench(t *testing.T) {
 	if err := enc.Encode(bench); err != nil {
 		t.Fatalf("encode: %v", err)
 	}
-	t.Logf("wrote %s: serial %.0fms (uncached %.0fms, crypto %.2fx, memo hit rate %.1f%%), workers=4 %.0fms, speedup %.2fx (GOMAXPROCS=%d, %d host core(s)); plan cache warm %.2fms vs cold %.2fms (%.1fx); kernel %.2fx vs legacy; verify memo %.1fx; batch verify %.2fx@%d; %d live soak row(s); %d multi-process row(s); %d churn row(s); %d fault-rate row(s) across %d knee(s); %d saturation row(s)",
+	t.Logf("wrote %s: serial %.0fms (uncached %.0fms, crypto %.2fx, memo hit rate %.1f%%), workers=4 %.0fms, speedup %.2fx (GOMAXPROCS=%d, %d host core(s)); plan cache warm %.2fms vs cold %.2fms (%.1fx); kernel %.2fx vs legacy; verify memo %.1fx; batch verify %.2fx@%d; %d live soak row(s); %d multi-process row(s); %d churn row(s); %d fault-rate row(s) across %d knee(s); %d saturation row(s); %d multifault row(s) + %d storm(s)",
 		out, bench.SerialMS, bench.Crypto.UncachedSerialMS, bench.Crypto.CampaignSpeedup,
 		bench.Crypto.MemoHitRate*100, bench.Par4MS, bench.Speedup, bench.GOMAXPROCS, bench.HostCores,
 		bench.PlanCache.WarmMS, bench.PlanCache.ColdMS, bench.PlanCache.Speedup,
 		bench.Kernel.Speedup, bench.Crypto.VerifySpeedup,
 		bench.Saturation.BatchVerify[0].Speedup, bench.Saturation.BatchVerify[0].BatchSize,
 		len(bench.Live), len(bench.LiveProc), len(bench.Churn),
-		len(bench.FaultRate.Rows), len(bench.FaultRate.Knees), len(bench.Saturation.Rows))
+		len(bench.FaultRate.Rows), len(bench.FaultRate.Knees), len(bench.Saturation.Rows),
+		len(bench.MultiFault.Rows), len(bench.MultiFault.Storms))
 }
 
 func BenchmarkE1Recovery(b *testing.B) {

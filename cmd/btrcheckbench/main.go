@@ -87,6 +87,8 @@ type benchFile struct {
 
 	Saturation saturationSection `json:"saturation"`
 
+	MultiFault multifaultSection `json:"multifault"`
+
 	Scenarios []benchScenario `json:"scenarios"`
 }
 
@@ -145,6 +147,29 @@ type faultrateRow struct {
 type faultrateKnee struct {
 	Topology         string  `json:"topology"`
 	KneeLambdaPerSec float64 `json:"knee_lambda_per_sec"`
+}
+
+// multifaultSection is the C10 multi-fault family (schema v9): the
+// extended-catalog sweep — corrupt-sink, delay, skip-actuation — over
+// the same (topology × λ) grid and knee locator as C8 (simulated time,
+// machine-independent), plus the scripted concurrent-fault storms
+// against real multi-process deployments (wall clock; only their
+// invariants gate).
+type multifaultSection struct {
+	Rows   []faultrateRow       `json:"rows"`
+	Knees  []faultrateKnee      `json:"knees"`
+	Storms []multifaultStormRow `json:"storms"`
+}
+
+type multifaultStormRow struct {
+	Name             string `json:"name"`
+	Topology         string `json:"topology"`
+	OverBudget       int    `json:"over_budget"`
+	Reconciled       int    `json:"reconciled"`
+	Flagged          bool   `json:"flagged"`
+	Confined         bool   `json:"confined"`
+	ReconnectChecked bool   `json:"reconnect_checked"`
+	Reconnected      bool   `json:"reconnected"`
 }
 
 // churnRow is one C6 membership-churn entry of the bundle's churn
@@ -408,6 +433,62 @@ func compare(base, cur benchFile, tol, minWarmSpeedup, minKernelSpeedup, minCryp
 		}
 	}
 
+	// Multi-fault regime (schema v9): the extended-catalog sweep obeys
+	// the same invariants as the C8 sweep — positive knee per topology,
+	// zero untolerated periods and reconciled windows at and below each
+	// knee — and every scripted > f storm must have been flagged (some
+	// node flooded a signed over-budget verdict), confined (every bad
+	// interval fault-attributable) and, where a repair is
+	// transport-visible, reconnected on every surviving peer.
+	if len(cur.MultiFault.Rows) == 0 || len(cur.MultiFault.Knees) == 0 {
+		failf("new bundle carries no multi-fault sweep")
+	}
+	mfKneeByTopo := map[string]float64{}
+	for _, k := range cur.MultiFault.Knees {
+		mfKneeByTopo[k.Topology] = k.KneeLambdaPerSec
+		if k.KneeLambdaPerSec <= 0 {
+			failf("multifault %s: knee λ=%g — even the smallest swept rate produced a silent miss or an unreconciled window",
+				k.Topology, k.KneeLambdaPerSec)
+		}
+	}
+	for _, row := range cur.MultiFault.Rows {
+		knee, ok := mfKneeByTopo[row.Topology]
+		if !ok {
+			failf("multifault %s: row without a knee entry", row.Topology)
+			continue
+		}
+		if row.LambdaPerSec > knee {
+			continue
+		}
+		if row.Untolerated > 0 {
+			failf("multifault %s λ=%g (at/below knee %g): %d untolerated (silent) period(s)",
+				row.Topology, row.LambdaPerSec, knee, row.Untolerated)
+		}
+		if !row.Reconciled {
+			failf("multifault %s λ=%g (at/below knee %g): worst degraded window %.1fms exceeded the %.1fms reconcile bound",
+				row.Topology, row.LambdaPerSec, knee, row.WorstWindowMS, row.BoundWindowMS)
+		}
+	}
+	if len(cur.MultiFault.Storms) == 0 {
+		failf("new bundle carries no multi-fault storms")
+	}
+	for _, st := range cur.MultiFault.Storms {
+		if !st.Flagged {
+			failf("multifault storm %s: > f storm raised no over-budget verdict", st.Name)
+		}
+		if st.Reconciled == 0 {
+			failf("multifault storm %s: storm drained but no node reconciled", st.Name)
+		}
+		if !st.Confined {
+			failf("multifault storm %s: bad output outside the fault-attributable window", st.Name)
+		}
+		if !st.ReconnectChecked {
+			failf("multifault storm %s: no transport-visible repair was reconnect-checked", st.Name)
+		} else if !st.Reconnected {
+			failf("multifault storm %s: a repaired victim's links did not re-establish on every peer", st.Name)
+		}
+	}
+
 	if base.Quick != cur.Quick {
 		notef("skipping perf comparison: baseline quick=%v vs new quick=%v", base.Quick, cur.Quick)
 		return failures, notices
@@ -525,9 +606,9 @@ func main() {
 		}
 		return 0
 	}
-	fmt.Printf("bench check OK: %d scenario(s), serial %.0fms, plan-cache warm %.2fx, kernel %.2fx, verify memo %.2fx, crypto campaign %.2fx (E4 share %.1f%%), batch verify %.2fx@16, %d live row(s) within R, %d multi-process row(s) within R, %d churn row(s) within R (warm replans 0), %d fault-rate row(s) clean at/below %d knee(s), %d saturation row(s) within R under load\n",
+	fmt.Printf("bench check OK: %d scenario(s), serial %.0fms, plan-cache warm %.2fx, kernel %.2fx, verify memo %.2fx, crypto campaign %.2fx (E4 share %.1f%%), batch verify %.2fx@16, %d live row(s) within R, %d multi-process row(s) within R, %d churn row(s) within R (warm replans 0), %d fault-rate row(s) clean at/below %d knee(s), %d saturation row(s) within R under load, %d multifault row(s) + %d storm(s) flagged+confined\n",
 		len(cur.Scenarios), cur.SerialMS, cur.PlanCache.Speedup, cur.Kernel.Speedup,
 		cur.Crypto.VerifySpeedup, cur.Crypto.CampaignSpeedup, cur.Crypto.E4WorkShare*100, batchAt(16),
 		len(cur.Live), len(cur.LiveProc), len(cur.Churn), len(cur.FaultRate.Rows), len(cur.FaultRate.Knees),
-		len(cur.Saturation.Rows))
+		len(cur.Saturation.Rows), len(cur.MultiFault.Rows), len(cur.MultiFault.Storms))
 }

@@ -49,6 +49,19 @@ func bundle(gomaxprocs int, serial float64, warmSpeedup float64) benchFile {
 			Delivered: 500000, Dropped: 0, Shed: 0,
 		}},
 	}
+	f.MultiFault = multifaultSection{
+		Rows: []faultrateRow{
+			{Topology: "full-mesh", LambdaPerSec: 1, Arrivals: 3, Tolerated: 1, WorstWindowMS: 0, BoundWindowMS: 500, Reconciled: true},
+			{Topology: "full-mesh", LambdaPerSec: 4, Arrivals: 11, Detected: 2, WorstWindowMS: 120, BoundWindowMS: 500, Reconciled: true},
+			{Topology: "full-mesh", LambdaPerSec: 8, Arrivals: 24, Detected: 5, Untolerated: 1, WorstWindowMS: 301, BoundWindowMS: 500, Reconciled: true},
+		},
+		Knees: []faultrateKnee{{Topology: "full-mesh", KneeLambdaPerSec: 4}},
+		Storms: []multifaultStormRow{{
+			Name: "kill-restart+partition", Topology: "full-mesh",
+			OverBudget: 6, Reconciled: 6, Flagged: true, Confined: true,
+			ReconnectChecked: true, Reconnected: true,
+		}},
+	}
 	f.Scenarios = []benchScenario{
 		{ID: "E1", Trials: 6, WorkMS: 1000},
 		{ID: "C4", Trials: 7, WorkMS: 100},
@@ -350,6 +363,59 @@ func TestCompareGatesSaturation(t *testing.T) {
 	cur.Saturation.Rows[0].WithinR = false
 	if fails, _ := compare(base, cur, 0.20, 5, 2, 2, 2, 0, false); !hasFailure(fails, "exceeded bound R") {
 		t.Fatalf("loaded-recovery bound violation not flagged: %v", fails)
+	}
+}
+
+func TestCompareGatesMultiFault(t *testing.T) {
+	base := bundle(4, 10000, 20)
+	// Missing multifault section fails: v9 bundles must carry it.
+	cur := bundle(4, 10000, 20)
+	cur.MultiFault = multifaultSection{}
+	fails, _ := compare(base, cur, 0.20, 5, 2, 2, 2, 0, false)
+	if !hasFailure(fails, "no multi-fault sweep") {
+		t.Fatalf("missing multifault sweep not flagged: %v", fails)
+	}
+	if !hasFailure(fails, "no multi-fault storms") {
+		t.Fatalf("missing multifault storms not flagged: %v", fails)
+	}
+	// The sweep obeys the fault-rate invariants: a collapsed knee fails.
+	cur = bundle(4, 10000, 20)
+	cur.MultiFault.Knees[0].KneeLambdaPerSec = 0
+	if fails, _ := compare(base, cur, 0.20, 5, 2, 2, 2, 0, false); !hasFailure(fails, "multifault full-mesh: knee λ=0") {
+		t.Fatalf("zero multifault knee not flagged: %v", fails)
+	}
+	// A silent miss at/below the knee fails; above the knee it is
+	// informational only.
+	cur = bundle(4, 10000, 20)
+	cur.MultiFault.Rows[1].Untolerated = 1
+	if fails, _ := compare(base, cur, 0.20, 5, 2, 2, 2, 0, false); !hasFailure(fails, "multifault full-mesh λ=4") {
+		t.Fatalf("below-knee multifault silent miss not flagged: %v", fails)
+	}
+	cur = bundle(4, 10000, 20)
+	cur.MultiFault.Rows[2].Untolerated = 9 // λ=8 > knee 4
+	if fails, _ := compare(base, cur, 0.20, 5, 2, 2, 2, 0, false); len(fails) != 0 {
+		t.Fatalf("above-knee multifault row must not gate: %v", fails)
+	}
+	// An unreconciled window at/below the knee fails.
+	cur = bundle(4, 10000, 20)
+	cur.MultiFault.Rows[0].Reconciled = false
+	if fails, _ := compare(base, cur, 0.20, 5, 2, 2, 2, 0, false); !hasFailure(fails, "multifault full-mesh λ=1") {
+		t.Fatalf("below-knee unreconciled multifault window not flagged: %v", fails)
+	}
+	// Storm invariants: silent (unflagged), unreconciled, unconfined,
+	// unchecked and unreconnected storms all fail.
+	for name, mutate := range map[string]func(*multifaultStormRow){
+		"raised no over-budget verdict":  func(s *multifaultStormRow) { s.Flagged = false },
+		"no node reconciled":             func(s *multifaultStormRow) { s.Reconciled = 0 },
+		"outside the fault-attributable": func(s *multifaultStormRow) { s.Confined = false },
+		"was reconnect-checked":          func(s *multifaultStormRow) { s.ReconnectChecked = false },
+		"did not re-establish":           func(s *multifaultStormRow) { s.Reconnected = false },
+	} {
+		cur = bundle(4, 10000, 20)
+		mutate(&cur.MultiFault.Storms[0])
+		if fails, _ := compare(base, cur, 0.20, 5, 2, 2, 2, 0, false); !hasFailure(fails, name) {
+			t.Fatalf("storm violation %q not flagged: %v", name, fails)
+		}
 	}
 }
 

@@ -32,7 +32,8 @@
 //	        [-retire n@p[,n@p...]] [-replace new:old@p[,...]] [-v]
 //	        [-cpuprofile out.pprof] [-memprofile out.pprof]
 //	btrlive -orchestrate [-fault ...|kill|kill-restart|stop|partition]
-//	        [-heal-after N] [common flags]
+//	        [-heal-after N] [-faults kind@at+heal[,...]] [-forgive D]
+//	        [common flags]
 //	btrlive -node N [-peers addr0,addr1,...] [common flags]
 //
 // Flags:
@@ -50,6 +51,12 @@
 //	-at          injection period index (default 3; must be < -horizon)
 //	-heal-after  periods between fault and repair in -orchestrate mode
 //	             (restart, SIGCONT, heal; default 3)
+//	-faults      concurrent fault schedule "kind@at+heal[,...]" (kinds
+//	             kill, kill-restart, stop, partition), each entry on its
+//	             own injection/repair clock; supersedes -fault/-at
+//	-forgive     parole clock: convictions expire after this duration and
+//	             a > f storm floods signed over-budget verdicts instead
+//	             of staying silent (0 = classic mode)
 //	-orchestrate boot one process per node over TCP and judge as plant
 //	-node        run one node slot of a multi-process deployment
 //	-peers       listen addresses, index = node ID (with -node)
@@ -160,6 +167,43 @@ func parseChurn(flagName, spec string, slots int, horizon uint64) ([]churnEvent,
 	return out, nil
 }
 
+// parseFaults parses the -faults schedule: comma-separated
+// "kind@at+heal" entries (heal optional; 0 lets the orchestrator apply
+// its default), each validated against the storm fault kinds with the
+// same loud listing every other enum flag gives. Victims are
+// auto-assigned (Node -1): the strategy victim first, then the lowest
+// free slots.
+func parseFaults(spec string, horizon uint64) ([]live.FaultSpec, error) {
+	var out []live.FaultSpec
+	for _, part := range strings.Split(spec, ",") {
+		kind, rest, ok := strings.Cut(part, "@")
+		if !ok {
+			return nil, fmt.Errorf("invalid -faults entry %q (want kind@at+heal)", part)
+		}
+		if err := cliflag.OneOf("faults", kind, live.StormFaultKinds); err != nil {
+			return nil, err
+		}
+		atStr, healStr, hasHeal := strings.Cut(rest, "+")
+		at, err := strconv.ParseUint(atStr, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("invalid -faults injection period in %q: %v", part, err)
+		}
+		if err := cliflag.InRange("faults at", int64(at), 0, int64(horizon)-1); err != nil {
+			return nil, err
+		}
+		fsp := live.FaultSpec{Kind: kind, Node: -1, FaultAt: at}
+		if hasHeal {
+			heal, err := strconv.ParseUint(healStr, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("invalid -faults heal delay in %q: %v", part, err)
+			}
+			fsp.HealAfter = heal
+		}
+		out = append(out, fsp)
+	}
+	return out, nil
+}
+
 func parseSlot(flagName, s string, slots int) (network.NodeID, error) {
 	v, err := strconv.Atoi(s)
 	if err != nil {
@@ -179,9 +223,10 @@ func main() {
 // liveFlags holds every flag value btrlive parses.
 type liveFlags struct {
 	topoKind, faultKind, peers         *string
+	faultsSpec                         *string
 	joinSpec, retireSpec, replaceSpec  *string
 	nodes, f, nodeID, membersN         *int
-	period, margin                     *time.Duration
+	period, margin, forgive            *time.Duration
 	horizon, seed, atPeriod, healAfter *uint64
 	orchestrate, verbose               *bool
 	prof                               *prof.Flags
@@ -202,6 +247,8 @@ func registerFlags(fs *flag.FlagSet) *liveFlags {
 		faultKind:   fs.String("fault", "corrupt-all", "fault to inject: "+strings.Join(live.ProcFaultKinds, ", ")),
 		atPeriod:    fs.Uint64("at", 3, "injection period index (must be < -horizon)"),
 		healAfter:   fs.Uint64("heal-after", 3, "periods between fault and repair (-orchestrate)"),
+		faultsSpec:  fs.String("faults", "", "concurrent fault schedule, kind@at+heal[,kind@at+heal...] (-orchestrate); kinds: "+strings.Join(live.StormFaultKinds, ", ")),
+		forgive:     fs.Duration("forgive", 0, "parole clock: convictions expire after this long and over-budget windows are flagged (-orchestrate; 0 = classic mode)"),
 		orchestrate: fs.Bool("orchestrate", false, "one process per node over TCP, judged by an orchestrator plant"),
 		nodeID:      fs.Int("node", -1, "run one node slot of a multi-process deployment"),
 		peers:       fs.String("peers", "", "comma-separated listen addresses, index = node ID (with -node)"),
@@ -257,16 +304,39 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) (code int) {
 		return runNode(fs, *nodeID, *peers, *topoKind, *nodes, *f, *seed, p, m, *horizon,
 			*faultKind, *atPeriod, *verbose, stdin, stdout, stderr)
 	}
+	if *lf.faultsSpec != "" && !*orchestrate {
+		return fail(fmt.Errorf("-faults requires -orchestrate (a concurrent schedule drives real processes)"))
+	}
 	if *orchestrate {
 		if err := cliflag.InRange("at", int64(*atPeriod), 0, int64(*horizon)-1); err != nil {
 			return fail(err)
 		}
-		return runOrchestrated(live.OrchestratorConfig{
+		cfg := live.OrchestratorConfig{
 			Topo: *topoKind, Nodes: *nodes, F: *f, Seed: *seed,
 			Period: p, Margin: m, Horizon: *horizon,
 			Fault: *faultKind, FaultAt: *atPeriod, HealAfter: *healAfter,
+			Forgive: sim.Time(*lf.forgive / time.Microsecond),
 			Verbose: *verbose, Log: stdout,
-		}, stdout, stderr)
+		}
+		if *lf.faultsSpec != "" {
+			// A schedule supersedes the single-fault flags; an explicit
+			// -fault alongside -faults is a contradiction worth rejecting.
+			explicitFault := false
+			fs.Visit(func(fl *flag.Flag) {
+				if fl.Name == "fault" {
+					explicitFault = true
+				}
+			})
+			if explicitFault && *faultKind != "none" {
+				return fail(fmt.Errorf("-fault and -faults are mutually exclusive (the schedule names its own kinds)"))
+			}
+			faults, err := parseFaults(*lf.faultsSpec, *horizon)
+			if err != nil {
+				return fail(err)
+			}
+			cfg.Fault, cfg.Faults = "none", faults
+		}
+		return runOrchestrated(cfg, stdout, stderr)
 	}
 	return runSingle(*topoKind, *nodes, *f, *seed, p, m, *horizon, *faultKind, *atPeriod,
 		*membersN, *joinSpec, *retireSpec, *replaceSpec, *verbose, stdout, stderr, *period)
@@ -341,6 +411,9 @@ func runOrchestrated(cfg live.OrchestratorConfig, stdout, stderr io.Writer) int 
 	for _, rec := range rep.Recoveries() {
 		fmt.Fprintf(stdout, "fault at %v: measured wall-clock recovery %v\n", rec.FaultAt, rec.Duration())
 	}
+	if len(cfg.Faults) > 0 {
+		return stormVerdict(cfg, res, stdout)
+	}
 	spurious := false
 	for _, iv := range rep.BadIntervals() {
 		if !res.Injected || iv.Start < at {
@@ -369,6 +442,55 @@ func runOrchestrated(cfg live.OrchestratorConfig, stdout, stderr io.Writer) int 
 	if res.ReconnectChecked {
 		fmt.Fprintf(stdout, "transport: victim link re-established on every adjacent peer\n")
 	}
+	return 0
+}
+
+// stormVerdict prints the per-victim outcomes of a concurrent fault
+// schedule and judges the storm invariants: every bad interval must be
+// fault-attributable (confined), every transport-visible repair must
+// re-establish, and when the schedule outnumbers f under a parole clock
+// the degraded regime must be flagged (over-budget) and drain
+// (reconciled).
+func stormVerdict(cfg live.OrchestratorConfig, res *live.ProcResult, stdout io.Writer) int {
+	rep := res.Report
+	for _, sv := range res.Storm {
+		line := fmt.Sprintf("storm: %s on node %d at period %d, heal after %d", sv.Kind, sv.Node, sv.FaultAt, sv.HealAfter)
+		if sv.ReconnectChecked {
+			if sv.Reconnected {
+				line += " — link re-established on every peer"
+			} else {
+				line += " — LINK NOT RE-ESTABLISHED"
+			}
+		}
+		fmt.Fprintln(stdout, line)
+	}
+	fmt.Fprintf(stdout, "budget: %d over-budget verdict(s), %d reconciled\n", res.OverBudget, res.Reconciled)
+	bad := false
+	for _, sv := range res.Storm {
+		if sv.ReconnectChecked && !sv.Reconnected {
+			bad = true
+			fmt.Fprintf(stdout, "verdict: VIOLATION — %s victim %d did not re-establish after repair\n", sv.Kind, sv.Node)
+		}
+	}
+	if !res.Confined {
+		bad = true
+		fmt.Fprintf(stdout, "verdict: VIOLATION — bad output outside the fault-attributable window [%v, %v]: %v\n",
+			res.FirstFaultAt, res.ConfineEnd, rep.BadIntervals())
+	}
+	if len(cfg.Faults) > cfg.F && cfg.Forgive > 0 {
+		if res.OverBudget == 0 {
+			bad = true
+			fmt.Fprintf(stdout, "verdict: VIOLATION — > f storm raised no over-budget verdict\n")
+		} else if res.Reconciled == 0 {
+			bad = true
+			fmt.Fprintf(stdout, "verdict: VIOLATION — storm drained but no node reconciled\n")
+		}
+	}
+	if bad {
+		return 1
+	}
+	fmt.Fprintf(stdout, "verdict: storm confined — bad output only inside [%v, %v], every repair rejoined\n",
+		res.FirstFaultAt, res.ConfineEnd)
 	return 0
 }
 

@@ -67,6 +67,59 @@ func TestBuildFaultListsValidChoices(t *testing.T) {
 	}
 }
 
+func TestParseFaultsSchedule(t *testing.T) {
+	faults, err := parseFaults("kill-restart@3+3,partition@5", 16)
+	if err != nil {
+		t.Fatalf("valid schedule rejected: %v", err)
+	}
+	if len(faults) != 2 {
+		t.Fatalf("schedule parsed wrong: %+v", faults)
+	}
+	if faults[0].Kind != "kill-restart" || faults[0].Node != -1 || faults[0].FaultAt != 3 || faults[0].HealAfter != 3 {
+		t.Fatalf("first entry parsed wrong: %+v", faults[0])
+	}
+	if faults[1].Kind != "partition" || faults[1].HealAfter != 0 {
+		t.Fatalf("heal-less entry should leave HealAfter 0 (orchestrator default): %+v", faults[1])
+	}
+	// An unknown kind errors through cliflag, naming the flag and listing
+	// every valid choice.
+	_, err = parseFaults("stopp@3", 16)
+	if err == nil {
+		t.Fatal("unknown schedule kind silently accepted")
+	}
+	for _, want := range []string{"-faults", `"stopp"`, "valid:", "kill", "kill-restart", "stop", "partition"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q missing %q", err, want)
+		}
+	}
+	for name, spec := range map[string]string{
+		"missing @":         "stop",
+		"bad period":        "stop@x",
+		"period >= horizon": "stop@16",
+		"bad heal":          "stop@3+x",
+		"catalog kind":      "corrupt-all@3",
+		"empty tail entry":  "stop@3,",
+	} {
+		if _, err := parseFaults(spec, 16); err == nil {
+			t.Errorf("%s (%q) silently accepted", name, spec)
+		}
+	}
+}
+
+func TestFaultsRequiresOrchestrate(t *testing.T) {
+	code := run([]string{"-faults", "stop@3+3,kill-restart@5+3"},
+		strings.NewReader(""), io.Discard, io.Discard)
+	if code != 2 {
+		t.Fatalf("-faults without -orchestrate returned %d, want usage error 2", code)
+	}
+	// An explicit single -fault alongside a schedule is a contradiction.
+	code = run([]string{"-orchestrate", "-fault", "kill", "-faults", "stop@3+3,kill-restart@5+3"},
+		strings.NewReader(""), io.Discard, io.Discard)
+	if code != 2 {
+		t.Fatalf("-fault + -faults returned %d, want usage error 2", code)
+	}
+}
+
 func TestParseChurnEvents(t *testing.T) {
 	evs, err := parseChurn("join", "6@5,7@9", 8, 20)
 	if err != nil {

@@ -71,16 +71,20 @@ func Scenarios() []campaign.Scenario {
 		C7Scenario(),
 		C8Scenario(),
 		C9Scenario(),
+		C10Scenario(),
 	}
 }
 
 // DeterministicScenarios returns every scenario whose tables are pinned
 // byte-identical (everything except the wall-clock families "live",
-// "liveproc", and "saturation").
+// "liveproc", "saturation", and "multifault" — the C10 storms run real
+// processes; its sweep half has a dedicated byte-identity test).
 func DeterministicScenarios() []campaign.Scenario {
 	var out []campaign.Scenario
 	for _, sc := range Scenarios() {
-		if sc.Family != "live" && sc.Family != "liveproc" && sc.Family != "saturation" {
+		switch sc.Family {
+		case "live", "liveproc", "saturation", "multifault":
+		default:
 			out = append(out, sc)
 		}
 	}

@@ -44,6 +44,30 @@ func Catalog() []string {
 	return []string{"crash", "corrupt-all", "corrupt-task", "omit", "equivocate", "timestamp-lie"}
 }
 
+// ExtendedCatalog lists the non-catalog behaviors the C10 multifault
+// sweep draws: corrupt-sink and skip-actuation are judged at the plant
+// (they target a hosted sink replica), delay at the transport boundary
+// (outputs are held back, not falsified). They are kept out of Catalog
+// so the C8 schedule stays byte-identical.
+func ExtendedCatalog() []string {
+	return []string{"corrupt-sink", "delay", "skip-actuation"}
+}
+
+// Convicts reports whether a behavior produces evidence that convicts
+// its victim. skip-actuation does not: the skipped actuation is masked
+// by sink replication (a peer replica of the same sink still actuates),
+// so no watchdog fires and no conviction is ever flooded. A
+// non-convicting episode saturates its victim but consumes no fault
+// budget — counting it toward ActiveAtArrival would claim the plan was
+// over capacity while no degraded window could ever open.
+func Convicts(behavior string) bool { return behavior != "skip-actuation" }
+
+// sinkBound reports whether a behavior must target a hosted sink
+// replica (the plant-judged behaviors of ExtendedCatalog).
+func sinkBound(behavior string) bool {
+	return behavior == "corrupt-sink" || behavior == "skip-actuation"
+}
+
 // Params configures one arrival schedule.
 type Params struct {
 	Lambda  float64  // mean fault arrivals per second
@@ -54,6 +78,14 @@ type Params struct {
 	Horizon sim.Time // absolute end of the run
 	F       int      // the plan capacity (for ActiveAtArrival accounting)
 	Seed    uint64
+
+	// Behaviors is the list the arrival process draws from; empty means
+	// Catalog() (the C8 default, byte-identical to the pre-C10 schedule).
+	Behaviors []string
+	// Hold is how long a "delay" episode holds each output back; zero
+	// defaults to 4 periods — far past the deadline, so held outputs are
+	// late at the transport boundary, not merely jittered.
+	Hold sim.Time
 }
 
 // Victim is a node eligible for compromise plus the logical tasks it
@@ -64,6 +96,10 @@ type Params struct {
 type Victim struct {
 	Node     network.NodeID
 	Logicals []flow.TaskID
+	// Sinks are the hosted logicals that are workload sinks — the pool
+	// for the plant-judged behaviors (corrupt-sink, skip-actuation). A
+	// sink-bound draw against a victim with no hosted sinks is dropped.
+	Sinks []flow.TaskID
 }
 
 // Arrival is one scheduled fault episode.
@@ -73,13 +109,18 @@ type Arrival struct {
 	Node     network.NodeID
 	Logical  flow.TaskID
 	Behavior string
-	// ActiveAtArrival counts the episodes — this one included — whose
-	// influence window covers At. An episode's influence outlives its
-	// heal: the conviction lingers in every fault set until the
-	// cluster-wide parole, Forgive (+ boundary rounding) past detection,
-	// so the window is [At, HealAt + Forgive + 2 periods). Arrivals with
-	// ActiveAtArrival ≤ f are the ones the classic guarantee must
-	// tolerate.
+	// Hold is the per-output delay of a "delay" episode (zero for every
+	// other behavior).
+	Hold sim.Time
+	// ActiveAtArrival counts the budget-consuming episodes — this one
+	// included, if it convicts — whose influence window covers At. An
+	// episode's influence outlives its heal: the conviction lingers in
+	// every fault set until the cluster-wide parole, Forgive (+ boundary
+	// rounding) past detection, so the window is
+	// [At, HealAt + Forgive + 2 periods). Non-convicting episodes
+	// (see Convicts) saturate their victim but never enter the count.
+	// Arrivals with ActiveAtArrival ≤ f are the ones the classic
+	// guarantee must tolerate.
 	ActiveAtArrival int
 }
 
@@ -90,16 +131,29 @@ func linger(p Params) sim.Time { return p.Forgive + 2*p.Period }
 // inter-arrival times at rate Lambda, victims drawn uniformly from the
 // currently healthy pool (a node with an open episode cannot be
 // compromised again until its conviction has expired — re-infecting a
-// node that is already convicted would change nothing), behaviors and
-// target tasks drawn uniformly from Catalog and the victim's hosted
-// tasks. Arrivals that find every victim saturated are dropped.
+// node that is already convicted would change nothing), behaviors drawn
+// uniformly from p.Behaviors (default Catalog), target tasks drawn
+// uniformly from the victim's hosted tasks — or hosted sinks, for the
+// plant-judged behaviors. Arrivals that find every victim saturated are
+// dropped, as are sink-bound draws against sinkless victims.
 func Schedule(p Params, victims []Victim) []Arrival {
 	if p.Lambda <= 0 || len(victims) == 0 {
 		return nil
 	}
 	rng := sim.NewRNG(p.Seed)
-	cat := Catalog()
+	cat := p.Behaviors
+	if len(cat) == 0 {
+		cat = Catalog()
+	}
+	hold := p.Hold
+	if hold == 0 {
+		hold = 4 * p.Period
+	}
 	end := make(map[network.NodeID]sim.Time, len(victims)) // influence end per victim
+	// convictEnd tracks only the budget-consuming (convicting) episodes:
+	// for the default catalog it mirrors end exactly, so the C8 schedule
+	// is byte-identical to the pre-C10 accounting.
+	convictEnd := make(map[network.NodeID]sim.Time, len(victims))
 	var out []Arrival
 	t := p.Start
 	for {
@@ -118,19 +172,36 @@ func Schedule(p Params, victims []Victim) []Arrival {
 		}
 		v := elig[rng.Intn(len(elig))]
 		b := cat[rng.Intn(len(cat))]
-		l := v.Logicals[rng.Intn(len(v.Logicals))]
-		active := 1
-		for _, e := range end {
+		pool := v.Logicals
+		if sinkBound(b) {
+			pool = v.Sinks
+		}
+		if len(pool) == 0 {
+			continue // sink-bound draw against a sinkless victim: dropped
+		}
+		l := pool[rng.Intn(len(pool))]
+		active := 0
+		if Convicts(b) {
+			active = 1
+		}
+		for _, e := range convictEnd {
 			if e > t {
 				active++
 			}
 		}
 		heal := t + p.Heal
 		end[v.Node] = heal + linger(p)
-		out = append(out, Arrival{
+		if Convicts(b) {
+			convictEnd[v.Node] = heal + linger(p)
+		}
+		a := Arrival{
 			At: t, HealAt: heal, Node: v.Node, Logical: l,
 			Behavior: b, ActiveAtArrival: active,
-		})
+		}
+		if b == "delay" {
+			a.Hold = hold
+		}
+		out = append(out, a)
 	}
 }
 
@@ -169,6 +240,14 @@ func Install(s *core.System, arrivals []Arrival) error {
 			atk = adversary.Equivocate(a.Node, a.Logical, a.At)
 		case "timestamp-lie":
 			atk = adversary.LieAboutSendTime(a.Node, a.Logical, 10*sim.Millisecond, a.At)
+		case "corrupt-sink":
+			// Logical is drawn from the victim's hosted sinks, so this is
+			// corruption judged directly at the plant.
+			atk = adversary.CorruptTask(a.Node, a.Logical, a.At)
+		case "delay":
+			atk = adversary.Delay(a.Node, a.Logical, a.Hold, a.At)
+		case "skip-actuation":
+			atk = adversary.SkipActuation(a.Node, a.At)
 		default:
 			return fmt.Errorf("faultrate: unknown behavior %q", a.Behavior)
 		}

@@ -209,6 +209,140 @@ func TestClassifyOverBudgetWithoutWindowIsUntolerated(t *testing.T) {
 	}
 }
 
+// TestScheduleExtendedCatalog pins the C10 draw rules: with Behaviors =
+// ExtendedCatalog() every arrival uses an extended behavior, sink-bound
+// behaviors target hosted sinks only, delay episodes carry the hold, and
+// skip-actuation never consumes fault budget (it cannot convict).
+func TestScheduleExtendedCatalog(t *testing.T) {
+	p := testParams(9)
+	p.Behaviors = ExtendedCatalog()
+	victims := testVictims(6)
+	for i := range victims {
+		victims[i].Sinks = []flow.TaskID{"t1"}
+	}
+	arr := Schedule(p, victims)
+	if len(arr) == 0 {
+		t.Fatal("schedule empty")
+	}
+	ext := map[string]bool{}
+	for _, b := range ExtendedCatalog() {
+		ext[b] = true
+	}
+	seen := map[string]bool{}
+	for i, a := range arr {
+		if !ext[a.Behavior] {
+			t.Errorf("arrival %d: behavior %q not in the extended catalog", i, a.Behavior)
+		}
+		seen[a.Behavior] = true
+		if sinkBound(a.Behavior) && a.Logical != "t1" {
+			t.Errorf("arrival %d: sink-bound %s targets non-sink %q", i, a.Behavior, a.Logical)
+		}
+		if (a.Behavior == "delay") != (a.Hold > 0) {
+			t.Errorf("arrival %d: %s carries hold %v", i, a.Behavior, a.Hold)
+		}
+		if a.Behavior == "skip-actuation" {
+			// The episode itself must not enter the budget count.
+			want := 0
+			for j := 0; j < i; j++ {
+				if Convicts(arr[j].Behavior) && arr[j].HealAt+linger(p) > a.At {
+					want++
+				}
+			}
+			if a.ActiveAtArrival != want {
+				t.Errorf("arrival %d: skip-actuation active=%d, convicting recount=%d", i, a.ActiveAtArrival, want)
+			}
+		}
+	}
+	for _, b := range ExtendedCatalog() {
+		if !seen[b] {
+			t.Errorf("λ=8 schedule never drew %q — test exercises too little", b)
+		}
+	}
+}
+
+// A sink-bound draw against a victim pool with no hosted sinks must be
+// dropped, not panic or target a non-sink.
+func TestScheduleSinklessVictimsDropSinkBoundDraws(t *testing.T) {
+	p := testParams(9)
+	p.Behaviors = []string{"corrupt-sink", "skip-actuation"}
+	arr := Schedule(p, testVictims(4)) // no Sinks set
+	if len(arr) != 0 {
+		t.Fatalf("sink-bound draws against sinkless victims survived: %+v", arr)
+	}
+}
+
+// TestClassifyWindowAtPeriodBoundary pins the open/close arithmetic with
+// zero lead and grace: a degraded window covers bad periods from exactly
+// its open instant through exactly its close instant (inclusive — the
+// close stamps the reconcile verdict, so the period starting then is
+// still flagged), and nothing either side.
+func TestClassifyWindowAtPeriodBoundary(t *testing.T) {
+	const p = 25 * sim.Millisecond
+	degraded := []metrics.Interval{{Start: 400 * sim.Millisecond, End: 450 * sim.Millisecond}}
+	bad := []metrics.Interval{
+		{Start: 375 * sim.Millisecond, End: 400 * sim.Millisecond}, // period before open
+		{Start: 400 * sim.Millisecond, End: 425 * sim.Millisecond}, // period at open
+		{Start: 450 * sim.Millisecond, End: 475 * sim.Millisecond}, // period at close
+		{Start: 475 * sim.Millisecond, End: 500 * sim.Millisecond}, // period after close
+	}
+	rep := syntheticReport(p, 1000*sim.Millisecond, 50*sim.Millisecond, bad, degraded)
+	out := Classify(rep, nil, 1, 0, 0)
+	if out.Detected != 2 || out.Untolerated != 2 || out.Tolerated != 0 {
+		t.Fatalf("tolerated=%d detected=%d untolerated=%d, want 0/2/2",
+			out.Tolerated, out.Detected, out.Untolerated)
+	}
+	// The lead/grace extension moves both boundaries by exactly one period.
+	out = Classify(rep, nil, 1, p, p)
+	if out.Detected != 4 || out.Untolerated != 0 {
+		t.Fatalf("lead=grace=period: detected=%d untolerated=%d, want 4/0", out.Detected, out.Untolerated)
+	}
+}
+
+// TestClassifyZeroDwellArrival: an episode healed the instant it arrived
+// still opens the full tolerated span [At, At+R+P] — and the span's end
+// is inclusive, closing exactly one period later than R.
+func TestClassifyZeroDwellArrival(t *testing.T) {
+	const p = 25 * sim.Millisecond
+	arrivals := []Arrival{{At: 400 * sim.Millisecond, HealAt: 400 * sim.Millisecond, ActiveAtArrival: 1}}
+	bad := []metrics.Interval{
+		{Start: 400 * sim.Millisecond, End: 425 * sim.Millisecond}, // at the arrival instant
+		{Start: 475 * sim.Millisecond, End: 500 * sim.Millisecond}, // at At+R+P exactly
+		{Start: 500 * sim.Millisecond, End: 525 * sim.Millisecond}, // one period past the span
+	}
+	rep := syntheticReport(p, 1000*sim.Millisecond, 50*sim.Millisecond, bad, nil)
+	out := Classify(rep, arrivals, 1, 0, 0)
+	if out.Tolerated != 2 || out.Untolerated != 1 {
+		t.Fatalf("tolerated=%d untolerated=%d, want 2/1", out.Tolerated, out.Untolerated)
+	}
+}
+
+// TestClassifyOverlappingDegradedWindows: overlapping windows (two
+// reporters degraded at once) merge for coverage — a bad period in the
+// overlap counts once — while Windows and WorstWindow keep the raw
+// per-window spans.
+func TestClassifyOverlappingDegradedWindows(t *testing.T) {
+	const p = 25 * sim.Millisecond
+	degraded := []metrics.Interval{
+		{Start: 400 * sim.Millisecond, End: 500 * sim.Millisecond},
+		{Start: 450 * sim.Millisecond, End: 600 * sim.Millisecond},
+	}
+	bad := []metrics.Interval{
+		{Start: 450 * sim.Millisecond, End: 500 * sim.Millisecond}, // inside the overlap
+		{Start: 575 * sim.Millisecond, End: 600 * sim.Millisecond}, // inside the second window only
+	}
+	rep := syntheticReport(p, 1000*sim.Millisecond, 50*sim.Millisecond, bad, degraded)
+	out := Classify(rep, nil, 1, 0, 0)
+	if out.Detected != 3 || out.Untolerated != 0 {
+		t.Fatalf("detected=%d untolerated=%d, want 3/0", out.Detected, out.Untolerated)
+	}
+	if len(out.Windows) != 2 {
+		t.Fatalf("windows=%v, want the 2 raw spans", out.Windows)
+	}
+	if out.WorstWindow != 150*sim.Millisecond {
+		t.Fatalf("worst=%v, want 150ms (the longer raw window, not the merged span)", out.WorstWindow)
+	}
+}
+
 func TestCovered(t *testing.T) {
 	ivs := []metrics.Interval{{Start: 10, End: 20}, {Start: 40, End: 50}}
 	for _, c := range []struct {

@@ -16,6 +16,7 @@ import (
 	"io"
 	"os"
 	"os/exec"
+	"sort"
 	"strings"
 	"syscall"
 	"time"
@@ -35,6 +36,42 @@ import (
 var ProcFaultKinds = []string{
 	"corrupt-all", "corrupt-sink", "crash", "omit", "flood", "none",
 	"kill", "kill-restart", "stop", "partition",
+}
+
+// StormFaultKinds lists the process-level faults a concurrent fault
+// schedule may carry — faults the orchestrator drives against a running
+// process (the in-process behavior catalog is self-injected at spawn
+// and cannot be scheduled concurrently).
+var StormFaultKinds = []string{"kill", "kill-restart", "stop", "partition"}
+
+// FaultSpec is one entry of a concurrent fault schedule: a process-level
+// fault against one victim with its own injection and repair instants.
+type FaultSpec struct {
+	Kind string // StormFaultKinds
+	// Node is the victim slot; -1 auto-assigns (the strategy victim
+	// first, then the lowest untargeted slots). Every entry must target
+	// a distinct node.
+	Node    int
+	FaultAt uint64 // injection period
+	// HealAfter is how many periods after injection the orchestrator
+	// repairs the fault (respawn / SIGCONT / heal); 0 means the default
+	// of 3. Ignored for kind "kill", which is never repaired.
+	HealAfter uint64
+}
+
+// StormVerdict is the per-victim outcome of one schedule entry.
+type StormVerdict struct {
+	Kind      string
+	Node      int
+	FaultAt   uint64
+	HealAfter uint64
+	// ReconnectChecked/Reconnected mirror ProcResult's transport
+	// verdict, judged per victim: kinds whose repair must be visible at
+	// the transport (kill-restart, partition, stop — a SIGSTOP stall
+	// outlives the liveness deadline, so peers sever the victim's silent
+	// links and the resumed victim must redial every one of them).
+	ReconnectChecked bool
+	Reconnected      bool
 }
 
 // OrchestratorConfig describes one orchestrated multi-process run.
@@ -59,6 +96,21 @@ type OrchestratorConfig struct {
 	// partition. 0 means the default of 3.
 	HealAfter uint64
 
+	// Faults optionally scripts a concurrent multi-fault storm: every
+	// entry is injected and repaired on its own clock, so ≥ 2
+	// process-level faults can be active at once. Non-empty Faults
+	// supersedes Fault/FaultAt/HealAfter (Fault must then be "" or
+	// "none").
+	Faults []FaultSpec
+
+	// Forgive is the deployment's parole clock
+	// (runtime.Config.ForgiveAfter), threaded into every node spec.
+	// Zero keeps classic mode: convictions never expire and no budget
+	// verdicts are raised. Storms that push the fault set past f need
+	// Forgive > 0 for the over-budget/degraded-window reporting the
+	// storm verdict reads back.
+	Forgive sim.Time
+
 	Verbose bool
 	// Log receives orchestration progress lines (nil = discard).
 	Log io.Writer
@@ -75,11 +127,30 @@ type ProcResult struct {
 	Victim   network.NodeID
 	Injected bool
 	// ReconnectChecked is true for fault kinds whose repair must be
-	// visible at the transport (kill-restart, partition); Reconnected
-	// then reports whether every peer adjacent to the victim both
-	// re-established the link (Reconnects >= 1) and held it at horizon.
+	// visible at the transport (kill-restart, partition, stop);
+	// Reconnected then reports whether every peer adjacent to every
+	// checked victim both re-established the link (Reconnects >= 1, or
+	// a fresh connection from a restarted peer) and held it at horizon.
 	ReconnectChecked bool
 	Reconnected      bool
+	// Storm holds the per-victim verdicts of a fault schedule (one
+	// entry per FaultSpec; also populated, with a single entry, for a
+	// process-level single-fault run).
+	Storm []StormVerdict
+	// OverBudget and Reconciled total the budget verdicts the node
+	// processes flooded (evidence kinds over-budget / reconciled);
+	// nonzero OverBudget means some node flagged the degraded regime —
+	// the detect-and-apologize signal a > f storm must raise.
+	OverBudget int
+	Reconciled int
+	// FirstFaultAt/ConfineEnd bound the window in which bad output is
+	// fault-attributable; Confined reports whether every bad interval of
+	// the plant report lies inside it (no damage before the first fault,
+	// none past the last repair + parole + R + slack). Only meaningful
+	// when a fault was injected.
+	FirstFaultAt sim.Time
+	ConfineEnd   sim.Time
+	Confined     bool
 	// Dones maps node ID to its final done event (absent for a process
 	// that was killed and not restarted); Exits maps node ID to its exit
 	// error string ("" = clean).
@@ -163,7 +234,17 @@ func spawnNodeProc(exe string, spec ProcSpec, verbose bool, events chan<- procMs
 // timeout (horizon plus a generous grace); on breach every child is
 // killed and an error returned.
 func RunOrchestrator(cfg OrchestratorConfig) (*ProcResult, error) {
-	if err := cliflag.OneOf("fault", cfg.Fault, ProcFaultKinds); err != nil {
+	storm := len(cfg.Faults) > 0
+	if storm {
+		if cfg.Fault != "" && cfg.Fault != "none" {
+			return nil, fmt.Errorf("live: a single fault (%q) and a fault schedule are mutually exclusive", cfg.Fault)
+		}
+		for i := range cfg.Faults {
+			if err := cliflag.OneOf("faults", cfg.Faults[i].Kind, StormFaultKinds); err != nil {
+				return nil, err
+			}
+		}
+	} else if err := cliflag.OneOf("fault", cfg.Fault, ProcFaultKinds); err != nil {
 		return nil, err
 	}
 	topo, err := ProcTopology(cfg.Topo, cfg.Nodes)
@@ -176,8 +257,8 @@ func RunOrchestrator(cfg OrchestratorConfig) (*ProcResult, error) {
 	if cfg.HealAfter == 0 {
 		cfg.HealAfter = 3
 	}
-	injected := cfg.Fault != "none"
-	if injected && cfg.FaultAt+cfg.HealAfter >= cfg.Horizon {
+	injected := storm || cfg.Fault != "none"
+	if !storm && injected && cfg.FaultAt+cfg.HealAfter >= cfg.Horizon {
 		return nil, fmt.Errorf("live: fault at period %d with heal-after %d does not fit horizon %d",
 			cfg.FaultAt, cfg.HealAfter, cfg.Horizon)
 	}
@@ -203,22 +284,75 @@ func RunOrchestrator(cfg OrchestratorConfig) (*ProcResult, error) {
 	}
 
 	// The behavior catalog travels in the victim's spec; process-level
-	// faults are driven from here.
+	// faults are driven from here. A single process-level fault is
+	// normalized into a one-entry schedule so storms and single faults
+	// share one driving loop.
 	catalogFault := ""
-	procFault := ""
-	switch cfg.Fault {
-	case "kill", "kill-restart", "stop", "partition":
-		procFault = cfg.Fault
-	case "none":
-	default:
-		catalogFault = cfg.Fault
+	entries := append([]FaultSpec(nil), cfg.Faults...)
+	if !storm {
+		switch cfg.Fault {
+		case "kill", "kill-restart", "stop", "partition":
+			entries = []FaultSpec{{Kind: cfg.Fault, Node: int(victim), FaultAt: cfg.FaultAt, HealAfter: cfg.HealAfter}}
+		case "none":
+		default:
+			catalogFault = cfg.Fault
+		}
+	}
+	// Resolve auto victims (-1): the strategy victim first, then the
+	// lowest untargeted slots. Every entry must hit a distinct node.
+	used := map[int]bool{}
+	for i := range entries {
+		if entries[i].HealAfter == 0 {
+			entries[i].HealAfter = 3
+		}
+		if entries[i].Node < 0 {
+			continue
+		}
+		if entries[i].Node >= topo.N {
+			return nil, fmt.Errorf("live: fault schedule targets node %d of a %d-node deployment", entries[i].Node, topo.N)
+		}
+		if used[entries[i].Node] {
+			return nil, fmt.Errorf("live: fault schedule targets node %d twice", entries[i].Node)
+		}
+		used[entries[i].Node] = true
+	}
+	for i := range entries {
+		if entries[i].Node >= 0 {
+			continue
+		}
+		pick := -1
+		if !used[int(victim)] {
+			pick = int(victim)
+		} else {
+			for n := 0; n < topo.N; n++ {
+				if !used[n] {
+					pick = n
+					break
+				}
+			}
+		}
+		if pick < 0 {
+			return nil, fmt.Errorf("live: fault schedule has more entries than nodes")
+		}
+		entries[i].Node = pick
+		used[pick] = true
+	}
+	for _, e := range entries {
+		end := e.FaultAt
+		if e.Kind != "kill" {
+			end = e.FaultAt + e.HealAfter
+		}
+		if end >= cfg.Horizon {
+			return nil, fmt.Errorf("live: fault %s at period %d with heal-after %d does not fit horizon %d",
+				e.Kind, e.FaultAt, e.HealAfter, cfg.Horizon)
+		}
 	}
 
 	baseSpec := func(i int) ProcSpec {
 		s := ProcSpec{
 			Node: i, Topo: cfg.Topo, Nodes: cfg.Nodes, F: cfg.F, Seed: cfg.Seed,
 			PeriodUS: int64(period), MarginUS: int64(cfg.Margin), Horizon: cfg.Horizon,
-			Verbose: cfg.Verbose,
+			ForgiveUS: int64(cfg.Forgive), Verbose: cfg.Verbose,
 		}
 		if catalogFault != "" && i == int(victim) {
 			s.Fault, s.FaultAt = catalogFault, cfg.FaultAt
@@ -244,8 +378,17 @@ func RunOrchestrator(cfg OrchestratorConfig) (*ProcResult, error) {
 		}
 		procs[i] = p
 	}
-	fmt.Fprintf(logw, "orchestrator: %d node processes spawned (victim %d, fault %s at period %d)\n",
-		topo.N, victim, cfg.Fault, cfg.FaultAt)
+	if storm {
+		var parts []string
+		for _, e := range entries {
+			parts = append(parts, fmt.Sprintf("%s@%d+%d->node%d", e.Kind, e.FaultAt, e.HealAfter, e.Node))
+		}
+		fmt.Fprintf(logw, "orchestrator: %d node processes spawned (storm: %s)\n",
+			topo.N, strings.Join(parts, " "))
+	} else {
+		fmt.Fprintf(logw, "orchestrator: %d node processes spawned (victim %d, fault %s at period %d)\n",
+			topo.N, victim, cfg.Fault, cfg.FaultAt)
+	}
 
 	perDur := time.Duration(period) * time.Microsecond
 	hardTimeout := time.After(time.Duration(cfg.Horizon+2)*perDur + 60*time.Second)
@@ -294,10 +437,29 @@ func RunOrchestrator(cfg OrchestratorConfig) (*ProcResult, error) {
 	}
 	fmt.Fprintf(logw, "orchestrator: cluster released (%s)\n", strings.Join(addrs, " "))
 
-	var faultCh, healCh <-chan time.Time
-	if procFault != "" {
-		faultCh = time.After(time.Until(goTime.Add(time.Duration(cfg.FaultAt) * perDur)))
+	// The fault schedule becomes a sorted action queue; one timer channel
+	// re-arms for the head action, so any number of injections and
+	// repairs interleave with their own clocks.
+	type stormAction struct {
+		at    time.Time
+		entry int
+		heal  bool
 	}
+	var actions []stormAction
+	for i, e := range entries {
+		actions = append(actions, stormAction{goTime.Add(time.Duration(e.FaultAt) * perDur), i, false})
+		if e.Kind != "kill" {
+			actions = append(actions, stormAction{goTime.Add(time.Duration(e.FaultAt+e.HealAfter) * perDur), i, true})
+		}
+	}
+	sort.Slice(actions, func(i, j int) bool { return actions[i].at.Before(actions[j].at) })
+	arm := func() <-chan time.Time {
+		if len(actions) == 0 {
+			return nil
+		}
+		return time.After(time.Until(actions[0].at))
+	}
+	actionCh := arm()
 
 	plant := map[string]plantAct{}
 	res := &ProcResult{
@@ -341,53 +503,52 @@ func RunOrchestrator(cfg OrchestratorConfig) (*ProcResult, error) {
 				// its old port, rebuilds, and needs only the release.
 				procs[m.node].send("go")
 			}
-		case <-faultCh:
-			faultCh = nil
-			v := procs[int(victim)]
-			switch procFault {
-			case "kill", "kill-restart":
-				fmt.Fprintf(logw, "orchestrator: SIGKILL node %d\n", victim)
-				v.signal(syscall.SIGKILL)
-				if procFault == "kill-restart" {
-					healCh = time.After(time.Duration(cfg.HealAfter) * perDur)
+		case <-actionCh:
+			act := actions[0]
+			actions = actions[1:]
+			e := entries[act.entry]
+			v := procs[e.Node]
+			if !act.heal {
+				switch e.Kind {
+				case "kill", "kill-restart":
+					fmt.Fprintf(logw, "orchestrator: SIGKILL node %d\n", e.Node)
+					v.signal(syscall.SIGKILL)
+				case "stop":
+					fmt.Fprintf(logw, "orchestrator: SIGSTOP node %d\n", e.Node)
+					v.signal(syscall.SIGSTOP)
+				case "partition":
+					fmt.Fprintf(logw, "orchestrator: partition node %d\n", e.Node)
+					v.send("part")
 				}
-			case "stop":
-				fmt.Fprintf(logw, "orchestrator: SIGSTOP node %d\n", victim)
-				v.signal(syscall.SIGSTOP)
-				healCh = time.After(time.Duration(cfg.HealAfter) * perDur)
-			case "partition":
-				fmt.Fprintf(logw, "orchestrator: partition node %d\n", victim)
-				v.send("part")
-				healCh = time.After(time.Duration(cfg.HealAfter) * perDur)
-			}
-		case <-healCh:
-			healCh = nil
-			switch procFault {
-			case "kill-restart":
-				// Rejoin in standby: the transport reconnects (that is
-				// what the verdict asserts); the executive stays out of
-				// the schedule the cluster has already failed over to.
-				restart := baseSpec(int(victim))
-				restart.Addrs = append([]string(nil), addrs...)
-				restart.StartPeriod = cfg.FaultAt + cfg.HealAfter
-				restart.Standby = true
-				restart.Fault = ""
-				p, err := spawnNodeProc(exe, restart, cfg.Verbose, events)
-				if err != nil {
-					fmt.Fprintf(logw, "orchestrator: restart failed: %v\n", err)
-					break
+			} else {
+				switch e.Kind {
+				case "kill-restart":
+					// Rejoin in standby: the transport reconnects (that is
+					// what the verdict asserts); the executive stays out of
+					// the schedule the cluster has already failed over to.
+					restart := baseSpec(e.Node)
+					restart.Addrs = append([]string(nil), addrs...)
+					restart.StartPeriod = e.FaultAt + e.HealAfter
+					restart.Standby = true
+					restart.Fault = ""
+					p, err := spawnNodeProc(exe, restart, cfg.Verbose, events)
+					if err != nil {
+						fmt.Fprintf(logw, "orchestrator: restart failed: %v\n", err)
+						break
+					}
+					procs[e.Node] = p
+					spawned++
+					fmt.Fprintf(logw, "orchestrator: node %d restarted in standby at period %d\n",
+						e.Node, restart.StartPeriod)
+				case "stop":
+					fmt.Fprintf(logw, "orchestrator: SIGCONT node %d\n", e.Node)
+					v.signal(syscall.SIGCONT)
+				case "partition":
+					fmt.Fprintf(logw, "orchestrator: heal node %d\n", e.Node)
+					v.send("heal")
 				}
-				procs[int(victim)] = p
-				spawned++
-				fmt.Fprintf(logw, "orchestrator: node %d restarted in standby at period %d\n",
-					victim, restart.StartPeriod)
-			case "stop":
-				fmt.Fprintf(logw, "orchestrator: SIGCONT node %d\n", victim)
-				procs[int(victim)].signal(syscall.SIGCONT)
-			case "partition":
-				fmt.Fprintf(logw, "orchestrator: heal node %d\n", victim)
-				procs[int(victim)].send("heal")
 			}
+			actionCh = arm()
 		case <-hardTimeout:
 			killAll()
 			return nil, fmt.Errorf("live: hard timeout — killed %d node processes", len(procs))
@@ -426,33 +587,133 @@ func RunOrchestrator(cfg OrchestratorConfig) (*ProcResult, error) {
 		}
 	}
 	if injected {
-		rep.FaultTimes = []sim.Time{sim.Time(cfg.FaultAt) * period}
+		if catalogFault != "" {
+			rep.FaultTimes = []sim.Time{sim.Time(cfg.FaultAt) * period}
+		} else {
+			for _, e := range entries {
+				rep.FaultTimes = append(rep.FaultTimes, sim.Time(e.FaultAt)*period)
+			}
+			sort.Slice(rep.FaultTimes, func(i, j int) bool { return rep.FaultTimes[i] < rep.FaultTimes[j] })
+		}
 	}
 	for _, d := range res.Dones {
 		rep.Actuations += d.Acts
+		res.OverBudget += d.OverBudget
+		res.Reconciled += d.Reconciled
+	}
+	if res.OverBudget > 0 {
+		rep.EvidenceByKind[evidence.KindOverBudget] = res.OverBudget
+	}
+	if res.Reconciled > 0 {
+		rep.EvidenceByKind[evidence.KindReconciled] = res.Reconciled
 	}
 	res.Report = rep
 
-	// Transport-level verdict: after a kill-restart or partition heal,
-	// every peer adjacent to the victim must have re-established the link
-	// and held it through the horizon.
-	if procFault == "kill-restart" || procFault == "partition" {
-		res.ReconnectChecked = true
-		res.Reconnected = true
-		for _, peer := range topo.Neighbors(victim) {
-			d, ok := res.Dones[int(peer)]
-			if !ok {
-				res.Reconnected = false
-				continue
+	// Transport-level verdict, judged per schedule entry: after a
+	// kill-restart respawn or a partition heal, every peer adjacent to
+	// the victim must have re-established the link and held it through
+	// the horizon. Peers that were themselves killed in the storm are
+	// not witnesses for other victims: a killed peer has no counters and
+	// a restarted one rejoins on its own clock (possibly still
+	// handshaking at horizon) — its rejoin is judged by its own entry,
+	// through the links of the peers that lived through it.
+	//
+	// SIGSTOP is judged through the VICTIM's own links instead: the
+	// stall outlives the 200ms liveness deadline, so the running peers
+	// deterministically sever the victim's silent connections and the
+	// resumed victim must redial every one of them. The peer→victim
+	// direction is NOT a reliable witness — a stopped process's kernel
+	// still ACKs, so a peer's outbound connection can legitimately ride
+	// out the stall on kernel buffering (the victim drains the backlog
+	// on resume) and never needs a redial.
+	stormVictim := map[int]bool{}
+	for _, e := range entries {
+		if e.Kind == "kill" || e.Kind == "kill-restart" {
+			stormVictim[e.Node] = true
+		}
+	}
+	anyChecked := false
+	allReconnected := true
+	for _, e := range entries {
+		sv := StormVerdict{Kind: e.Kind, Node: e.Node, FaultAt: e.FaultAt, HealAfter: e.HealAfter}
+		switch e.Kind {
+		case "stop":
+			sv.ReconnectChecked = true
+			sv.Reconnected = true
+			d, ok := res.Dones[e.Node]
+			if !ok || len(d.Links) == 0 {
+				sv.Reconnected = false
 			}
-			found := false
 			for _, l := range d.Links {
-				if l.Peer == int(victim) {
-					found = l.Reconnects >= 1 && l.Connected
+				if stormVictim[l.Peer] {
+					continue
+				}
+				if l.Reconnects < 1 || !l.Connected {
+					sv.Reconnected = false
 				}
 			}
-			if !found {
-				res.Reconnected = false
+			anyChecked = true
+			if !sv.Reconnected {
+				allReconnected = false
+			}
+		case "kill-restart", "partition":
+			sv.ReconnectChecked = true
+			sv.Reconnected = true
+			for _, peer := range topo.Neighbors(network.NodeID(e.Node)) {
+				if int(peer) != e.Node && stormVictim[int(peer)] {
+					continue
+				}
+				d, ok := res.Dones[int(peer)]
+				if !ok {
+					sv.Reconnected = false
+					continue
+				}
+				found := false
+				for _, l := range d.Links {
+					if l.Peer == e.Node {
+						found = l.Reconnects >= 1 && l.Connected
+					}
+				}
+				if !found {
+					sv.Reconnected = false
+				}
+			}
+			anyChecked = true
+			if !sv.Reconnected {
+				allReconnected = false
+			}
+		}
+		res.Storm = append(res.Storm, sv)
+	}
+	if anyChecked {
+		res.ReconnectChecked = true
+		res.Reconnected = allReconnected
+	}
+
+	// Confinement: every bad interval of the plant report must lie inside
+	// [first fault, last repair + parole + R + slack] — damage may be
+	// severe in a > f storm, but it must be fault-attributable, never
+	// silent leakage before the first fault or past the drain of the last
+	// repair.
+	if injected {
+		res.FirstFaultAt = rep.FaultTimes[0]
+		lastRepair := sim.Time(cfg.FaultAt) * period
+		for _, e := range entries {
+			end := e.FaultAt
+			if e.Kind != "kill" {
+				end = e.FaultAt + e.HealAfter
+			}
+			if t := sim.Time(end) * period; t > lastRepair {
+				lastRepair = t
+			}
+		}
+		res.ConfineEnd = lastRepair + cfg.Forgive + strategy.RNeeded + 2*period + cfg.Margin
+		res.Confined = true
+		for _, tl := range rep.PerSink {
+			for _, iv := range tl.FalseIntervals(rep.Horizon) {
+				if iv.Start < res.FirstFaultAt || iv.End > res.ConfineEnd {
+					res.Confined = false
+				}
 			}
 		}
 	}

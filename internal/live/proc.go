@@ -153,6 +153,12 @@ type ProcSpec struct {
 	MarginUS int64  `json:"margin_us"`
 	Horizon  uint64 `json:"horizon"`
 
+	// ForgiveUS is the parole clock (runtime.Config.ForgiveAfter) in
+	// microseconds; zero keeps classic mode (convictions never expire,
+	// no budget verdicts). Must agree across every process of a
+	// deployment like the other plan inputs.
+	ForgiveUS int64 `json:"forgive_us,omitempty"`
+
 	// Addrs is the full listen-address vector, index = node ID. Empty on
 	// first spawn: the process then listens on a dynamic port, reports it
 	// in its ready line, and waits for the parent's "peers" line. A
@@ -209,6 +215,11 @@ type ProcEvent struct {
 	Switches  int        `json:"switches,omitempty"`
 	Connected int        `json:"connected,omitempty"`
 	Links     []ProcLink `json:"links,omitempty"`
+	// OverBudget/Reconciled count the budget verdicts this node saw
+	// (evidence kinds over-budget / reconciled) — nonzero only when the
+	// spec carries a parole clock (ForgiveUS > 0).
+	OverBudget int `json:"over_budget,omitempty"`
+	Reconciled int `json:"reconciled,omitempty"`
 }
 
 // MaybeRunNodeProc turns the process into a deployment node when
@@ -321,8 +332,10 @@ func RunNodeProc(spec ProcSpec, in io.Reader, out io.Writer) error {
 	reg := sig.NewRegistry(spec.Seed, topo.N)
 
 	var acts, evCount, switches int
+	var overBudget, reconciled int
 	sys := runtime.New(runtime.Config{
 		Kernel: w, Net: bus, Registry: reg, Strategy: strategy,
+		ForgiveAfter: sim.Time(spec.ForgiveUS),
 		OnActuation: func(node network.NodeID, sink flow.TaskID, p uint64, value []byte, at sim.Time) {
 			acts++
 			em.emit(ProcEvent{Ev: "act", Node: spec.Node, Sink: string(sink), Period: p,
@@ -330,6 +343,12 @@ func RunNodeProc(spec ProcSpec, in io.Reader, out io.Writer) error {
 		},
 		OnEvidence: func(node network.NodeID, ev evidence.Evidence, at sim.Time) {
 			evCount++
+			switch ev.Kind {
+			case evidence.KindOverBudget:
+				overBudget++
+			case evidence.KindReconciled:
+				reconciled++
+			}
 			if spec.Verbose {
 				fmt.Fprintf(os.Stderr, "[node %d %10v] evidence %s (accused %d)\n", spec.Node, at, ev.Kind, ev.Accused)
 			}
@@ -444,6 +463,7 @@ func RunNodeProc(spec ProcSpec, in io.Reader, out io.Writer) error {
 		Ev: "done", Node: spec.Node,
 		Acts: acts, Evidence: evCount, Switches: switches,
 		Connected: bus.ConnectedCount(), Links: links,
+		OverBudget: overBudget, Reconciled: reconciled,
 	})
 	bus.Close()
 	return nil

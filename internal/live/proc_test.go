@@ -108,6 +108,83 @@ func TestOrchestratedKillRestartReconnects(t *testing.T) {
 	}
 }
 
+// TestOrchestratedStopRecoversWithinR is the SIGSTOP gate: freeze the
+// victim process mid-run with SIGSTOP — a fault no in-process simulator
+// can express, the process is alive but makes no progress — and require
+// that peers detect the stall through the transport's liveness deadline,
+// fail over within the provable bound R, and that the resumed victim
+// redials every peer after SIGCONT (the stall outlives the liveness
+// deadline, so the running peers sever the victim's silent links; the
+// peer→victim direction may legitimately ride out the stall on kernel
+// buffering, so the victim's own links are the witnesses).
+func TestOrchestratedStopRecoversWithinR(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process wall-clock run")
+	}
+	res := orchestrate(t, "stop")
+	assertWithinBound(t, res)
+	if !res.ReconnectChecked {
+		t.Fatal("stop run did not check reconnection")
+	}
+	if !res.Reconnected {
+		t.Errorf("victim link did not re-establish on every peer after SIGCONT: dones=%+v", res.Dones)
+	}
+	// SIGCONT resumes the process; it must drain to the horizon and exit
+	// clean, not die of the stall.
+	if e, ok := res.Exits[int(res.Victim)]; !ok || e != "" {
+		t.Errorf("stopped victim should resume and exit clean, got exit %q (present=%v)", e, ok)
+	}
+}
+
+// TestOrchestratedStormFlagsOverBudget drives two concurrent
+// process-level faults — more than f=1 — against a parole-clock
+// deployment: SIGKILL+respawn of one victim overlapping a userspace
+// partition of another. The classic guarantee is suspended while both
+// are active, so the verdict is detect-and-apologize: some node must
+// flood a signed over-budget verdict (and reconcile after the storm
+// drains), every bad interval must be fault-attributable (confined), and
+// both victims' links must re-establish after their independent heals.
+func TestOrchestratedStormFlagsOverBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process wall-clock run")
+	}
+	res, err := RunOrchestrator(OrchestratorConfig{
+		Topo: "full-mesh", Nodes: 4, F: 1, Seed: 7,
+		Period: procPeriod, Margin: procMargin, Horizon: 16,
+		Faults: []FaultSpec{
+			{Kind: "kill-restart", Node: -1, FaultAt: 3, HealAfter: 3},
+			{Kind: "partition", Node: -1, FaultAt: 5, HealAfter: 3},
+		},
+		Forgive: 2 * procPeriod,
+	})
+	if err != nil {
+		t.Fatalf("storm run failed: %v", err)
+	}
+	if len(res.Storm) != 2 {
+		t.Fatalf("expected 2 storm verdicts, got %+v", res.Storm)
+	}
+	if res.Storm[0].Node == res.Storm[1].Node {
+		t.Fatalf("storm entries share victim %d", res.Storm[0].Node)
+	}
+	for _, sv := range res.Storm {
+		if !sv.ReconnectChecked {
+			t.Errorf("%s on node %d was not reconnect-checked", sv.Kind, sv.Node)
+		} else if !sv.Reconnected {
+			t.Errorf("%s victim %d did not re-establish on every peer: dones=%+v", sv.Kind, sv.Node, res.Dones)
+		}
+	}
+	if res.OverBudget == 0 {
+		t.Errorf("> f storm raised no over-budget verdict (reconciled=%d dones=%+v)", res.Reconciled, res.Dones)
+	}
+	if res.Reconciled == 0 {
+		t.Errorf("storm drained but no node reconciled (over-budget=%d)", res.OverBudget)
+	}
+	if !res.Confined {
+		t.Errorf("bad output outside the attributable window [%v, %v]: %+v",
+			res.FirstFaultAt, res.ConfineEnd, res.Report.BadIntervals())
+	}
+}
+
 // TestRunNodeProcValidatesSpec pins the child-side error paths: they
 // must fail loudly before any network activity.
 func TestRunNodeProcValidatesSpec(t *testing.T) {
@@ -143,6 +220,36 @@ func TestOrchestratorValidatesConfig(t *testing.T) {
 		"zero period":         func(c *OrchestratorConfig) { c.Period = 0 },
 		"fault outside run":   func(c *OrchestratorConfig) { c.FaultAt = 9 },
 		"heal beyond horizon": func(c *OrchestratorConfig) { c.HealAfter = 7 },
+		"schedule with single fault": func(c *OrchestratorConfig) {
+			c.Faults = []FaultSpec{{Kind: "stop", Node: -1, FaultAt: 3}}
+		},
+		"schedule with catalog kind": func(c *OrchestratorConfig) {
+			c.Fault = "none"
+			c.Faults = []FaultSpec{{Kind: "corrupt-all", Node: -1, FaultAt: 3}}
+		},
+		"schedule duplicate victim": func(c *OrchestratorConfig) {
+			c.Fault = "none"
+			c.Faults = []FaultSpec{
+				{Kind: "stop", Node: 1, FaultAt: 3},
+				{Kind: "partition", Node: 1, FaultAt: 4},
+			}
+		},
+		"schedule victim out of range": func(c *OrchestratorConfig) {
+			c.Fault = "none"
+			c.Faults = []FaultSpec{{Kind: "stop", Node: 4, FaultAt: 3}}
+		},
+		"schedule beyond horizon": func(c *OrchestratorConfig) {
+			c.Fault = "none"
+			c.Faults = []FaultSpec{{Kind: "partition", Node: -1, FaultAt: 8, HealAfter: 3}}
+		},
+		"schedule larger than cluster": func(c *OrchestratorConfig) {
+			c.Fault = "none"
+			c.Faults = []FaultSpec{
+				{Kind: "stop", Node: -1, FaultAt: 3}, {Kind: "stop", Node: -1, FaultAt: 3},
+				{Kind: "stop", Node: -1, FaultAt: 3}, {Kind: "stop", Node: -1, FaultAt: 3},
+				{Kind: "stop", Node: -1, FaultAt: 3},
+			}
+		},
 	} {
 		cfg := valid
 		mutate(&cfg)
