@@ -13,7 +13,7 @@ FUZZTIME ?= 30s
 # Minimum total statement coverage `make cover` enforces.
 COVER_MIN ?= 75
 
-.PHONY: all build test vet fmt fmt-check race ci cover docs-check bench bench-json bench-new bench-check fuzz campaign smoke-proc clean
+.PHONY: all build test vet fmt fmt-check race ci cover docs-check bench bench-json bench-new bench-check fuzz campaign smoke-proc smoke-client clean
 
 all: build
 
@@ -39,12 +39,14 @@ race:
 	$(GO) test -race ./...
 
 # Short fuzz pass over the wire codecs (the seed corpora always run as
-# part of `go test`; this digs further): the evidence record codec and
-# the membership epoch-record codec. Override the budget with
-# `make fuzz FUZZTIME=10s` (CI does).
+# part of `go test`; this digs further): the evidence record codec, the
+# membership epoch-record codec, and the client request/response (Q)
+# frame codec. Override the budget with `make fuzz FUZZTIME=10s` (CI
+# does).
 fuzz:
 	$(GO) test ./internal/evidence -fuzz=FuzzRecordRoundTrip -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/member -fuzz=FuzzEpochRoundTrip -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/wire -fuzz=FuzzQFrameRoundTrip -fuzztime=$(FUZZTIME)
 
 # Coverage profile over the whole module plus a threshold gate: total
 # statement coverage must stay at or above COVER_MIN.
@@ -103,6 +105,16 @@ smoke-proc:
 	timeout 120 $(GO) run ./cmd/btrlive -orchestrate -nodes 4 -f 1 \
 		-period 500ms -margin 200ms -horizon 16 -seed 7 \
 		-faults stop@3+3,partition@5+3 -forgive 1s
+
+# Serving-surface smoke: the same orchestrated deployment with client
+# sessions attached — epoch-aware quorum reads/writes riding through a
+# SIGKILL-and-restart. The exit code carries the client-visible SLO
+# verdict (zero errors, unavailability within R plus detection slack)
+# on top of the plant's within-R verdict.
+smoke-client:
+	timeout 180 $(GO) run ./cmd/btrlive -orchestrate -nodes 4 -f 1 \
+		-period 500ms -margin 200ms -horizon 10 -at 3 -seed 7 \
+		-fault kill-restart -clients 8 -ops 200
 
 ci: fmt-check vet build race
 	@echo "ci: OK"

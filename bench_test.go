@@ -331,6 +331,18 @@ type campaignBench struct {
 	// must be flagged, confined and reconnected where checked.
 	MultiFault multifaultBench `json:"multifault"`
 
+	// ClientSLO records the C11 client-SLO family (schema v10): a load
+	// generator drives concurrent epoch-aware quorum-client sessions
+	// (internal/client) against orchestrated multi-process deployments —
+	// steady state plus ≤ f process faults landing mid-run — and each row
+	// is the client-visible verdict. btrcheckbench gates: the section
+	// must be non-empty, every row must have zero client-visible errors
+	// (the steady row's error-free p99 in particular), and every row's
+	// max unavailability must sit within its recorded bound (R plus one
+	// detection period and the watchdog margin). Latencies are wall-clock
+	// and machine-bound; the invariants are not.
+	ClientSLO []clientsloBenchRow `json:"clientslo"`
+
 	// Churn records the C6 membership-churn family (schema v5): per
 	// topology, the epoch count, worst epoch-switch latency vs the worst
 	// per-epoch bound R, the within-R / clean-churn invariants, and the
@@ -542,6 +554,59 @@ func measureMultiFault(t *testing.T) multifaultBench {
 	return out
 }
 
+// clientsloBenchRow is one C11 run: the client-visible SLO a load of
+// quorum-client sessions measured through an orchestrated deployment.
+type clientsloBenchRow struct {
+	Name         string  `json:"name"`
+	Topology     string  `json:"topology"`
+	Nodes        int     `json:"nodes"`
+	F            int     `json:"f"`
+	Fault        string  `json:"fault"`
+	Sessions     int     `json:"sessions"`
+	Ops          uint64  `json:"ops"`
+	Errors       uint64  `json:"errors"`
+	Retries      uint64  `json:"retries"`
+	StaleRetries uint64  `json:"stale_retries"`
+	P50MS        float64 `json:"p50_ms"`
+	P99MS        float64 `json:"p99_ms"`
+	P999MS       float64 `json:"p999_ms"`
+	MaxUnavailMS float64 `json:"max_unavail_ms"`
+	BoundMS      float64 `json:"bound_ms"`
+	Within       bool    `json:"within"`
+}
+
+// measureClientSLO runs every C11 case — steady state plus each ≤ f
+// process fault — against real multi-process deployments with client
+// load attached.
+func measureClientSLO(t *testing.T) []clientsloBenchRow {
+	var out []clientsloBenchRow
+	for _, name := range exp.ClientSLOCases() {
+		row, err := exp.RunClientSLOBench(name, 1)
+		if err != nil {
+			t.Fatalf("clientslo bench %s: %v", name, err)
+		}
+		out = append(out, clientsloBenchRow{
+			Name:         row.Name,
+			Topology:     row.Topology,
+			Nodes:        row.Nodes,
+			F:            row.F,
+			Fault:        row.Fault,
+			Sessions:     row.Sessions,
+			Ops:          row.Ops,
+			Errors:       row.Errors,
+			Retries:      row.Retries,
+			StaleRetries: row.StaleRetries,
+			P50MS:        float64(row.P50.Microseconds()) / 1000,
+			P99MS:        float64(row.P99.Microseconds()) / 1000,
+			P999MS:       float64(row.P999.Microseconds()) / 1000,
+			MaxUnavailMS: float64(row.MaxUnavail.Microseconds()) / 1000,
+			BoundMS:      float64(row.Bound.Microseconds()) / 1000,
+			Within:       row.Within,
+		})
+	}
+	return out
+}
+
 // measureFaultRate runs the full C8 sweep — every topology at every
 // swept λ, full horizon — and records the per-row classification plus
 // the knee each topology sustains.
@@ -713,7 +778,7 @@ func TestEmitCampaignBench(t *testing.T) {
 	cachedNs, uncachedNs := sig.MeasureVerifySpeedup(64)
 	curTP, legacyTP := sim.MeasureKernelThroughput(1 << 19)
 	bench := campaignBench{
-		Schema: "btr-campaign-bench/v9",
+		Schema: "btr-campaign-bench/v10",
 		Seed:   1, Quick: quick,
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		HostCores:  runtime.NumCPU(),
@@ -732,6 +797,7 @@ func TestEmitCampaignBench(t *testing.T) {
 		FaultRate:  measureFaultRate(t),
 		Saturation: measureSaturation(t),
 		MultiFault: measureMultiFault(t),
+		ClientSLO:  measureClientSLO(t),
 		Crypto: cryptoBench{
 			VerifyCachedNsOp:   cachedNs,
 			VerifyUncachedNsOp: uncachedNs,
@@ -784,7 +850,7 @@ func TestEmitCampaignBench(t *testing.T) {
 	if err := enc.Encode(bench); err != nil {
 		t.Fatalf("encode: %v", err)
 	}
-	t.Logf("wrote %s: serial %.0fms (uncached %.0fms, crypto %.2fx, memo hit rate %.1f%%), workers=4 %.0fms, speedup %.2fx (GOMAXPROCS=%d, %d host core(s)); plan cache warm %.2fms vs cold %.2fms (%.1fx); kernel %.2fx vs legacy; verify memo %.1fx; batch verify %.2fx@%d; %d live soak row(s); %d multi-process row(s); %d churn row(s); %d fault-rate row(s) across %d knee(s); %d saturation row(s); %d multifault row(s) + %d storm(s)",
+	t.Logf("wrote %s: serial %.0fms (uncached %.0fms, crypto %.2fx, memo hit rate %.1f%%), workers=4 %.0fms, speedup %.2fx (GOMAXPROCS=%d, %d host core(s)); plan cache warm %.2fms vs cold %.2fms (%.1fx); kernel %.2fx vs legacy; verify memo %.1fx; batch verify %.2fx@%d; %d live soak row(s); %d multi-process row(s); %d churn row(s); %d fault-rate row(s) across %d knee(s); %d saturation row(s); %d multifault row(s) + %d storm(s); %d clientslo row(s)",
 		out, bench.SerialMS, bench.Crypto.UncachedSerialMS, bench.Crypto.CampaignSpeedup,
 		bench.Crypto.MemoHitRate*100, bench.Par4MS, bench.Speedup, bench.GOMAXPROCS, bench.HostCores,
 		bench.PlanCache.WarmMS, bench.PlanCache.ColdMS, bench.PlanCache.Speedup,
@@ -792,7 +858,7 @@ func TestEmitCampaignBench(t *testing.T) {
 		bench.Saturation.BatchVerify[0].Speedup, bench.Saturation.BatchVerify[0].BatchSize,
 		len(bench.Live), len(bench.LiveProc), len(bench.Churn),
 		len(bench.FaultRate.Rows), len(bench.FaultRate.Knees), len(bench.Saturation.Rows),
-		len(bench.MultiFault.Rows), len(bench.MultiFault.Storms))
+		len(bench.MultiFault.Rows), len(bench.MultiFault.Storms), len(bench.ClientSLO))
 }
 
 func BenchmarkE1Recovery(b *testing.B) {

@@ -31,6 +31,11 @@
 //     or above -min-batch-speedup for every batch size >= 16, and every
 //     C9 row must carry a positive sustainable event rate with its
 //     loaded recovery (flood at >= 80% of that rate) still within R;
+//     the multi-fault section (schema v9) repeats the sweep invariants
+//     over the extended catalog and requires every > f storm flagged,
+//     confined and reconnected; the client-SLO section (schema v10)
+//     must be non-empty with every row error-free and its client-visible
+//     unavailability within the recorded bound;
 //   - absolute wall-clock comparisons (campaign serial wall,
 //     per-scenario work, plan-cache cold synthesis) are meaningful only
 //     between runs on the same host at the same parallelism, so they
@@ -89,7 +94,28 @@ type benchFile struct {
 
 	MultiFault multifaultSection `json:"multifault"`
 
+	ClientSLO []clientsloRow `json:"clientslo"`
+
 	Scenarios []benchScenario `json:"scenarios"`
+}
+
+// clientsloRow is one C11 client-SLO entry (schema v10): the verdict a
+// load of epoch-aware quorum-client sessions measured from outside an
+// orchestrated multi-process deployment — steady state or a ≤ f process
+// fault landing mid-run. Latencies are wall-clock and machine-bound;
+// the invariants (zero client-visible errors, max unavailability within
+// the recorded bound) gate everywhere.
+type clientsloRow struct {
+	Name         string  `json:"name"`
+	Topology     string  `json:"topology"`
+	Fault        string  `json:"fault"`
+	Sessions     int     `json:"sessions"`
+	Ops          uint64  `json:"ops"`
+	Errors       uint64  `json:"errors"`
+	P99MS        float64 `json:"p99_ms"`
+	MaxUnavailMS float64 `json:"max_unavail_ms"`
+	BoundMS      float64 `json:"bound_ms"`
+	Within       bool    `json:"within"`
 }
 
 // saturationSection is the throughput fast path (schema v8): the
@@ -489,6 +515,34 @@ func compare(base, cur benchFile, tol, minWarmSpeedup, minKernelSpeedup, minCryp
 		}
 	}
 
+	// Client SLO (schema v10): the serving surface judged from outside.
+	// Every row must be error-free — a ≤ f fault is the client's to ride
+	// through via quorum retries, never to surface — and its longest
+	// success gap must sit within the recorded bound (R plus one
+	// detection period and the watchdog margin). A row must carry ops:
+	// an SLO over zero operations gates nothing.
+	if len(cur.ClientSLO) == 0 {
+		failf("new bundle carries no client-SLO rows")
+	}
+	for _, row := range cur.ClientSLO {
+		if row.Ops == 0 {
+			failf("clientslo %s/%s: no client operations completed", row.Name, row.Fault)
+		}
+		if row.Errors > 0 {
+			failf("clientslo %s/%s: %d client-visible error(s) across %d op(s) — retries must absorb a <= f fault",
+				row.Name, row.Fault, row.Errors, row.Ops)
+		}
+		if row.BoundMS <= 0 {
+			failf("clientslo %s/%s: no recorded unavailability bound", row.Name, row.Fault)
+		} else if row.MaxUnavailMS > row.BoundMS {
+			failf("clientslo %s/%s: client-visible unavailability %.1fms exceeded the %.1fms bound",
+				row.Name, row.Fault, row.MaxUnavailMS, row.BoundMS)
+		}
+		if !row.Within {
+			failf("clientslo %s/%s: row recorded within=false", row.Name, row.Fault)
+		}
+	}
+
 	if base.Quick != cur.Quick {
 		notef("skipping perf comparison: baseline quick=%v vs new quick=%v", base.Quick, cur.Quick)
 		return failures, notices
@@ -606,9 +660,9 @@ func main() {
 		}
 		return 0
 	}
-	fmt.Printf("bench check OK: %d scenario(s), serial %.0fms, plan-cache warm %.2fx, kernel %.2fx, verify memo %.2fx, crypto campaign %.2fx (E4 share %.1f%%), batch verify %.2fx@16, %d live row(s) within R, %d multi-process row(s) within R, %d churn row(s) within R (warm replans 0), %d fault-rate row(s) clean at/below %d knee(s), %d saturation row(s) within R under load, %d multifault row(s) + %d storm(s) flagged+confined\n",
+	fmt.Printf("bench check OK: %d scenario(s), serial %.0fms, plan-cache warm %.2fx, kernel %.2fx, verify memo %.2fx, crypto campaign %.2fx (E4 share %.1f%%), batch verify %.2fx@16, %d live row(s) within R, %d multi-process row(s) within R, %d churn row(s) within R (warm replans 0), %d fault-rate row(s) clean at/below %d knee(s), %d saturation row(s) within R under load, %d multifault row(s) + %d storm(s) flagged+confined, %d client-SLO row(s) error-free within bound\n",
 		len(cur.Scenarios), cur.SerialMS, cur.PlanCache.Speedup, cur.Kernel.Speedup,
 		cur.Crypto.VerifySpeedup, cur.Crypto.CampaignSpeedup, cur.Crypto.E4WorkShare*100, batchAt(16),
 		len(cur.Live), len(cur.LiveProc), len(cur.Churn), len(cur.FaultRate.Rows), len(cur.FaultRate.Knees),
-		len(cur.Saturation.Rows), len(cur.MultiFault.Rows), len(cur.MultiFault.Storms))
+		len(cur.Saturation.Rows), len(cur.MultiFault.Rows), len(cur.MultiFault.Storms), len(cur.ClientSLO))
 }

@@ -62,6 +62,12 @@ func bundle(gomaxprocs int, serial float64, warmSpeedup float64) benchFile {
 			ReconnectChecked: true, Reconnected: true,
 		}},
 	}
+	f.ClientSLO = []clientsloRow{
+		{Name: "steady", Topology: "full-mesh", Fault: "none", Sessions: 8,
+			Ops: 1200, Errors: 0, P99MS: 16, MaxUnavailMS: 40, BoundMS: 3200, Within: true},
+		{Name: "kill-restart", Topology: "full-mesh", Fault: "kill-restart", Sessions: 8,
+			Ops: 900, Errors: 0, P99MS: 260, MaxUnavailMS: 2100, BoundMS: 3200, Within: true},
+	}
 	f.Scenarios = []benchScenario{
 		{ID: "E1", Trials: 6, WorkMS: 1000},
 		{ID: "C4", Trials: 7, WorkMS: 100},
@@ -416,6 +422,48 @@ func TestCompareGatesMultiFault(t *testing.T) {
 		if fails, _ := compare(base, cur, 0.20, 5, 2, 2, 2, 0, false); !hasFailure(fails, name) {
 			t.Fatalf("storm violation %q not flagged: %v", name, fails)
 		}
+	}
+}
+
+func TestCompareGatesClientSLO(t *testing.T) {
+	base := bundle(4, 10000, 20)
+	// Missing clientslo section fails: v10 bundles must carry it.
+	cur := bundle(4, 10000, 20)
+	cur.ClientSLO = nil
+	if fails, _ := compare(base, cur, 0.20, 5, 2, 2, 2, 0, false); !hasFailure(fails, "no client-SLO rows") {
+		t.Fatalf("missing clientslo rows not flagged: %v", fails)
+	}
+	// A row with zero completed operations gates nothing and fails.
+	cur = bundle(4, 10000, 20)
+	cur.ClientSLO[0].Ops = 0
+	if fails, _ := compare(base, cur, 0.20, 5, 2, 2, 2, 0, false); !hasFailure(fails, "no client operations") {
+		t.Fatalf("zero-op clientslo row not flagged: %v", fails)
+	}
+	// Any client-visible error fails — the steady row's error-free p99 in
+	// particular.
+	cur = bundle(4, 10000, 20)
+	cur.ClientSLO[0].Errors = 3
+	if fails, _ := compare(base, cur, 0.20, 5, 2, 2, 2, 0, false); !hasFailure(fails, "client-visible error") {
+		t.Fatalf("clientslo errors not flagged: %v", fails)
+	}
+	// Unavailability beyond the recorded bound fails, as does a missing
+	// bound (nothing to judge against).
+	cur = bundle(4, 10000, 20)
+	cur.ClientSLO[1].MaxUnavailMS = 5000
+	if fails, _ := compare(base, cur, 0.20, 5, 2, 2, 2, 0, false); !hasFailure(fails, "exceeded the") {
+		t.Fatalf("clientslo unavailability breach not flagged: %v", fails)
+	}
+	cur = bundle(4, 10000, 20)
+	cur.ClientSLO[1].BoundMS = 0
+	if fails, _ := compare(base, cur, 0.20, 5, 2, 2, 2, 0, false); !hasFailure(fails, "no recorded unavailability bound") {
+		t.Fatalf("missing clientslo bound not flagged: %v", fails)
+	}
+	// A row the emitter itself judged out of SLO fails even if the
+	// mirrored numbers look consistent.
+	cur = bundle(4, 10000, 20)
+	cur.ClientSLO[1].Within = false
+	if fails, _ := compare(base, cur, 0.20, 5, 2, 2, 2, 0, false); !hasFailure(fails, "within=false") {
+		t.Fatalf("clientslo within=false not flagged: %v", fails)
 	}
 }
 

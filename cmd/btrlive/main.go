@@ -33,7 +33,7 @@
 //	        [-cpuprofile out.pprof] [-memprofile out.pprof]
 //	btrlive -orchestrate [-fault ...|kill|kill-restart|stop|partition]
 //	        [-heal-after N] [-faults kind@at+heal[,...]] [-forgive D]
-//	        [common flags]
+//	        [-clients N] [-ops RATE] [common flags]
 //	btrlive -node N [-peers addr0,addr1,...] [common flags]
 //
 // Flags:
@@ -58,6 +58,10 @@
 //	             a > f storm floods signed over-budget verdicts instead
 //	             of staying silent (0 = classic mode)
 //	-orchestrate boot one process per node over TCP and judge as plant
+//	-clients     client sessions driving the replicated register service
+//	             through the run (needs -orchestrate; 0 = no clients)
+//	-ops         aggregate client op rate in ops/sec (needs -clients;
+//	             0 = closed loop, each session as fast as it can)
 //	-node        run one node slot of a multi-process deployment
 //	-peers       listen addresses, index = node ID (with -node)
 //	-members     number of initially active slots (slots 0..K-1); 0 = all
@@ -226,6 +230,8 @@ type liveFlags struct {
 	faultsSpec                         *string
 	joinSpec, retireSpec, replaceSpec  *string
 	nodes, f, nodeID, membersN         *int
+	clients                            *int
+	opsRate                            *float64
 	period, margin, forgive            *time.Duration
 	horizon, seed, atPeriod, healAfter *uint64
 	orchestrate, verbose               *bool
@@ -250,6 +256,8 @@ func registerFlags(fs *flag.FlagSet) *liveFlags {
 		faultsSpec:  fs.String("faults", "", "concurrent fault schedule, kind@at+heal[,kind@at+heal...] (-orchestrate); kinds: "+strings.Join(live.StormFaultKinds, ", ")),
 		forgive:     fs.Duration("forgive", 0, "parole clock: convictions expire after this long and over-budget windows are flagged (-orchestrate; 0 = classic mode)"),
 		orchestrate: fs.Bool("orchestrate", false, "one process per node over TCP, judged by an orchestrator plant"),
+		clients:     fs.Int("clients", 0, "client sessions driving the replicated register service (-orchestrate; 0 = none)"),
+		opsRate:     fs.Float64("ops", 0, "aggregate client op rate in ops/sec (-clients; 0 = closed loop)"),
 		nodeID:      fs.Int("node", -1, "run one node slot of a multi-process deployment"),
 		peers:       fs.String("peers", "", "comma-separated listen addresses, index = node ID (with -node)"),
 		membersN:    fs.Int("members", 0, "initially active slots 0..K-1 (0 = all)"),
@@ -307,6 +315,18 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) (code int) {
 	if *lf.faultsSpec != "" && !*orchestrate {
 		return fail(fmt.Errorf("-faults requires -orchestrate (a concurrent schedule drives real processes)"))
 	}
+	if err := cliflag.InRange("clients", int64(*lf.clients), 0, 4096); err != nil {
+		return fail(err)
+	}
+	if *lf.opsRate < 0 {
+		return fail(fmt.Errorf("-ops must be >= 0, got %v", *lf.opsRate))
+	}
+	if *lf.clients > 0 && !*orchestrate {
+		return fail(fmt.Errorf("-clients requires -orchestrate (the register service rides on orchestrated node processes)"))
+	}
+	if *lf.opsRate > 0 && *lf.clients == 0 {
+		return fail(fmt.Errorf("-ops requires -clients (an op rate needs client sessions to spread over)"))
+	}
 	if *orchestrate {
 		if err := cliflag.InRange("at", int64(*atPeriod), 0, int64(*horizon)-1); err != nil {
 			return fail(err)
@@ -316,6 +336,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) (code int) {
 			Period: p, Margin: m, Horizon: *horizon,
 			Fault: *faultKind, FaultAt: *atPeriod, HealAfter: *healAfter,
 			Forgive: sim.Time(*lf.forgive / time.Microsecond),
+			Clients: *lf.clients, OpsRate: *lf.opsRate,
 			Verbose: *verbose, Log: stdout,
 		}
 		if *lf.faultsSpec != "" {
@@ -411,8 +432,13 @@ func runOrchestrated(cfg live.OrchestratorConfig, stdout, stderr io.Writer) int 
 	for _, rec := range rep.Recoveries() {
 		fmt.Fprintf(stdout, "fault at %v: measured wall-clock recovery %v\n", rec.FaultAt, rec.Duration())
 	}
+	sloOK := sloVerdict(cfg, res, stdout)
 	if len(cfg.Faults) > 0 {
-		return stormVerdict(cfg, res, stdout)
+		code := stormVerdict(cfg, res, stdout)
+		if code == 0 && !sloOK {
+			return 1
+		}
+		return code
 	}
 	spurious := false
 	for _, iv := range rep.BadIntervals() {
@@ -442,7 +468,39 @@ func runOrchestrated(cfg live.OrchestratorConfig, stdout, stderr io.Writer) int 
 	if res.ReconnectChecked {
 		fmt.Fprintf(stdout, "transport: victim link re-established on every adjacent peer\n")
 	}
+	if !sloOK {
+		return 1
+	}
 	return 0
+}
+
+// sloVerdict prints the client-visible SLO report and judges it against
+// the serving-surface contract: a ≤ f fault must stay invisible to
+// clients except as a bounded stall — zero client-visible errors, and
+// the longest success gap within R plus one detection period and the
+// watchdog margin. Returns true when the SLO held (vacuously true when
+// no clients ran).
+func sloVerdict(cfg live.OrchestratorConfig, res *live.ProcResult, stdout io.Writer) bool {
+	if res.SLO == nil {
+		return true
+	}
+	fmt.Fprintf(stdout, "client SLO: %s\n", res.SLO)
+	bound := time.Duration(res.Report.RNeeded+2*cfg.Period+cfg.Margin) * time.Microsecond
+	ok := true
+	if res.SLO.Errors > 0 {
+		ok = false
+		fmt.Fprintf(stdout, "verdict: VIOLATION — %d client-visible error(s); retries must absorb a <= f fault\n", res.SLO.Errors)
+	}
+	if res.SLO.MaxUnavail > bound {
+		ok = false
+		fmt.Fprintf(stdout, "verdict: VIOLATION — client-visible unavailability %v exceeds bound %v (R + 2*period + margin)\n",
+			res.SLO.MaxUnavail.Round(time.Millisecond), bound)
+	}
+	if ok {
+		fmt.Fprintf(stdout, "serving: client SLO held — no errors, max unavailability %v <= %v\n",
+			res.SLO.MaxUnavail.Round(time.Millisecond), bound)
+	}
+	return ok
 }
 
 // stormVerdict prints the per-victim outcomes of a concurrent fault

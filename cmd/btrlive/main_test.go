@@ -120,6 +120,23 @@ func TestFaultsRequiresOrchestrate(t *testing.T) {
 	}
 }
 
+// TestClientFlagsContradictions pins the serving-surface flag rules: a
+// client load only exists in orchestrated mode, and an op rate only
+// exists when sessions carry it.
+func TestClientFlagsContradictions(t *testing.T) {
+	for name, args := range map[string][]string{
+		"clients without orchestrate": {"-clients", "8"},
+		"ops without clients":         {"-orchestrate", "-ops", "100"},
+		"negative clients":            {"-orchestrate", "-clients", "-1"},
+		"clients above cap":           {"-orchestrate", "-clients", "5000"},
+		"negative ops":                {"-orchestrate", "-clients", "4", "-ops", "-1"},
+	} {
+		if code := run(args, strings.NewReader(""), io.Discard, io.Discard); code != 2 {
+			t.Errorf("%s (%v) returned %d, want usage error 2", name, args, code)
+		}
+	}
+}
+
 func TestParseChurnEvents(t *testing.T) {
 	evs, err := parseChurn("join", "6@5,7@9", 8, 20)
 	if err != nil {

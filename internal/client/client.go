@@ -1,0 +1,529 @@
+// Package client is the serving surface over the BTR core: a replicated
+// register API that external clients drive against a live deployment's
+// node processes. The replication protocol is client-driven, ABD-style
+// (the freestore lineage): servers hold a passive tagged register store
+// and never talk to each other; a client reads by querying a quorum and
+// adopting the largest (ts, writer) tag it sees — writing the winner
+// back to any replica that disagreed (read-repair) — and writes by
+// querying a quorum for the largest tag, then storing its value under a
+// strictly larger one. With n replicas and at most f crashed or
+// partitioned, every n−f quorum intersects every other in at least one
+// correct replica, so reads always see the newest completed write.
+//
+// Operations are epoch-aware: every request carries the client's view
+// of the active membership epoch, and a server whose epoch has moved on
+// rejects the request with its current epoch and member list. The
+// client adopts the newer view and resubmits the SAME tagged operation
+// — last-writer-wins on (ts, writer) makes the resubmit idempotent, so
+// an op that straddles an epoch activation completes exactly once.
+// Transient transport failures (a replica being kill-restarted, a
+// partition healing) are ridden out with bounded exponential backoff;
+// an op fails only after its deadline, which is how client-visible
+// unavailability is measured rather than assumed.
+package client
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"btr/internal/wire"
+)
+
+// View is a client's picture of the active epoch: which member slots
+// serve the register and where they listen. Quorum is n−f.
+type View struct {
+	Epoch uint64
+	F     int
+	Addrs map[uint32]string // member slot → client-service address
+}
+
+// Members returns the view's member slots in ascending order.
+func (v View) Members() []uint32 {
+	ms := make([]uint32, 0, len(v.Addrs))
+	for m := range v.Addrs {
+		ms = append(ms, m)
+	}
+	sort.Slice(ms, func(i, j int) bool { return ms[i] < ms[j] })
+	return ms
+}
+
+// Quorum returns the view's read/write quorum size, n−f.
+func (v View) Quorum() int { return len(v.Addrs) - v.F }
+
+// Resolver maps a server-announced newer view (epoch + member slots) to
+// a full View with addresses. Deployments with a fixed slot universe —
+// the orchestrated cluster — implement it as a table lookup.
+type Resolver func(epoch uint64, members []uint32) (View, error)
+
+// Config parameterizes one client.
+type Config struct {
+	// View is the initial (possibly stale) view.
+	View View
+	// Resolve maps newer epochs to views; nil clients can still follow
+	// epochs whose members all appear in the current view's address table.
+	Resolve Resolver
+	// Writer tags this client's writes (must be unique per writer for
+	// the (ts, writer) order to be total).
+	Writer uint32
+	// OpTimeout bounds one Read/Write end to end, retries included
+	// (default 10s).
+	OpTimeout time.Duration
+	// IOTimeout bounds one request/response exchange with one replica
+	// (default 2s).
+	IOTimeout time.Duration
+	// BackoffBase/BackoffCap bound the exponential retry backoff
+	// (defaults 2ms, 250ms).
+	BackoffBase time.Duration
+	BackoffCap  time.Duration
+}
+
+// Client is one register client: a view, one lazily-dialed connection
+// per replica, and a quorum engine. Safe for concurrent use; ops from
+// one Client to one replica serialize on that replica's connection.
+type Client struct {
+	cfg     Config
+	resolve Resolver
+
+	mu     sync.Mutex
+	view   View
+	conns  map[uint32]*replicaConn
+	closed bool
+
+	opid atomic.Uint64
+
+	// afterWriteQuery, when set (tests only), runs between a write's
+	// query phase and its store phase — the seam the epoch-straddle
+	// tests use to activate a new epoch mid-operation.
+	afterWriteQuery func()
+
+	// Counters the load generator aggregates (atomic; read via Stats).
+	retries      atomic.Uint64
+	staleRetries atomic.Uint64
+	repairs      atomic.Uint64
+}
+
+// Stats is a client's retry/repair counters.
+type Stats struct {
+	Retries      uint64 // op-level retries (backoff rounds)
+	StaleRetries uint64 // retries caused by a stale-view rejection
+	Repairs      uint64 // read-repair write-backs issued
+}
+
+// ErrUnavailable is returned when an operation exhausts its deadline
+// without assembling a quorum.
+var ErrUnavailable = errors.New("client: quorum unavailable")
+
+// New builds a client over an initial view.
+func New(cfg Config) (*Client, error) {
+	if len(cfg.View.Addrs) == 0 {
+		return nil, fmt.Errorf("client: view has no members")
+	}
+	if cfg.View.Quorum() <= len(cfg.View.Addrs)/2 {
+		return nil, fmt.Errorf("client: quorum %d of %d does not intersect itself (f too large)",
+			cfg.View.Quorum(), len(cfg.View.Addrs))
+	}
+	if cfg.OpTimeout <= 0 {
+		cfg.OpTimeout = 10 * time.Second
+	}
+	if cfg.IOTimeout <= 0 {
+		cfg.IOTimeout = 2 * time.Second
+	}
+	if cfg.BackoffBase <= 0 {
+		cfg.BackoffBase = 2 * time.Millisecond
+	}
+	if cfg.BackoffCap <= 0 {
+		cfg.BackoffCap = 250 * time.Millisecond
+	}
+	return &Client{
+		cfg:     cfg,
+		resolve: cfg.Resolve,
+		view:    cfg.View,
+		conns:   map[uint32]*replicaConn{},
+	}, nil
+}
+
+// Stats snapshots the client's retry/repair counters.
+func (c *Client) Stats() Stats {
+	return Stats{
+		Retries:      c.retries.Load(),
+		StaleRetries: c.staleRetries.Load(),
+		Repairs:      c.repairs.Load(),
+	}
+}
+
+// View returns the client's current view (it advances as servers
+// announce newer epochs).
+func (c *Client) View() View {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.view
+}
+
+// Close tears down every replica connection and refuses new dials.
+// In-flight ops fail.
+func (c *Client) Close() {
+	c.mu.Lock()
+	conns := c.conns
+	c.conns = map[uint32]*replicaConn{}
+	c.closed = true
+	c.mu.Unlock()
+	for _, rc := range conns {
+		rc.close()
+	}
+}
+
+// Read performs a quorum read of key: query n−f replicas, adopt the
+// largest (ts, writer) tag, and write the winner back to any queried
+// replica that returned an older tag before returning (read-repair), so
+// a value once read stays readable even if its original writer crashed
+// mid-write.
+func (c *Client) Read(key string) ([]byte, error) {
+	if len(key) > wire.MaxQKey {
+		return nil, fmt.Errorf("client: key exceeds %d bytes", wire.MaxQKey)
+	}
+	deadline := time.Now().Add(c.cfg.OpTimeout)
+	opid := c.opid.Add(1)
+	for attempt := 0; ; attempt++ {
+		view := c.View()
+		acks, stale := c.broadcast(view, wire.QRequest{
+			Op: wire.QOpGet, OpID: opid, Epoch: view.Epoch, Key: []byte(key),
+		}, deadline)
+		if len(acks) >= view.Quorum() {
+			best := acks[0]
+			for _, a := range acks[1:] {
+				if tagLess(best.resp.TS, best.resp.Writer, a.resp.TS, a.resp.Writer) {
+					best = a
+				}
+			}
+			c.repair(view, key, best, acks, deadline)
+			return best.resp.Value, nil
+		}
+		if err := c.retryGate(stale, attempt, deadline); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// Write performs a quorum write of key: query n−f replicas for the
+// largest tag, then store value under (maxts+1, writer) at n−f
+// replicas. A retry — backoff or stale-view — resubmits the SAME tag,
+// which last-writer-wins makes idempotent.
+func (c *Client) Write(key string, value []byte) error {
+	if len(key) > wire.MaxQKey {
+		return fmt.Errorf("client: key exceeds %d bytes", wire.MaxQKey)
+	}
+	if len(value) > wire.MaxQValue {
+		return fmt.Errorf("client: value exceeds %d bytes", wire.MaxQValue)
+	}
+	deadline := time.Now().Add(c.cfg.OpTimeout)
+	opid := c.opid.Add(1)
+
+	// Phase 1: learn the largest committed tag from a quorum.
+	var ts uint64
+	for attempt := 0; ; attempt++ {
+		view := c.View()
+		acks, stale := c.broadcast(view, wire.QRequest{
+			Op: wire.QOpGet, OpID: opid, Epoch: view.Epoch, Key: []byte(key),
+		}, deadline)
+		if len(acks) >= view.Quorum() {
+			var maxTS uint64
+			for _, a := range acks {
+				if a.resp.TS > maxTS {
+					maxTS = a.resp.TS
+				}
+			}
+			ts = maxTS + 1
+			break
+		}
+		if err := c.retryGate(stale, attempt, deadline); err != nil {
+			return err
+		}
+	}
+
+	if c.afterWriteQuery != nil {
+		c.afterWriteQuery()
+	}
+
+	// Phase 2: store under the chosen tag. The tag is fixed across
+	// retries — that is the idempotence.
+	for attempt := 0; ; attempt++ {
+		view := c.View()
+		acks, stale := c.broadcast(view, wire.QRequest{
+			Op: wire.QOpSet, OpID: opid, Epoch: view.Epoch,
+			TS: ts, Writer: c.cfg.Writer, Key: []byte(key), Value: value,
+		}, deadline)
+		if len(acks) >= view.Quorum() {
+			return nil
+		}
+		if err := c.retryGate(stale, attempt, deadline); err != nil {
+			return err
+		}
+	}
+}
+
+// ack is one replica's successful answer.
+type ack struct {
+	member uint32
+	resp   wire.QResponse
+}
+
+// broadcast sends req to every member of view concurrently and collects
+// OK acks, returning as soon as a quorum is assembled — a stalled or
+// partitioned replica must cost nothing beyond its missing vote, not
+// drag every op's latency to the IO timeout. Laggard goroutines drain
+// into the buffered channel and exit on their own deadlines. Stale-view
+// rejections adopt the newer view immediately (the retry then runs
+// against it); transport errors drop the replica's connection for
+// redial on the next attempt.
+func (c *Client) broadcast(view View, req wire.QRequest, deadline time.Time) (acks []ack, stale bool) {
+	members := view.Members()
+	type result struct {
+		member uint32
+		resp   wire.QResponse
+		err    error
+	}
+	ch := make(chan result, len(members))
+	for _, m := range members {
+		m := m
+		go func() {
+			resp, err := c.exchange(m, view.Addrs[m], req, deadline)
+			ch <- result{m, resp, err}
+		}()
+	}
+	var staleEpoch uint64
+	var staleMembers []uint32
+	for received := 0; received < len(members) && len(acks) < view.Quorum(); received++ {
+		r := <-ch
+		if r.err != nil {
+			continue
+		}
+		switch r.resp.Status {
+		case wire.QStatusOK:
+			acks = append(acks, ack{r.member, r.resp})
+		case wire.QStatusStaleView:
+			if r.resp.Epoch > view.Epoch && r.resp.Epoch > staleEpoch {
+				staleEpoch, staleMembers = r.resp.Epoch, r.resp.Members
+			}
+		}
+	}
+	if staleEpoch > 0 {
+		stale = c.adoptView(staleEpoch, staleMembers)
+	}
+	return acks, stale
+}
+
+// repair writes the winning tag back to every queried replica that
+// returned an older one, so the read's result survives the original
+// writer. Best effort: the read already has its quorum.
+func (c *Client) repair(view View, key string, best ack, acks []ack, deadline time.Time) {
+	req := wire.QRequest{
+		Op: wire.QOpSet, OpID: c.opid.Add(1), Epoch: view.Epoch,
+		TS: best.resp.TS, Writer: best.resp.Writer,
+		Key: []byte(key), Value: best.resp.Value,
+	}
+	for _, a := range acks {
+		if a.resp.TS == best.resp.TS && a.resp.Writer == best.resp.Writer {
+			continue
+		}
+		c.repairs.Add(1)
+		a := a
+		go func() { _, _ = c.exchange(a.member, view.Addrs[a.member], req, deadline) }()
+	}
+}
+
+// retryGate decides whether a failed round retries: inside the deadline
+// it sleeps the bounded exponential backoff (skipping the sleep when a
+// newer view was just adopted — the retry is not futile repetition, it
+// is the stale-view resubmit) and returns nil; past the deadline it
+// returns ErrUnavailable.
+func (c *Client) retryGate(stale bool, attempt int, deadline time.Time) error {
+	if !time.Now().Before(deadline) {
+		return fmt.Errorf("%w (deadline after %d attempts)", ErrUnavailable, attempt+1)
+	}
+	c.retries.Add(1)
+	if stale {
+		c.staleRetries.Add(1)
+		return nil
+	}
+	d := c.cfg.BackoffBase << uint(attempt)
+	if d > c.cfg.BackoffCap || d <= 0 {
+		d = c.cfg.BackoffCap
+	}
+	if remain := time.Until(deadline); d > remain {
+		d = remain
+	}
+	time.Sleep(d)
+	return nil
+}
+
+// adoptView installs the newer epoch's view. With a Resolver the view
+// comes from it; without one the client keeps its address table and
+// restricts it to the announced members (enough when the slot universe
+// is fixed). Returns true if the view advanced.
+func (c *Client) adoptView(epoch uint64, members []uint32) bool {
+	var next View
+	if c.resolve != nil {
+		v, err := c.resolve(epoch, members)
+		if err != nil {
+			return false
+		}
+		next = v
+	} else {
+		addrs := map[uint32]string{}
+		c.mu.Lock()
+		for _, m := range members {
+			if a, ok := c.view.Addrs[m]; ok {
+				addrs[m] = a
+			}
+		}
+		f := c.view.F
+		c.mu.Unlock()
+		if len(addrs) != len(members) || len(addrs) == 0 {
+			return false
+		}
+		next = View{Epoch: epoch, F: f, Addrs: addrs}
+	}
+	if next.Quorum() <= len(next.Addrs)/2 {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if next.Epoch <= c.view.Epoch {
+		return false
+	}
+	c.view = next
+	// Drop connections to replicas that left the membership.
+	for m, rc := range c.conns {
+		if _, ok := next.Addrs[m]; !ok {
+			rc.close()
+			delete(c.conns, m)
+		}
+	}
+	return true
+}
+
+// exchange performs one request/response with one replica, dialing (or
+// redialing) its connection as needed. A transport error closes the
+// connection so the next attempt redials.
+func (c *Client) exchange(member uint32, addr string, req wire.QRequest, deadline time.Time) (wire.QResponse, error) {
+	rc, err := c.conn(member, addr, deadline)
+	if err != nil {
+		return wire.QResponse{}, err
+	}
+	resp, err := rc.roundTrip(req, c.cfg.IOTimeout, deadline)
+	if err != nil {
+		c.dropConn(member, rc)
+		return wire.QResponse{}, err
+	}
+	return resp, nil
+}
+
+func (c *Client) conn(member uint32, addr string, deadline time.Time) (*replicaConn, error) {
+	c.mu.Lock()
+	if rc, ok := c.conns[member]; ok && rc.addr == addr {
+		c.mu.Unlock()
+		return rc, nil
+	}
+	c.mu.Unlock()
+	dialTO := c.cfg.IOTimeout
+	if remain := time.Until(deadline); remain < dialTO {
+		dialTO = remain
+	}
+	if dialTO <= 0 {
+		return nil, ErrUnavailable
+	}
+	nc, err := net.DialTimeout("tcp", addr, dialTO)
+	if err != nil {
+		return nil, err
+	}
+	rc := &replicaConn{addr: addr, nc: nc, br: bufio.NewReader(nc)}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		go nc.Close()
+		return nil, ErrUnavailable
+	}
+	if old, ok := c.conns[member]; ok && old.addr == addr {
+		// Lost the dial race; use the established connection.
+		go nc.Close()
+		return old, nil
+	} else if ok {
+		old.close()
+	}
+	c.conns[member] = rc
+	return rc, nil
+}
+
+func (c *Client) dropConn(member uint32, rc *replicaConn) {
+	c.mu.Lock()
+	if cur, ok := c.conns[member]; ok && cur == rc {
+		delete(c.conns, member)
+	}
+	c.mu.Unlock()
+	rc.close()
+}
+
+// replicaConn is one client→replica TCP connection. Requests from this
+// client serialize on it (lockstep request/response), which keeps the
+// framing trivially unambiguous.
+type replicaConn struct {
+	addr string
+	mu   sync.Mutex
+	nc   net.Conn
+	br   *bufio.Reader
+	buf  []byte
+}
+
+func (rc *replicaConn) roundTrip(req wire.QRequest, ioTimeout time.Duration, deadline time.Time) (wire.QResponse, error) {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	to := time.Now().Add(ioTimeout)
+	if deadline.Before(to) {
+		to = deadline
+	}
+	if err := rc.nc.SetDeadline(to); err != nil {
+		return wire.QResponse{}, err
+	}
+	frame, err := wire.AppendQRequest(rc.buf[:0], req)
+	if err != nil {
+		return wire.QResponse{}, err
+	}
+	rc.buf = frame[:0]
+	if _, err := rc.nc.Write(frame); err != nil {
+		return wire.QResponse{}, err
+	}
+	for {
+		typ, body, err := wire.ReadFrame(rc.br)
+		if err != nil {
+			return wire.QResponse{}, err
+		}
+		if typ != wire.TypeQResponse {
+			return wire.QResponse{}, fmt.Errorf("client: unexpected frame type %c", typ)
+		}
+		resp, err := wire.ParseQResponse(body)
+		if err != nil {
+			return wire.QResponse{}, err
+		}
+		if resp.OpID != req.OpID {
+			// A response to an earlier, abandoned request (IO timeout left
+			// it in flight); skip until ours arrives.
+			continue
+		}
+		return resp, nil
+	}
+}
+
+func (rc *replicaConn) close() {
+	rc.nc.Close()
+}
+
+// tagLess orders register tags: (ts, writer) lexicographically.
+func tagLess(ts1 uint64, w1 uint32, ts2 uint64, w2 uint32) bool {
+	return ts1 < ts2 || (ts1 == ts2 && w1 < w2)
+}

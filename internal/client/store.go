@@ -1,0 +1,102 @@
+package client
+
+import "sync"
+
+// RegisterStore is the passive server-side half of the protocol: a map
+// of tagged registers ordered by (ts, writer), last-writer-wins. Apply
+// is idempotent by construction — storing a tag the register already
+// holds (a client's resubmit after a stale-view retry) or an older one
+// changes nothing and still acks, which is exactly what makes the
+// client's retry-same-tag loop safe.
+type RegisterStore struct {
+	mu   sync.Mutex
+	regs map[string]register
+}
+
+type register struct {
+	ts       uint64
+	writer   uint32
+	value    []byte
+	advances uint64
+}
+
+// NewRegisterStore returns an empty store.
+func NewRegisterStore() *RegisterStore {
+	return &RegisterStore{regs: map[string]register{}}
+}
+
+// Get returns the register's current tag and value (zero tag, nil value
+// when the key was never written).
+func (s *RegisterStore) Get(key string) (ts uint64, writer uint32, value []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r := s.regs[key]
+	return r.ts, r.writer, r.value
+}
+
+// Apply stores value under (ts, writer) if that tag is newer than the
+// register's current one and reports whether the state advanced. An
+// equal or older tag is a no-op that still counts as success at the
+// protocol level — the caller acks either way.
+func (s *RegisterStore) Apply(key string, ts uint64, writer uint32, value []byte) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r := s.regs[key]
+	if !tagLess(r.ts, r.writer, ts, writer) {
+		return false
+	}
+	r.ts, r.writer = ts, writer
+	r.value = append([]byte(nil), value...)
+	r.advances++
+	s.regs[key] = r
+	return true
+}
+
+// Advances returns how many times the key's register state advanced —
+// the witness the idempotence tests count: a write resubmitted across
+// an epoch switch must advance each replica at most once.
+func (s *RegisterStore) Advances(key string) uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.regs[key].advances
+}
+
+// Keys returns how many registers the store holds.
+func (s *RegisterStore) Keys() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.regs)
+}
+
+// ViewState is the server side's authoritative (epoch, members) pair.
+// The deployment advances it when a membership epoch activates; every
+// request is checked against it.
+type ViewState struct {
+	mu      sync.Mutex
+	epoch   uint64
+	members []uint32
+}
+
+// NewViewState starts at the given epoch and member list.
+func NewViewState(epoch uint64, members []uint32) *ViewState {
+	return &ViewState{epoch: epoch, members: append([]uint32(nil), members...)}
+}
+
+// Current returns the active epoch and its members.
+func (v *ViewState) Current() (uint64, []uint32) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.epoch, append([]uint32(nil), v.members...)
+}
+
+// Advance installs a newer epoch; older or equal epochs are ignored
+// (activations can race in from multiple observers).
+func (v *ViewState) Advance(epoch uint64, members []uint32) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if epoch <= v.epoch {
+		return
+	}
+	v.epoch = epoch
+	v.members = append([]uint32(nil), members...)
+}

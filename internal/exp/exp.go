@@ -45,11 +45,12 @@ type Experiment struct {
 // Scenarios lists every scenario in order: the paper reproductions E1–E10,
 // the simulated campaign sweep families C1–C4, the live wall-clock soak
 // family C5, the membership-churn family C6, the multi-process TCP
-// deployment family C7, the high-fault-rate family C8, and the
-// saturation family C9. Families: "paper", "campaign", "churn", and
-// "faultrate" are deterministic (byte-identical tables for any
-// seed+worker count); "live", "liveproc", and "saturation" run on the
-// wall clock and their tables carry real measured timings.
+// deployment family C7, the high-fault-rate family C8, the saturation
+// family C9, the multifault family C10, and the client-SLO family C11.
+// Families: "paper", "campaign", "churn", and "faultrate" are
+// deterministic (byte-identical tables for any seed+worker count);
+// "live", "liveproc", "saturation", "multifault", and "clientslo" run
+// on the wall clock and their tables carry real measured timings.
 func Scenarios() []campaign.Scenario {
 	return []campaign.Scenario{
 		e1Scenario(),
@@ -72,18 +73,20 @@ func Scenarios() []campaign.Scenario {
 		C8Scenario(),
 		C9Scenario(),
 		C10Scenario(),
+		C11Scenario(),
 	}
 }
 
 // DeterministicScenarios returns every scenario whose tables are pinned
 // byte-identical (everything except the wall-clock families "live",
-// "liveproc", "saturation", and "multifault" — the C10 storms run real
-// processes; its sweep half has a dedicated byte-identity test).
+// "liveproc", "saturation", "multifault", and "clientslo" — the C10
+// storms and C11 client loads run real processes; C10's sweep half has
+// a dedicated byte-identity test).
 func DeterministicScenarios() []campaign.Scenario {
 	var out []campaign.Scenario
 	for _, sc := range Scenarios() {
 		switch sc.Family {
-		case "live", "liveproc", "saturation", "multifault":
+		case "live", "liveproc", "saturation", "multifault", "clientslo":
 		default:
 			out = append(out, sc)
 		}

@@ -21,6 +21,7 @@ import (
 	"syscall"
 	"time"
 
+	"btr/internal/client"
 	"btr/internal/cliflag"
 	"btr/internal/evidence"
 	"btr/internal/flow"
@@ -111,6 +112,24 @@ type OrchestratorConfig struct {
 	// storm verdict reads back.
 	Forgive sim.Time
 
+	// Clients, when positive, opens the client-facing register service
+	// on every node process and drives that many concurrent client
+	// sessions against the cluster for the judged run; the measured
+	// client-visible SLO lands in ProcResult.SLO. OpsRate caps the
+	// aggregate op rate in ops/sec (0 = closed loop).
+	Clients int
+	OpsRate float64
+
+	// BarrierTimeout bounds the parent-side ready/up startup barriers.
+	// A child that wedges before emitting its barrier line — a deadlock
+	// before the listener is up, a debugger, a scheduler pathology —
+	// must not hang the orchestrator until the hard timeout: on breach
+	// every child is killed and the error names the nodes that never
+	// reported. Zero means a generous default of 45s (the node-side
+	// connectivity wait is bounded at 10s, so a healthy cluster is far
+	// inside it).
+	BarrierTimeout time.Duration
+
 	Verbose bool
 	// Log receives orchestration progress lines (nil = discard).
 	Log io.Writer
@@ -156,6 +175,11 @@ type ProcResult struct {
 	// error string ("" = clean).
 	Dones map[int]ProcEvent
 	Exits map[int]string
+	// SLO is the client-visible report of the load generator (nil unless
+	// OrchestratorConfig.Clients > 0): latency quantiles, error counts,
+	// and the longest client-observed unavailability window, measured
+	// through whatever faults the run injected.
+	SLO *client.SLOReport
 }
 
 // plantAct is the plant's accepted command for one (sink, period).
@@ -253,6 +277,15 @@ func RunOrchestrator(cfg OrchestratorConfig) (*ProcResult, error) {
 	}
 	if cfg.Period <= 0 || cfg.Horizon == 0 {
 		return nil, fmt.Errorf("live: period and horizon must be positive")
+	}
+	if cfg.Clients < 0 {
+		return nil, fmt.Errorf("live: negative client count %d", cfg.Clients)
+	}
+	if cfg.OpsRate > 0 && cfg.Clients == 0 {
+		return nil, fmt.Errorf("live: an op rate needs client sessions (clients = 0)")
+	}
+	if cfg.Clients > 0 && cfg.Horizon < 2 {
+		return nil, fmt.Errorf("live: client load needs a horizon of at least 2 periods")
 	}
 	if cfg.HealAfter == 0 {
 		cfg.HealAfter = 3
@@ -353,6 +386,7 @@ func RunOrchestrator(cfg OrchestratorConfig) (*ProcResult, error) {
 			Node: i, Topo: cfg.Topo, Nodes: cfg.Nodes, F: cfg.F, Seed: cfg.Seed,
 			PeriodUS: int64(period), MarginUS: int64(cfg.Margin), Horizon: cfg.Horizon,
 			ForgiveUS: int64(cfg.Forgive), Verbose: cfg.Verbose,
+			ServeClients: cfg.Clients > 0,
 		}
 		if catalogFault != "" && i == int(victim) {
 			s.Fault, s.FaultAt = catalogFault, cfg.FaultAt
@@ -393,20 +427,48 @@ func RunOrchestrator(cfg OrchestratorConfig) (*ProcResult, error) {
 	perDur := time.Duration(period) * time.Microsecond
 	hardTimeout := time.After(time.Duration(cfg.Horizon+2)*perDur + 60*time.Second)
 
+	// The startup barriers get their own bounded wait, far tighter than
+	// the hard timeout: a child that wedges before emitting its barrier
+	// line would otherwise hang the parent for the whole horizon grace.
+	// On breach the stragglers are killed and named.
+	barrierDur := cfg.BarrierTimeout
+	if barrierDur <= 0 {
+		barrierDur = 45 * time.Second
+	}
+	barrierTimeout := time.After(barrierDur)
+	// straggling names the nodes still missing from a barrier round.
+	straggling := func(reported map[int]bool) []int {
+		var missing []int
+		for i := 0; i < topo.N; i++ {
+			if !reported[i] {
+				missing = append(missing, i)
+			}
+		}
+		return missing
+	}
+
 	// Barrier: collect every listener address, then release all processes
 	// at once so their logical clocks agree to within pipe latency.
 	addrs := make([]string, topo.N)
-	for ready := 0; ready < topo.N; {
+	clientAddrs := make([]string, topo.N)
+	readyNodes := map[int]bool{}
+	for len(readyNodes) < topo.N {
 		select {
 		case m := <-events:
 			switch {
 			case m.ev != nil && m.ev.Ev == "ready":
 				addrs[m.node] = m.ev.Addr
-				ready++
+				clientAddrs[m.node] = m.ev.ClientAddr
+				readyNodes[m.node] = true
 			case m.ev == nil:
 				return nil, fmt.Errorf("live: node %d exited before ready: %v", m.node, m.err)
 			}
+		case <-barrierTimeout:
+			killAll()
+			return nil, fmt.Errorf("live: ready barrier timed out after %v — nodes %v never reported ready (killed)",
+				barrierDur, straggling(readyNodes))
 		case <-hardTimeout:
+			killAll()
 			return nil, fmt.Errorf("live: timed out waiting for node readiness")
 		}
 	}
@@ -418,16 +480,22 @@ func RunOrchestrator(cfg OrchestratorConfig) (*ProcResult, error) {
 	// (key generation, planning, dialing) so the release pins all logical
 	// clocks to the same instant — construction lag must not eat into the
 	// judged periods.
-	for up := 0; up < topo.N; {
+	upNodes := map[int]bool{}
+	for len(upNodes) < topo.N {
 		select {
 		case m := <-events:
 			switch {
 			case m.ev != nil && m.ev.Ev == "up":
-				up++
+				upNodes[m.node] = true
 			case m.ev == nil:
 				return nil, fmt.Errorf("live: node %d exited before up: %v", m.node, m.err)
 			}
+		case <-barrierTimeout:
+			killAll()
+			return nil, fmt.Errorf("live: up barrier timed out after %v — nodes %v never reported up (killed)",
+				barrierDur, straggling(upNodes))
 		case <-hardTimeout:
+			killAll()
 			return nil, fmt.Errorf("live: timed out waiting for node construction")
 		}
 	}
@@ -436,6 +504,44 @@ func RunOrchestrator(cfg OrchestratorConfig) (*ProcResult, error) {
 		p.send("go")
 	}
 	fmt.Fprintf(logw, "orchestrator: cluster released (%s)\n", strings.Join(addrs, " "))
+
+	// Client load rides the judged run: Clients concurrent sessions of
+	// quorum reads/writes against the register service, stopping one
+	// period before the horizon so node drain never masquerades as
+	// client-visible unavailability. The SLO verdict is theirs — latency
+	// and availability as an external caller experiences them, measured
+	// through whatever faults the schedule injects.
+	type sloOut struct {
+		rep *client.SLOReport
+		err error
+	}
+	var sloCh chan sloOut
+	if cfg.Clients > 0 {
+		view := client.View{Epoch: 0, F: cfg.F, Addrs: map[uint32]string{}}
+		for i, a := range clientAddrs {
+			if a == "" {
+				killAll()
+				return nil, fmt.Errorf("live: node %d reported no client-service address", i)
+			}
+			view.Addrs[uint32(i)] = a
+		}
+		loadDur := time.Duration(cfg.Horizon-1) * perDur
+		sloCh = make(chan sloOut, 1)
+		go func() {
+			rep, err := client.RunLoad(client.LoadConfig{
+				Sessions: cfg.Clients, Duration: loadDur, Rate: cfg.OpsRate, Seed: cfg.Seed,
+				NewClient: func(i int) (*client.Client, error) {
+					return client.New(client.Config{
+						View: view, Writer: uint32(i + 1),
+						OpTimeout: 10 * time.Second, IOTimeout: 2 * time.Second,
+					})
+				},
+			})
+			sloCh <- sloOut{rep, err}
+		}()
+		fmt.Fprintf(logw, "orchestrator: %d client sessions started (%v, rate %.0f ops/s)\n",
+			cfg.Clients, loadDur, cfg.OpsRate)
+	}
 
 	// The fault schedule becomes a sorted action queue; one timer channel
 	// re-arms for the head action, so any number of injections and
@@ -528,6 +634,9 @@ func RunOrchestrator(cfg OrchestratorConfig) (*ProcResult, error) {
 					// the schedule the cluster has already failed over to.
 					restart := baseSpec(e.Node)
 					restart.Addrs = append([]string(nil), addrs...)
+					if cfg.Clients > 0 {
+						restart.ClientAddrs = append([]string(nil), clientAddrs...)
+					}
 					restart.StartPeriod = e.FaultAt + e.HealAfter
 					restart.Standby = true
 					restart.Fault = ""
@@ -553,6 +662,16 @@ func RunOrchestrator(cfg OrchestratorConfig) (*ProcResult, error) {
 			killAll()
 			return nil, fmt.Errorf("live: hard timeout — killed %d node processes", len(procs))
 		}
+	}
+
+	// Join the load generator (it stops a period before the horizon, so
+	// every process has outlived it) and adopt its client-side verdict.
+	if sloCh != nil {
+		out := <-sloCh
+		if out.err != nil {
+			return nil, fmt.Errorf("live: client load failed: %w", out.err)
+		}
+		res.SLO = out.rep
 	}
 
 	// Judge the merged actuation stream as the plant: a command counts

@@ -50,6 +50,7 @@ import (
 	"time"
 
 	"btr/internal/adversary"
+	"btr/internal/client"
 	"btr/internal/cliflag"
 	"btr/internal/evidence"
 	"btr/internal/flow"
@@ -183,6 +184,18 @@ type ProcSpec struct {
 	// mode does not support yet, so the repaired node idles connected.
 	Standby bool `json:"standby,omitempty"`
 
+	// ServeClients additionally opens the client-facing register service
+	// (internal/client.Server) on a second listener; its address rides in
+	// the ready event's client_addr. Multi-process mode has no membership
+	// epochs, so the service pins epoch 0 with every slot a member.
+	ServeClients bool `json:"serve_clients,omitempty"`
+
+	// ClientAddrs is the client-service address vector, index = node ID —
+	// the client-side twin of Addrs. Empty on first spawn (dynamic port);
+	// a restarted process gets the established vector and rebinds its
+	// slot so in-flight load-generator clients can redial it.
+	ClientAddrs []string `json:"client_addrs,omitempty"`
+
 	Verbose bool `json:"verbose,omitempty"`
 }
 
@@ -204,6 +217,9 @@ type ProcEvent struct {
 	Node int    `json:"node"`
 
 	Addr string `json:"addr,omitempty"` // ready
+	// ClientAddr is the register service's listen address (ready events
+	// of specs with ServeClients set).
+	ClientAddr string `json:"client_addr,omitempty"`
 
 	Sink   string `json:"sink,omitempty"` // act
 	Period uint64 `json:"period"`
@@ -299,8 +315,37 @@ func RunNodeProc(spec ProcSpec, in io.Reader, out io.Writer) error {
 		return fmt.Errorf("listen: %w", err)
 	}
 
+	// The client-facing register service rides a second listener, fully
+	// outside the BTR transport: replication is client-driven, so the
+	// service is a passive store plus the deployment's (fixed) view.
+	var clientSrv *client.Server
+	clientAddr := ""
+	if spec.ServeClients {
+		serveAt := ""
+		switch {
+		case len(spec.ClientAddrs) == 0:
+			// dynamic port, reported in the ready event
+		case len(spec.ClientAddrs) == topo.N:
+			serveAt = spec.ClientAddrs[spec.Node]
+		default:
+			lis.Close()
+			return fmt.Errorf("client address vector has %d entries, topology has %d slots", len(spec.ClientAddrs), topo.N)
+		}
+		members := make([]uint32, topo.N)
+		for i := range members {
+			members[i] = uint32(i)
+		}
+		clientSrv, err = client.NewServer(serveAt, client.NewRegisterStore(), client.NewViewState(0, members))
+		if err != nil {
+			lis.Close()
+			return fmt.Errorf("client service listen: %w", err)
+		}
+		clientAddr = clientSrv.Addr()
+		defer clientSrv.Close()
+	}
+
 	em := &procEmitter{enc: json.NewEncoder(out)}
-	em.emit(ProcEvent{Ev: "ready", Node: spec.Node, Addr: lis.Addr().String()})
+	em.emit(ProcEvent{Ev: "ready", Node: spec.Node, Addr: lis.Addr().String(), ClientAddr: clientAddr})
 
 	cmds := make(chan string, 8)
 	go func() {

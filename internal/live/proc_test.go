@@ -3,8 +3,10 @@ package live
 import (
 	"io"
 	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"btr/internal/sim"
 )
@@ -242,6 +244,13 @@ func TestOrchestratorValidatesConfig(t *testing.T) {
 			c.Fault = "none"
 			c.Faults = []FaultSpec{{Kind: "partition", Node: -1, FaultAt: 8, HealAfter: 3}}
 		},
+		"negative clients":         func(c *OrchestratorConfig) { c.Clients = -1 },
+		"ops rate without clients": func(c *OrchestratorConfig) { c.OpsRate = 100 },
+		"clients need two periods": func(c *OrchestratorConfig) {
+			c.Clients = 4
+			c.Horizon = 1
+			c.Fault = "none"
+		},
 		"schedule larger than cluster": func(c *OrchestratorConfig) {
 			c.Fault = "none"
 			c.Faults = []FaultSpec{
@@ -256,5 +265,109 @@ func TestOrchestratorValidatesConfig(t *testing.T) {
 		if _, err := RunOrchestrator(cfg); err == nil {
 			t.Errorf("%s: accepted", name)
 		}
+	}
+}
+
+// writeStubNode writes an executable that impersonates a node process
+// but wedges at the given stage: "never-ready" prints nothing at all;
+// "never-up" prints a ready line and then hangs; "first-wedged" wedges
+// only node 0 and lets the rest report ready. exec replaces the shell
+// so the orchestrator's SIGKILL reaps the whole stub.
+func writeStubNode(t *testing.T, mode string) string {
+	t.Helper()
+	var script string
+	switch mode {
+	case "never-ready":
+		script = "#!/bin/sh\nexec sleep 600\n"
+	case "never-up":
+		script = "#!/bin/sh\necho '{\"ev\":\"ready\",\"addr\":\"127.0.0.1:1\"}'\nexec sleep 600\n"
+	case "first-wedged":
+		script = "#!/bin/sh\ncase \"$BTR_PROC_SPEC\" in\n" +
+			"'{\"node\":0'*) exec sleep 600 ;;\n" +
+			"*) echo '{\"ev\":\"ready\",\"addr\":\"127.0.0.1:1\"}'; exec sleep 600 ;;\nesac\n"
+	default:
+		t.Fatalf("unknown stub mode %q", mode)
+	}
+	path := filepath.Join(t.TempDir(), "stub-node")
+	if err := os.WriteFile(path, []byte(script), 0o755); err != nil {
+		t.Fatalf("write stub: %v", err)
+	}
+	return path
+}
+
+// TestOrchestratorBarrierTimeoutKillsStragglers is the pinned regression
+// for the barrier-hang bug: a child that wedges before emitting its
+// barrier line used to stall RunOrchestrator until the hard timeout
+// (horizon grace + 60s). The bounded barrier must return promptly, kill
+// the stragglers, and name the nodes that never reported.
+func TestOrchestratorBarrierTimeoutKillsStragglers(t *testing.T) {
+	for mode, want := range map[string]struct {
+		barrier string
+		nodes   string
+	}{
+		"never-ready":  {"ready barrier", "[0 1 2 3]"},
+		"never-up":     {"up barrier", "[0 1 2 3]"},
+		"first-wedged": {"ready barrier", "[0]"},
+	} {
+		mode, want := mode, want
+		t.Run(mode, func(t *testing.T) {
+			t.Parallel()
+			stub := writeStubNode(t, mode)
+			start := time.Now()
+			_, err := RunOrchestrator(OrchestratorConfig{
+				Exe: stub, Topo: "full-mesh", Nodes: 4, F: 1, Seed: 1,
+				Period: procPeriod, Margin: procMargin, Horizon: 10,
+				Fault: "none", BarrierTimeout: 2 * time.Second,
+			})
+			elapsed := time.Since(start)
+			if err == nil {
+				t.Fatal("orchestrator accepted a cluster of wedged stubs")
+			}
+			if elapsed > 20*time.Second {
+				t.Fatalf("barrier breach took %v — the bounded wait did not fire", elapsed)
+			}
+			if !strings.Contains(err.Error(), want.barrier) {
+				t.Errorf("error %q does not name the %s", err, want.barrier)
+			}
+			if !strings.Contains(err.Error(), want.nodes) {
+				t.Errorf("error %q does not name the wedged nodes %s", err, want.nodes)
+			}
+		})
+	}
+}
+
+// TestOrchestratedClientLoadMeetsSLO drives the full serving surface:
+// client sessions performing quorum reads/writes against the register
+// service of an orchestrated cluster THROUGH a kill-restart of one
+// replica. With n−f=3 of 4 replicas alive throughout, the client-visible
+// story must be: zero errors, and the longest unavailability window
+// bounded by the recovery bound R plus scheduling slack.
+func TestOrchestratedClientLoadMeetsSLO(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process wall-clock run")
+	}
+	res, err := RunOrchestrator(OrchestratorConfig{
+		Topo: "full-mesh", Nodes: 4, F: 1, Seed: 7,
+		Period: procPeriod, Margin: procMargin, Horizon: 10,
+		Fault: "kill-restart", FaultAt: 3, HealAfter: 3,
+		Clients: 16,
+	})
+	if err != nil {
+		t.Fatalf("orchestrated client-load run failed: %v", err)
+	}
+	assertWithinBound(t, res)
+	slo := res.SLO
+	if slo == nil {
+		t.Fatal("run with Clients > 0 produced no SLO report")
+	}
+	if slo.Ops == 0 {
+		t.Fatal("client sessions completed no ops")
+	}
+	if slo.Errors != 0 {
+		t.Errorf("client-visible errors through a <= f fault: %s", slo)
+	}
+	bound := time.Duration(res.Report.RNeeded+2*procPeriod+procMargin) * time.Microsecond
+	if slo.MaxUnavail > bound {
+		t.Errorf("client-visible unavailability %v exceeds R+slack %v (%s)", slo.MaxUnavail, bound, slo)
 	}
 }
